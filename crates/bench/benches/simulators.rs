@@ -1,0 +1,85 @@
+//! Criterion benchmarks over the simulation stack.
+//!
+//! * `sim_throughput/*` — detailed-simulator and emulator throughput on the
+//!   `fft` benchmark (the study's wall-clock currency).
+//! * `early_stop/*` — EXP-OPT: campaign time with and without the paper's
+//!   §III.B.2 early-stop optimizations (expected 30–70% per-run savings).
+//! * `data_arrays/*` — EXP-OVH: MarsSim with the cache data-array extension
+//!   vs. original-MARSS performance mode (paper: ≈40% overhead).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use difi::isa::emu::Emulator;
+use difi::prelude::*;
+use difi::uarch::pipeline::engine::EngineLimits;
+use difi::uarch::pipeline::OoOCore;
+
+fn limits() -> EngineLimits {
+    EngineLimits {
+        max_cycles: 200_000_000,
+        early_stop: false,
+        deadlock_window: 200_000,
+    }
+}
+
+fn sim_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_throughput");
+    g.sample_size(10);
+    let bench = Bench::Fft;
+
+    let p86 = build(bench, Isa::X86e).unwrap();
+    let parm = build(bench, Isa::Arme).unwrap();
+
+    g.bench_function("emulator_x86e", |b| {
+        b.iter(|| Emulator::new(&p86).run(100_000_000))
+    });
+    g.bench_function("marssim_x86e", |b| {
+        b.iter(|| OoOCore::new(mars_config(), &p86).run(&[], &limits()))
+    });
+    g.bench_function("gemsim_x86e", |b| {
+        b.iter(|| OoOCore::new(gem_config(Isa::X86e), &p86).run(&[], &limits()))
+    });
+    g.bench_function("gemsim_arme", |b| {
+        b.iter(|| OoOCore::new(gem_config(Isa::Arme), &parm).run(&[], &limits()))
+    });
+    g.finish();
+}
+
+fn early_stop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("early_stop");
+    g.sample_size(10);
+    let mafin = MaFin::new();
+    let program = build(Bench::Fft, Isa::X86e).unwrap();
+    let golden = golden_run(&mafin, &program, 100_000_000);
+    let desc = difi::core::dispatch::structure_desc(&mafin, StructureId::L2Data).unwrap();
+    let masks = MaskGenerator::new(7).transient(&desc, golden.cycles, 20);
+
+    for (name, early) in [("disabled", false), ("enabled", true)] {
+        let cfg = CampaignConfig {
+            threads: 1,
+            early_stop: early,
+            golden_max_cycles: 100_000_000,
+        };
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                run_campaign(&mafin, &program, StructureId::L2Data, 7, &masks, &cfg)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn data_arrays(c: &mut Criterion) {
+    let mut g = c.benchmark_group("data_arrays");
+    g.sample_size(10);
+    let program = build(Bench::Fft, Isa::X86e).unwrap();
+    g.bench_function("with_extension", |b| {
+        b.iter(|| OoOCore::new(mars_config(), &program).run(&[], &limits()))
+    });
+    g.bench_function("perf_only", |b| {
+        b.iter(|| OoOCore::new(difi::mars::perf_only_config(), &program).run(&[], &limits()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, sim_throughput, early_stop, data_arrays);
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! Command-line injection campaign driver — the scriptable face of the
+//! injector (the role the paper's campaign controller scripts played).
+//!
+//! ```text
+//! campaign --injector MaFIN-x86 --bench sha --structure l1d_data \
+//!          [--injections 200] [--seed 2015] [--out logs/run.jsonl] \
+//!          [--model transient|intermittent|permanent] [--window 2000] \
+//!          [--no-early-stop] [--fine]
+//! ```
+//!
+//! Prints the six-class classification (and the fine breakdown with
+//! `--fine`) and optionally persists the raw logs repository for later
+//! re-parsing.
+
+use difi::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let has = |flag: &str| args.iter().any(|a| a == flag);
+
+    let injector = get("--injector").unwrap_or_else(|| "MaFIN-x86".into());
+    let bench = Bench::from_name(&get("--bench").unwrap_or_else(|| "sha".into()))
+        .expect("unknown benchmark");
+    let structure = StructureId::from_name(
+        &get("--structure").unwrap_or_else(|| "l1d_data".into()),
+    )
+    .expect("unknown structure");
+    let injections: u64 = get("--injections").map_or(200, |s| s.parse().expect("number"));
+    let seed: u64 = get("--seed").map_or(2015, |s| s.parse().expect("number"));
+    let model = get("--model").unwrap_or_else(|| "transient".into());
+    let window: u64 = get("--window").map_or(2000, |s| s.parse().expect("number"));
+
+    let dispatcher: Box<dyn InjectorDispatcher + Send> = match injector.as_str() {
+        "MaFIN-x86" => Box::new(MaFin::new()),
+        "GeFIN-x86" => Box::new(GeFin::x86()),
+        "GeFIN-ARM" => Box::new(GeFin::arm()),
+        other => panic!("unknown injector {other} (MaFIN-x86 | GeFIN-x86 | GeFIN-ARM)"),
+    };
+
+    let program = build(bench, dispatcher.isa()).expect("benchmark assembles");
+    let golden = golden_run(dispatcher.as_ref(), &program, 200_000_000);
+    let desc = difi::core::dispatch::structure_desc(dispatcher.as_ref(), structure)
+        .expect("structure not injectable on this configuration");
+
+    println!(
+        "campaign: {} / {} / {} — {} {} faults (seed {seed})",
+        injector,
+        bench.name(),
+        structure.name(),
+        injections,
+        model
+    );
+    println!(
+        "golden: {} cycles; statistically required at 99%/3%: {}",
+        golden.cycles,
+        MaskGenerator::required_samples(&desc, golden.cycles, 0.99, 0.03)
+    );
+
+    let mut gen = MaskGenerator::new(seed);
+    let masks = match model.as_str() {
+        "transient" => gen.transient(&desc, golden.cycles, injections),
+        "intermittent" => gen.intermittent(&desc, golden.cycles, window, injections),
+        "permanent" => gen.permanent(&desc, injections),
+        other => panic!("unknown model {other}"),
+    };
+
+    let cfg = CampaignConfig {
+        threads: 0,
+        early_stop: !has("--no-early-stop"),
+        golden_max_cycles: 200_000_000,
+    };
+    let t0 = std::time::Instant::now();
+    let log = run_campaign(dispatcher.as_ref(), &program, structure, seed, &masks, &cfg);
+    let wall = t0.elapsed();
+
+    if let Some(path) = get("--out") {
+        let p = std::path::PathBuf::from(path);
+        if let Some(dir) = p.parent() {
+            std::fs::create_dir_all(dir).expect("create log dir");
+        }
+        log.save(&p).expect("save log");
+        println!("raw logs written to {}", p.display());
+    }
+
+    let counts = classify_log(&log);
+    println!("\nclassification ({} runs, {:?}):", counts.total(), wall);
+    for class in Outcome::ALL {
+        println!(
+            "  {:<8} {:>6}  ({:>5.1}%)",
+            class.name(),
+            counts.get(class),
+            100.0 * counts.fraction(class)
+        );
+    }
+    let ci = counts.vulnerability_interval(0.99);
+    println!(
+        "vulnerability: {:.2}%  (99% CI [{:.2}%, {:.2}%])",
+        100.0 * counts.vulnerability(),
+        100.0 * ci.lo,
+        100.0 * ci.hi
+    );
+
+    if has("--fine") {
+        let classifier = Classifier::from_golden(&log.golden);
+        let mut fine: std::collections::BTreeMap<String, u64> = Default::default();
+        for run in &log.runs {
+            *fine
+                .entry(format!("{:?}", classifier.classify_fine(&run.result)))
+                .or_default() += 1;
+        }
+        println!("\nfine classification:");
+        for (k, v) in fine {
+            println!("  {k:<16} {v}");
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Prints fault-free cycle/instruction counts and wall time for every
+//! (injector, benchmark) pair — the sizing data behind campaign planning
+//! and the paper's Table II-adjacent runtime discussion.
+
+use difi::prelude::*;
+
+fn main() {
+    for d in setups::all() {
+        for b in Bench::ALL {
+            let p = build(b, d.isa()).expect("benchmark assembles");
+            let t = std::time::Instant::now();
+            let g = golden_run(d.as_ref(), &p, 200_000_000);
+            println!(
+                "{:<10} {:<10} cycles={:<9} instr={:<9} wall={:?}",
+                d.name(),
+                b.name(),
+                g.cycles,
+                g.instructions,
+                t.elapsed()
+            );
+        }
+    }
+}

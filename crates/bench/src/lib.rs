@@ -1,0 +1,1 @@
+//! Benchmark harness (binaries in src/bin, criterion benches in benches/).

@@ -1,0 +1,283 @@
+//! The Injection Campaign Controller.
+//!
+//! "Provided the masks repository, the actual fault injection campaign can
+//! begin. The *Injection Campaign Controller* reads the masks from the
+//! repository and sends injection requests to the *Injector Dispatcher* …
+//! The last task … is to store the results of the injection in a logs
+//! repository." (§III.B, Fig. 1)
+//!
+//! The controller first performs the golden (fault-free) run — establishing
+//! the reference output, exception count, and the cycle count that sizes the
+//! paper's 3× timeout — then drains the masks repository across worker
+//! threads (the paper used ~100 threads over ten workstations; here the
+//! worker count adapts to the machine).
+
+use crate::dispatch::InjectorDispatcher;
+use crate::logs::{CampaignLog, RunLog};
+use crate::model::{InjectionSpec, RawRunResult, RunLimits, RunStatus};
+use difi_isa::program::Program;
+use difi_uarch::fault::StructureId;
+
+/// Campaign-level options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignConfig {
+    /// Worker threads (0 → one per available CPU).
+    pub threads: usize,
+    /// Enable the §III.B.2 early-stop optimizations.
+    pub early_stop: bool,
+    /// Cycle ceiling for the golden run.
+    pub golden_max_cycles: u64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            threads: 0,
+            early_stop: true,
+            golden_max_cycles: 200_000_000,
+        }
+    }
+}
+
+/// Runs the golden (fault-free) reference for `program` on `dispatcher`.
+pub fn golden_run(
+    dispatcher: &dyn InjectorDispatcher,
+    program: &Program,
+    max_cycles: u64,
+) -> RawRunResult {
+    let spec = InjectionSpec {
+        id: u64::MAX,
+        faults: Vec::new(),
+    };
+    dispatcher.run(program, &spec, &RunLimits::golden(max_cycles))
+}
+
+/// Runs a full campaign: golden run, then every mask, in parallel.
+///
+/// # Panics
+///
+/// Panics if the golden run does not complete — an injector/benchmark pair
+/// that cannot run fault-free cannot be studied.
+pub fn run_campaign(
+    dispatcher: &dyn InjectorDispatcher,
+    program: &Program,
+    structure: StructureId,
+    seed: u64,
+    masks: &[InjectionSpec],
+    cfg: &CampaignConfig,
+) -> CampaignLog {
+    let golden = golden_run(dispatcher, program, cfg.golden_max_cycles);
+    assert!(
+        matches!(golden.status, RunStatus::Completed { .. }),
+        "golden run of {} on {} must complete, got {:?}",
+        program.name,
+        dispatcher.name(),
+        golden.status
+    );
+    let mut limits = RunLimits::campaign(golden.cycles);
+    limits.early_stop = cfg.early_stop;
+
+    let threads = if cfg.threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        cfg.threads
+    };
+
+    let results: Vec<RunLog> = if threads <= 1 || masks.len() < 2 {
+        masks
+            .iter()
+            .map(|spec| RunLog {
+                spec: spec.clone(),
+                result: dispatcher.run(program, spec, &limits),
+            })
+            .collect()
+    } else {
+        parallel_runs(dispatcher, program, masks, &limits, threads)
+    };
+
+    CampaignLog {
+        injector: dispatcher.name().to_string(),
+        benchmark: program.name.clone(),
+        structure: structure.name().to_string(),
+        seed,
+        golden,
+        runs: results,
+    }
+}
+
+fn parallel_runs(
+    dispatcher: &dyn InjectorDispatcher,
+    program: &Program,
+    masks: &[InjectionSpec],
+    limits: &RunLimits,
+    threads: usize,
+) -> Vec<RunLog> {
+    let (work_tx, work_rx) = crossbeam::channel::unbounded::<usize>();
+    let (done_tx, done_rx) = crossbeam::channel::unbounded::<(usize, RawRunResult)>();
+    for i in 0..masks.len() {
+        work_tx.send(i).expect("queue open");
+    }
+    drop(work_tx);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let work_rx = work_rx.clone();
+            let done_tx = done_tx.clone();
+            scope.spawn(move || {
+                while let Ok(i) = work_rx.recv() {
+                    let result = dispatcher.run(program, &masks[i], limits);
+                    if done_tx.send((i, result)).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        drop(done_tx);
+        let mut slots: Vec<Option<RawRunResult>> = vec![None; masks.len()];
+        while let Ok((i, r)) = done_rx.recv() {
+            slots[i] = Some(r);
+        }
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| RunLog {
+                spec: masks[i].clone(),
+                result: r.expect("every index completed"),
+            })
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{RawRunResult, RunStatus};
+    use difi_isa::program::{Isa, MemoryMap};
+    use difi_uarch::fault::StructureDesc;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A deterministic fake dispatcher for controller tests.
+    struct FakeDispatcher {
+        calls: AtomicU64,
+    }
+
+    impl InjectorDispatcher for FakeDispatcher {
+        fn name(&self) -> &str {
+            "Fake-x86"
+        }
+
+        fn isa(&self) -> Isa {
+            Isa::X86e
+        }
+
+        fn structures(&self) -> Vec<StructureDesc> {
+            vec![StructureDesc {
+                id: StructureId::IntRegFile,
+                entries: 8,
+                bits: 64,
+            }]
+        }
+
+        fn run(
+            &self,
+            _program: &Program,
+            spec: &InjectionSpec,
+            _limits: &RunLimits,
+        ) -> RawRunResult {
+            self.calls.fetch_add(1, Ordering::SeqCst);
+            let status = if spec.faults.is_empty() {
+                RunStatus::Completed { exit_code: 0 }
+            } else if spec.id % 3 == 0 {
+                RunStatus::SimulatorAssert("x".into())
+            } else {
+                RunStatus::Completed { exit_code: 0 }
+            };
+            RawRunResult {
+                status,
+                output: b"out".to_vec(),
+                exceptions: 0,
+                cycles: 100,
+                instructions: 50,
+                fault_consumed: !spec.faults.is_empty(),
+            }
+        }
+    }
+
+    fn program() -> Program {
+        Program {
+            isa: Isa::X86e,
+            code: vec![0x01],
+            data: vec![],
+            entry: MemoryMap::DEFAULT.code_base,
+            map: MemoryMap::DEFAULT,
+            name: "fake".into(),
+        }
+    }
+
+    fn masks(n: u64) -> Vec<InjectionSpec> {
+        (0..n)
+            .map(|i| InjectionSpec::single_transient(i, StructureId::IntRegFile, 0, 0, i))
+            .collect()
+    }
+
+    #[test]
+    fn campaign_runs_every_mask_in_order() {
+        let d = FakeDispatcher {
+            calls: AtomicU64::new(0),
+        };
+        let log = run_campaign(
+            &d,
+            &program(),
+            StructureId::IntRegFile,
+            9,
+            &masks(30),
+            &CampaignConfig {
+                threads: 4,
+                ..Default::default()
+            },
+        );
+        assert_eq!(log.runs.len(), 30);
+        assert_eq!(d.calls.load(Ordering::SeqCst), 31, "30 masks + golden");
+        // Results stay aligned with their masks.
+        for (i, run) in log.runs.iter().enumerate() {
+            assert_eq!(run.spec.id, i as u64);
+            let expect_assert = run.spec.id % 3 == 0;
+            assert_eq!(
+                matches!(run.result.status, RunStatus::SimulatorAssert(_)),
+                expect_assert
+            );
+        }
+        assert_eq!(log.injector, "Fake-x86");
+        assert_eq!(log.structure, "int_prf");
+        assert_eq!(log.seed, 9);
+    }
+
+    #[test]
+    fn single_threaded_path_matches() {
+        let d = FakeDispatcher {
+            calls: AtomicU64::new(0),
+        };
+        let log = run_campaign(
+            &d,
+            &program(),
+            StructureId::IntRegFile,
+            0,
+            &masks(5),
+            &CampaignConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        assert_eq!(log.runs.len(), 5);
+    }
+
+    #[test]
+    fn golden_run_has_no_faults() {
+        let d = FakeDispatcher {
+            calls: AtomicU64::new(0),
+        };
+        let g = golden_run(&d, &program(), 1000);
+        assert!(matches!(g.status, RunStatus::Completed { .. }));
+        assert!(!g.fault_consumed);
+    }
+}

@@ -1,0 +1,315 @@
+//! The Parser: classification of raw run logs into fault-effect classes.
+//!
+//! §III.A of the paper defines six classes — **Masked, SDC, DUE, Timeout,
+//! Crash, Assert** — and stresses that the parser is "easily reconfigurable
+//! … the input of Parser for an alternative classification is not changed
+//! and is already stored into the log files repository (no new fault
+//! injection campaign is required)". [`Classifier`] therefore works purely
+//! on [`RawRunResult`]s:
+//!
+//! * the standard six-class view ([`Classifier::classify`]);
+//! * the coarse Masked/Non-Masked view ([`Classifier::classify_coarse`]);
+//! * the fine view splitting false/true DUE and the three crash
+//!   subcategories ([`Classifier::classify_fine`]);
+//! * the regrouping option the paper gives as an example — moving simulator
+//!   crashes into the Assert class ([`Classifier::simulator_crash_as_assert`]).
+
+use crate::model::{RawRunResult, RunStatus};
+use serde::{Deserialize, Serialize};
+
+/// The paper's six fault-effect classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Outcome {
+    /// No program-visible effect.
+    Masked,
+    /// Silent data corruption: output differs, no other indication.
+    Sdc,
+    /// Detected unrecoverable error: completed with error indications.
+    Due,
+    /// Deadlock or livelock.
+    Timeout,
+    /// Process, system, or simulator crash.
+    Crash,
+    /// Simulator assertion.
+    Assert,
+}
+
+impl Outcome {
+    /// All classes in report order.
+    pub const ALL: [Outcome; 6] = [
+        Outcome::Masked,
+        Outcome::Sdc,
+        Outcome::Due,
+        Outcome::Timeout,
+        Outcome::Crash,
+        Outcome::Assert,
+    ];
+
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Outcome::Masked => "masked",
+            Outcome::Sdc => "sdc",
+            Outcome::Due => "due",
+            Outcome::Timeout => "timeout",
+            Outcome::Crash => "crash",
+            Outcome::Assert => "assert",
+        }
+    }
+}
+
+impl std::fmt::Display for Outcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The fine-grained view (DUE split + crash subcategories).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FineOutcome {
+    /// No visible effect.
+    Masked,
+    /// Corrupted output, no indication.
+    Sdc,
+    /// Error indicated but output correct.
+    FalseDue,
+    /// Error indicated and output corrupted.
+    TrueDue,
+    /// Deadlock/livelock.
+    Timeout,
+    /// Simulated process terminated abnormally.
+    ProcessCrash,
+    /// Simulated system (kernel) died.
+    SystemCrash,
+    /// Simulator internal crash.
+    SimulatorCrash,
+    /// Simulator assertion.
+    Assert,
+}
+
+/// The parser. Holds the golden (fault-free) reference for one
+/// benchmark/injector pair plus the classification options.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Classifier {
+    /// Fault-free console output.
+    pub golden_output: Vec<u8>,
+    /// Fault-free handled-exception count.
+    pub golden_exceptions: u64,
+    /// Fault-free exit code.
+    pub golden_exit_code: u64,
+    /// Regroup simulator crashes under Assert (the paper's example of a
+    /// parser reconfiguration: "group together faulty behaviors attributed
+    /// to simulator malfunctions").
+    pub simulator_crash_as_assert: bool,
+}
+
+impl Classifier {
+    /// Builds a classifier from a golden run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the golden run did not complete — the campaign cannot be
+    /// classified against a broken reference.
+    pub fn from_golden(golden: &RawRunResult) -> Classifier {
+        let RunStatus::Completed { exit_code } = golden.status else {
+            panic!("golden run must complete, got {:?}", golden.status);
+        };
+        Classifier {
+            golden_output: golden.output.clone(),
+            golden_exceptions: golden.exceptions,
+            golden_exit_code: exit_code,
+            simulator_crash_as_assert: false,
+        }
+    }
+
+    /// Enables the simulator-crash → Assert regrouping.
+    pub fn simulator_crash_as_assert(mut self) -> Classifier {
+        self.simulator_crash_as_assert = true;
+        self
+    }
+
+    fn completed_matches(&self, r: &RawRunResult, exit_code: u64) -> bool {
+        r.output == self.golden_output && exit_code == self.golden_exit_code
+    }
+
+    /// Six-class classification (the paper's Figs. 2–6 vocabulary).
+    pub fn classify(&self, r: &RawRunResult) -> Outcome {
+        match &r.status {
+            RunStatus::EarlyStopMasked(_) => Outcome::Masked,
+            RunStatus::Completed { exit_code } => {
+                if r.exceptions > self.golden_exceptions {
+                    Outcome::Due
+                } else if self.completed_matches(r, *exit_code) {
+                    Outcome::Masked
+                } else {
+                    Outcome::Sdc
+                }
+            }
+            RunStatus::Timeout => Outcome::Timeout,
+            RunStatus::ProcessCrash(_) | RunStatus::SystemCrash(_) => Outcome::Crash,
+            RunStatus::SimulatorCrash(_) => {
+                if self.simulator_crash_as_assert {
+                    Outcome::Assert
+                } else {
+                    Outcome::Crash
+                }
+            }
+            RunStatus::SimulatorAssert(_) => Outcome::Assert,
+        }
+    }
+
+    /// Coarse Masked / Non-Masked classification.
+    pub fn classify_coarse(&self, r: &RawRunResult) -> bool {
+        self.classify(r) == Outcome::Masked
+    }
+
+    /// Fine classification (false/true DUE, crash subcategories).
+    pub fn classify_fine(&self, r: &RawRunResult) -> FineOutcome {
+        match &r.status {
+            RunStatus::EarlyStopMasked(_) => FineOutcome::Masked,
+            RunStatus::Completed { exit_code } => {
+                let output_ok = self.completed_matches(r, *exit_code);
+                if r.exceptions > self.golden_exceptions {
+                    if output_ok {
+                        FineOutcome::FalseDue
+                    } else {
+                        FineOutcome::TrueDue
+                    }
+                } else if output_ok {
+                    FineOutcome::Masked
+                } else {
+                    FineOutcome::Sdc
+                }
+            }
+            RunStatus::Timeout => FineOutcome::Timeout,
+            RunStatus::ProcessCrash(_) => FineOutcome::ProcessCrash,
+            RunStatus::SystemCrash(_) => FineOutcome::SystemCrash,
+            RunStatus::SimulatorCrash(_) => FineOutcome::SimulatorCrash,
+            RunStatus::SimulatorAssert(_) => FineOutcome::Assert,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::EarlyStop;
+
+    fn golden() -> RawRunResult {
+        RawRunResult {
+            status: RunStatus::Completed { exit_code: 0 },
+            output: b"42\n".to_vec(),
+            exceptions: 1,
+            cycles: 1000,
+            instructions: 500,
+            fault_consumed: false,
+        }
+    }
+
+    fn run(status: RunStatus, output: &[u8], exceptions: u64) -> RawRunResult {
+        RawRunResult {
+            status,
+            output: output.to_vec(),
+            exceptions,
+            cycles: 900,
+            instructions: 450,
+            fault_consumed: true,
+        }
+    }
+
+    #[test]
+    fn identical_run_is_masked() {
+        let c = Classifier::from_golden(&golden());
+        let r = run(RunStatus::Completed { exit_code: 0 }, b"42\n", 1);
+        assert_eq!(c.classify(&r), Outcome::Masked);
+        assert!(c.classify_coarse(&r));
+        assert_eq!(c.classify_fine(&r), FineOutcome::Masked);
+    }
+
+    #[test]
+    fn corrupted_output_is_sdc() {
+        let c = Classifier::from_golden(&golden());
+        let r = run(RunStatus::Completed { exit_code: 0 }, b"43\n", 1);
+        assert_eq!(c.classify(&r), Outcome::Sdc);
+        assert_eq!(c.classify_fine(&r), FineOutcome::Sdc);
+    }
+
+    #[test]
+    fn changed_exit_code_is_sdc() {
+        let c = Classifier::from_golden(&golden());
+        let r = run(RunStatus::Completed { exit_code: 7 }, b"42\n", 1);
+        assert_eq!(c.classify(&r), Outcome::Sdc);
+    }
+
+    #[test]
+    fn extra_exceptions_are_due_split_by_output() {
+        let c = Classifier::from_golden(&golden());
+        let fd = run(RunStatus::Completed { exit_code: 0 }, b"42\n", 2);
+        assert_eq!(c.classify(&fd), Outcome::Due);
+        assert_eq!(c.classify_fine(&fd), FineOutcome::FalseDue);
+        let td = run(RunStatus::Completed { exit_code: 0 }, b"XX\n", 3);
+        assert_eq!(c.classify(&td), Outcome::Due);
+        assert_eq!(c.classify_fine(&td), FineOutcome::TrueDue);
+    }
+
+    #[test]
+    fn early_stop_is_masked() {
+        let c = Classifier::from_golden(&golden());
+        let r = run(
+            RunStatus::EarlyStopMasked(EarlyStop::OverwrittenBeforeRead),
+            b"",
+            0,
+        );
+        assert_eq!(c.classify(&r), Outcome::Masked);
+    }
+
+    #[test]
+    fn crash_family_maps_to_crash() {
+        let c = Classifier::from_golden(&golden());
+        for s in [
+            RunStatus::ProcessCrash("illegal instruction".into()),
+            RunStatus::SystemCrash("kernel magic corrupted".into()),
+            RunStatus::SimulatorCrash("scheduler wedged".into()),
+        ] {
+            assert_eq!(c.classify(&run(s, b"", 1)), Outcome::Crash);
+        }
+        assert_eq!(
+            c.classify_fine(&run(RunStatus::SystemCrash("x".into()), b"", 1)),
+            FineOutcome::SystemCrash
+        );
+    }
+
+    #[test]
+    fn simulator_crash_regroup_option() {
+        let c = Classifier::from_golden(&golden()).simulator_crash_as_assert();
+        let r = run(RunStatus::SimulatorCrash("x".into()), b"", 1);
+        assert_eq!(c.classify(&r), Outcome::Assert);
+        // Process crashes are unaffected by the regrouping.
+        let p = run(RunStatus::ProcessCrash("x".into()), b"", 1);
+        assert_eq!(c.classify(&p), Outcome::Crash);
+    }
+
+    #[test]
+    fn assert_and_timeout() {
+        let c = Classifier::from_golden(&golden());
+        assert_eq!(
+            c.classify(&run(RunStatus::SimulatorAssert("rob".into()), b"", 1)),
+            Outcome::Assert
+        );
+        assert_eq!(c.classify(&run(RunStatus::Timeout, b"4", 1)), Outcome::Timeout);
+    }
+
+    #[test]
+    #[should_panic(expected = "golden run must complete")]
+    fn classifier_rejects_broken_golden() {
+        let mut g = golden();
+        g.status = RunStatus::Timeout;
+        Classifier::from_golden(&g);
+    }
+
+    #[test]
+    fn outcome_names_are_stable() {
+        assert_eq!(Outcome::Sdc.to_string(), "sdc");
+        assert_eq!(Outcome::ALL.len(), 6);
+    }
+}

@@ -1,0 +1,43 @@
+//! The injector-dispatcher interface between the campaign controller and a
+//! microarchitectural simulator.
+//!
+//! In the paper, "the *Injection Campaign Controller* reads the masks from
+//! the repository and sends injection requests to the *Injector Dispatcher*
+//! which is the module that directly communicates with the MARSS or Gem5
+//! simulator". [`InjectorDispatcher`] is that module's contract: MaFIN's
+//! implementation (over MarsSim) lives in `difi-mars`, GeFIN's (over GemSim)
+//! in `difi-gem`.
+
+use crate::model::{InjectionSpec, RawRunResult, RunLimits};
+use difi_isa::program::{Isa, Program};
+use difi_uarch::fault::StructureDesc;
+
+/// A stateless handle that can run one workload under one fault mask on a
+/// freshly booted simulator instance.
+///
+/// Implementations must be `Sync`: the campaign controller calls
+/// [`InjectorDispatcher::run`] from several worker threads at once, each
+/// call booting its own simulator.
+pub trait InjectorDispatcher: Sync {
+    /// Human-readable injector name (`"MaFIN-x86"`, `"GeFIN-ARM"`, …).
+    fn name(&self) -> &str;
+
+    /// The ISA this dispatcher simulates.
+    fn isa(&self) -> Isa;
+
+    /// Geometry of every injectable structure in this simulator's
+    /// configuration (the per-simulator realization of Table IV).
+    fn structures(&self) -> Vec<StructureDesc>;
+
+    /// Boots a fresh simulator, loads `program`, injects per `spec`, and
+    /// runs to a terminal state. `spec.faults` may be empty (a golden run).
+    fn run(&self, program: &Program, spec: &InjectionSpec, limits: &RunLimits) -> RawRunResult;
+}
+
+/// Looks up a structure's geometry on a dispatcher.
+pub fn structure_desc(
+    d: &dyn InjectorDispatcher,
+    id: difi_uarch::fault::StructureId,
+) -> Option<StructureDesc> {
+    d.structures().into_iter().find(|s| s.id == id)
+}

@@ -1,0 +1,38 @@
+//! # difi-core
+//!
+//! The paper's primary contribution: a differential microarchitecture-level
+//! fault-injection framework in the MaFIN/GeFIN mold. Both injectors share
+//! this infrastructure and differ only in the simulator behind the
+//! [`dispatch::InjectorDispatcher`] trait (MarsSim for MaFIN, GemSim for
+//! GeFIN).
+//!
+//! Mirroring Fig. 1 of the paper, a campaign flows through three modules:
+//!
+//! 1. **Fault mask generator** ([`masks`]) — produces the *masks repository*:
+//!    randomized (or directed) fault masks for any structure, fault type
+//!    (transient / intermittent / permanent), and multiplicity, sized by the
+//!    statistical-sampling rules of [`difi_util::stats`].
+//! 2. **Injection campaign controller** ([`campaign`]) — drains the masks
+//!    repository through an [`dispatch::InjectorDispatcher`], applying the
+//!    paper's §III.B.2 early-stop optimizations, in parallel worker threads,
+//!    and stores every raw result in the *logs repository* ([`logs`]).
+//! 3. **Parser** ([`classify`]) — turns raw run logs into the six-class
+//!    fault-effect taxonomy (Masked / SDC / DUE / Timeout / Crash / Assert),
+//!    reconfigurable without re-running the campaign.
+//!
+//! [`report`] aggregates classified outcomes into the per-benchmark /
+//! per-structure tables behind the paper's Figs. 2–6.
+
+pub mod campaign;
+pub mod classify;
+pub mod dispatch;
+pub mod logs;
+pub mod masks;
+pub mod model;
+pub mod report;
+
+pub use classify::{Classifier, Outcome};
+pub use dispatch::InjectorDispatcher;
+pub use model::{
+    EarlyStop, FaultRecord, InjectTime, InjectionSpec, RawRunResult, RunLimits, RunStatus,
+};

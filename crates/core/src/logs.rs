@@ -1,0 +1,190 @@
+//! The logs repository: persistent storage of raw campaign results.
+//!
+//! "The last task of the Injection Campaign Controller is to store the
+//! results of the injection in a *logs repository* which contains all log
+//! files for further processing by the Parser." (§III.B) Keeping raw
+//! results (not classifications) is what makes the parser reconfigurable
+//! without re-running campaigns.
+
+use crate::model::{InjectionSpec, RawRunResult};
+use difi_util::{Error, Result};
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, Write};
+use std::path::Path;
+
+/// One injection run: the mask that was applied and what happened.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunLog {
+    /// The fault mask.
+    pub spec: InjectionSpec,
+    /// The raw result.
+    pub result: RawRunResult,
+}
+
+/// A complete campaign log for one (injector, benchmark, structure) cell.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CampaignLog {
+    /// Injector name (`"MaFIN-x86"` …).
+    pub injector: String,
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Target structure name.
+    pub structure: String,
+    /// Campaign seed (for reproduction).
+    pub seed: u64,
+    /// The golden (fault-free) run.
+    pub golden: RawRunResult,
+    /// All injection runs.
+    pub runs: Vec<RunLog>,
+}
+
+impl CampaignLog {
+    /// Serializes to JSON-lines: a header line followed by one line per run
+    /// (streaming-friendly for hundred-thousand-run campaigns).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] on write failure.
+    pub fn save(&self, path: &Path) -> Result<()> {
+        let file = std::fs::File::create(path)?;
+        let mut w = std::io::BufWriter::new(file);
+        let header = serde_json::json!({
+            "injector": self.injector,
+            "benchmark": self.benchmark,
+            "structure": self.structure,
+            "seed": self.seed,
+            "golden": self.golden,
+        });
+        writeln!(w, "{header}").map_err(Error::from)?;
+        for run in &self.runs {
+            let line = serde_json::to_string(run)
+                .map_err(|e| Error::Parse(format!("serialize run: {e}")))?;
+            writeln!(w, "{line}").map_err(Error::from)?;
+        }
+        Ok(())
+    }
+
+    /// Loads a campaign log saved by [`CampaignLog::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Parse`] for malformed content, [`Error::Io`] on read
+    /// failure.
+    pub fn load(path: &Path) -> Result<CampaignLog> {
+        let file = std::fs::File::open(path)?;
+        let mut lines = std::io::BufReader::new(file).lines();
+        let header_line = lines
+            .next()
+            .ok_or_else(|| Error::Parse("empty campaign log".into()))?
+            .map_err(Error::from)?;
+        let header: serde_json::Value = serde_json::from_str(&header_line)
+            .map_err(|e| Error::Parse(format!("bad header: {e}")))?;
+        let golden: RawRunResult = serde_json::from_value(
+            header
+                .get("golden")
+                .cloned()
+                .ok_or_else(|| Error::Parse("header missing golden".into()))?,
+        )
+        .map_err(|e| Error::Parse(format!("bad golden: {e}")))?;
+        let get_str = |k: &str| -> Result<String> {
+            header
+                .get(k)
+                .and_then(|v| v.as_str())
+                .map(String::from)
+                .ok_or_else(|| Error::Parse(format!("header missing {k}")))
+        };
+        let mut runs = Vec::new();
+        for line in lines {
+            let line = line.map_err(Error::from)?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let run: RunLog = serde_json::from_str(&line)
+                .map_err(|e| Error::Parse(format!("bad run line: {e}")))?;
+            runs.push(run);
+        }
+        Ok(CampaignLog {
+            injector: get_str("injector")?,
+            benchmark: get_str("benchmark")?,
+            structure: get_str("structure")?,
+            seed: header.get("seed").and_then(|v| v.as_u64()).unwrap_or(0),
+            golden,
+            runs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::RunStatus;
+    use difi_uarch::fault::StructureId;
+
+    fn sample_log() -> CampaignLog {
+        let golden = RawRunResult {
+            status: RunStatus::Completed { exit_code: 0 },
+            output: b"ok\n".to_vec(),
+            exceptions: 0,
+            cycles: 5000,
+            instructions: 2000,
+            fault_consumed: false,
+        };
+        let runs = (0..5u64)
+            .map(|i| RunLog {
+                spec: InjectionSpec::single_transient(i, StructureId::L1dData, i, 3, 100 + i),
+                result: RawRunResult {
+                    status: if i % 2 == 0 {
+                        RunStatus::Completed { exit_code: 0 }
+                    } else {
+                        RunStatus::SimulatorAssert(format!("assert {i}"))
+                    },
+                    output: b"ok\n".to_vec(),
+                    exceptions: 0,
+                    cycles: 5000 + i,
+                    instructions: 2000,
+                    fault_consumed: i % 2 == 1,
+                },
+            })
+            .collect();
+        CampaignLog {
+            injector: "MaFIN-x86".into(),
+            benchmark: "sha".into(),
+            structure: "l1d_data".into(),
+            seed: 77,
+            golden,
+            runs,
+        }
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = std::env::temp_dir().join("difi_logs_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("campaign.jsonl");
+        let log = sample_log();
+        log.save(&path).unwrap();
+        let back = CampaignLog::load(&path).unwrap();
+        assert_eq!(back, log);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_empty_file() {
+        let dir = std::env::temp_dir().join("difi_logs_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("empty.jsonl");
+        std::fs::write(&path, "").unwrap();
+        assert!(CampaignLog::load(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let dir = std::env::temp_dir().join("difi_logs_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.jsonl");
+        std::fs::write(&path, "not json\n").unwrap();
+        assert!(CampaignLog::load(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

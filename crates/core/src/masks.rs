@@ -1,0 +1,332 @@
+//! The Fault Mask Generator and the masks repository.
+//!
+//! "In the first step, the *Fault Mask Generator* module produces the fault
+//! masks that are used during the injection campaign. … The Fault Mask
+//! Generator can produce (by user defined parameters) a random set of fault
+//! masks for any type of fault (transient, intermittent, permanent) for the
+//! entire simulation time of the benchmark." (§III.B)
+//!
+//! Masks are sampled uniformly over `(entry, bit, cycle)` — the statistical
+//! fault-sampling population of Leveugle et al. — from a seeded
+//! deterministic generator, so a campaign is reproducible from
+//! `(seed, parameters)` alone.
+
+use crate::model::{FaultDuration, FaultKindSer, FaultRecord, InjectTime, InjectionSpec};
+use difi_uarch::fault::StructureDesc;
+use difi_util::rng::Xoshiro256;
+use difi_util::stats::sample_size;
+
+/// The fault mask generator.
+#[derive(Debug)]
+pub struct MaskGenerator {
+    rng: Xoshiro256,
+    next_id: u64,
+}
+
+impl MaskGenerator {
+    /// Creates a generator from a campaign seed.
+    pub fn new(seed: u64) -> MaskGenerator {
+        MaskGenerator {
+            rng: Xoshiro256::seed_from(seed),
+            next_id: 0,
+        }
+    }
+
+    fn id(&mut self) -> u64 {
+        self.next_id += 1;
+        self.next_id - 1
+    }
+
+    fn random_site(&mut self, desc: &StructureDesc, cycles: u64) -> (u64, u32, u64) {
+        let entry = self.rng.gen_range(0, desc.entries);
+        let bit = self.rng.gen_range(0, desc.bits) as u32;
+        let cycle = self.rng.gen_range(0, cycles.max(1));
+        (entry, bit, cycle)
+    }
+
+    /// Generates `n` single-bit transient masks for one structure over a
+    /// benchmark whose fault-free execution takes `cycles` — the campaign
+    /// shape used for every figure of the paper.
+    pub fn transient(
+        &mut self,
+        desc: &StructureDesc,
+        cycles: u64,
+        n: u64,
+    ) -> Vec<InjectionSpec> {
+        (0..n)
+            .map(|_| {
+                let (entry, bit, cycle) = self.random_site(desc, cycles);
+                let id = self.id();
+                InjectionSpec::single_transient(id, desc.id, entry, bit, cycle)
+            })
+            .collect()
+    }
+
+    /// Generates `n` single-bit intermittent masks (random polarity, random
+    /// start, window of `window_cycles`).
+    pub fn intermittent(
+        &mut self,
+        desc: &StructureDesc,
+        cycles: u64,
+        window_cycles: u64,
+        n: u64,
+    ) -> Vec<InjectionSpec> {
+        (0..n)
+            .map(|_| {
+                let (entry, bit, cycle) = self.random_site(desc, cycles);
+                let kind = if self.rng.gen_bool(0.5) {
+                    FaultKindSer::Stuck0
+                } else {
+                    FaultKindSer::Stuck1
+                };
+                InjectionSpec {
+                    id: self.id(),
+                    faults: vec![FaultRecord {
+                        core: 0,
+                        structure: desc.id,
+                        entry,
+                        bit,
+                        kind,
+                        at: InjectTime::Cycle(cycle),
+                        duration: FaultDuration::Intermittent {
+                            cycles: window_cycles,
+                        },
+                    }],
+                }
+            })
+            .collect()
+    }
+
+    /// Generates `n` single-bit permanent masks (present from cycle 0).
+    pub fn permanent(&mut self, desc: &StructureDesc, n: u64) -> Vec<InjectionSpec> {
+        (0..n)
+            .map(|_| {
+                let entry = self.rng.gen_range(0, desc.entries);
+                let bit = self.rng.gen_range(0, desc.bits) as u32;
+                let kind = if self.rng.gen_bool(0.5) {
+                    FaultKindSer::Stuck0
+                } else {
+                    FaultKindSer::Stuck1
+                };
+                InjectionSpec {
+                    id: self.id(),
+                    faults: vec![FaultRecord {
+                        core: 0,
+                        structure: desc.id,
+                        entry,
+                        bit,
+                        kind,
+                        at: InjectTime::Cycle(0),
+                        duration: FaultDuration::Permanent,
+                    }],
+                }
+            })
+            .collect()
+    }
+
+    /// Generates `n` multi-bit transient masks with `bits_per_fault` flips
+    /// in the *same entry* (§III.A multiplicity case i).
+    pub fn multi_bit_same_entry(
+        &mut self,
+        desc: &StructureDesc,
+        cycles: u64,
+        bits_per_fault: u32,
+        n: u64,
+    ) -> Vec<InjectionSpec> {
+        (0..n)
+            .map(|_| {
+                let entry = self.rng.gen_range(0, desc.entries);
+                let cycle = self.rng.gen_range(0, cycles.max(1));
+                let mut bits: Vec<u32> = Vec::new();
+                while (bits.len() as u32) < bits_per_fault.min(desc.bits as u32) {
+                    let b = self.rng.gen_range(0, desc.bits) as u32;
+                    if !bits.contains(&b) {
+                        bits.push(b);
+                    }
+                }
+                InjectionSpec {
+                    id: self.id(),
+                    faults: bits
+                        .into_iter()
+                        .map(|bit| FaultRecord {
+                            core: 0,
+                            structure: desc.id,
+                            entry,
+                            bit,
+                            kind: FaultKindSer::Flip,
+                            at: InjectTime::Cycle(cycle),
+                            duration: FaultDuration::Transient,
+                        })
+                        .collect(),
+                }
+            })
+            .collect()
+    }
+
+    /// Generates `n` transient masks with one flip in *each* of the given
+    /// structures simultaneously (§III.A multiplicity case iii).
+    pub fn multi_structure(
+        &mut self,
+        descs: &[StructureDesc],
+        cycles: u64,
+        n: u64,
+    ) -> Vec<InjectionSpec> {
+        (0..n)
+            .map(|_| {
+                let cycle = self.rng.gen_range(0, cycles.max(1));
+                InjectionSpec {
+                    id: self.id(),
+                    faults: descs
+                        .iter()
+                        .map(|d| {
+                            let entry = self.rng.gen_range(0, d.entries);
+                            let bit = self.rng.gen_range(0, d.bits) as u32;
+                            FaultRecord {
+                                core: 0,
+                                structure: d.id,
+                                entry,
+                                bit,
+                                kind: FaultKindSer::Flip,
+                                at: InjectTime::Cycle(cycle),
+                                duration: FaultDuration::Transient,
+                            }
+                        })
+                        .collect(),
+                }
+            })
+            .collect()
+    }
+
+    /// The statistically required number of transient masks for this
+    /// structure/benchmark pair (population = storage bits × cycles),
+    /// per Leveugle et al. — §IV.A of the paper.
+    pub fn required_samples(
+        desc: &StructureDesc,
+        cycles: u64,
+        confidence: f64,
+        error_margin: f64,
+    ) -> u64 {
+        let population = desc.total_bits().saturating_mul(cycles.max(1));
+        sample_size(population, confidence, error_margin)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use difi_uarch::fault::StructureId;
+
+    fn desc() -> StructureDesc {
+        StructureDesc {
+            id: StructureId::IntRegFile,
+            entries: 256,
+            bits: 64,
+        }
+    }
+
+    #[test]
+    fn transient_masks_in_bounds_and_deterministic() {
+        let mut g1 = MaskGenerator::new(42);
+        let mut g2 = MaskGenerator::new(42);
+        let a = g1.transient(&desc(), 10_000, 500);
+        let b = g2.transient(&desc(), 10_000, 500);
+        assert_eq!(a, b, "same seed → same masks repository");
+        for m in &a {
+            let f = &m.faults[0];
+            assert!(f.entry < 256);
+            assert!(f.bit < 64);
+            assert!(matches!(f.at, InjectTime::Cycle(c) if c < 10_000));
+            assert_eq!(f.duration, FaultDuration::Transient);
+        }
+        assert_eq!(a.len(), 500);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = MaskGenerator::new(1).transient(&desc(), 1000, 100);
+        let b = MaskGenerator::new(2).transient(&desc(), 1000, 100);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn masks_cover_the_site_space() {
+        let mut g = MaskGenerator::new(7);
+        let ms = g.transient(&desc(), 1_000_000, 2000);
+        let distinct_entries: std::collections::HashSet<u64> =
+            ms.iter().map(|m| m.faults[0].entry).collect();
+        assert!(distinct_entries.len() > 200, "entries well spread");
+        let high_bits = ms.iter().filter(|m| m.faults[0].bit >= 32).count();
+        assert!((600..1400).contains(&high_bits), "bits well spread");
+    }
+
+    #[test]
+    fn intermittent_and_permanent_shapes() {
+        let mut g = MaskGenerator::new(3);
+        let i = g.intermittent(&desc(), 1000, 50, 10);
+        for m in &i {
+            assert!(matches!(
+                m.faults[0].duration,
+                FaultDuration::Intermittent { cycles: 50 }
+            ));
+            assert!(matches!(
+                m.faults[0].kind,
+                FaultKindSer::Stuck0 | FaultKindSer::Stuck1
+            ));
+        }
+        let p = g.permanent(&desc(), 10);
+        for m in &p {
+            assert_eq!(m.faults[0].duration, FaultDuration::Permanent);
+            assert_eq!(m.faults[0].at, InjectTime::Cycle(0));
+        }
+    }
+
+    #[test]
+    fn multi_bit_faults_share_entry_and_cycle() {
+        let mut g = MaskGenerator::new(4);
+        let ms = g.multi_bit_same_entry(&desc(), 1000, 3, 20);
+        for m in &ms {
+            assert_eq!(m.faults.len(), 3);
+            let e = m.faults[0].entry;
+            let c = m.faults[0].at;
+            assert!(m.faults.iter().all(|f| f.entry == e && f.at == c));
+            let mut bits: Vec<u32> = m.faults.iter().map(|f| f.bit).collect();
+            bits.sort_unstable();
+            bits.dedup();
+            assert_eq!(bits.len(), 3, "bits are distinct");
+        }
+    }
+
+    #[test]
+    fn multi_structure_faults_hit_each_structure() {
+        let d2 = StructureDesc {
+            id: StructureId::L1dData,
+            entries: 512,
+            bits: 512,
+        };
+        let mut g = MaskGenerator::new(5);
+        let ms = g.multi_structure(&[desc(), d2], 1000, 5);
+        for m in &ms {
+            assert_eq!(m.faults.len(), 2);
+            assert_eq!(m.faults[0].structure, StructureId::IntRegFile);
+            assert_eq!(m.faults[1].structure, StructureId::L1dData);
+        }
+    }
+
+    #[test]
+    fn required_samples_matches_paper() {
+        // Any realistically large population → 1843 at 99%/3%.
+        let n = MaskGenerator::required_samples(&desc(), 10_000_000, 0.99, 0.03);
+        assert_eq!(n, 1843);
+    }
+
+    #[test]
+    fn mask_ids_are_unique_across_batches() {
+        let mut g = MaskGenerator::new(6);
+        let a = g.transient(&desc(), 100, 10);
+        let b = g.permanent(&desc(), 10);
+        let mut ids: Vec<u64> = a.iter().chain(b.iter()).map(|m| m.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 20);
+    }
+}

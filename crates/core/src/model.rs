@@ -1,0 +1,265 @@
+//! Fault models (Table III), injection specifications, and raw run results.
+//!
+//! A *fault mask* in the paper carries: the target core, the
+//! microarchitecture structure, the exact bit position, the injection time
+//! (cycle or instruction), the fault type, and the population (single or
+//! multiple). [`FaultRecord`] is one such fault; [`InjectionSpec`] is the
+//! mask — a set of faults injected in one run, supporting every multiplicity
+//! combination of §III.A (multiple bits of one entry, multiple entries,
+//! multiple structures, and mixtures).
+
+use difi_uarch::fault::{FaultKind, StructureId};
+use serde::{Deserialize, Serialize};
+
+/// When a fault is injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InjectTime {
+    /// At a simulated cycle (the usual sampling dimension).
+    Cycle(u64),
+    /// When the Nth architectural instruction commits (directed studies).
+    Instruction(u64),
+}
+
+/// How long a fault persists (Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultDuration {
+    /// Transient: a single bit flip at the injection time.
+    Transient,
+    /// Intermittent: stuck for `cycles` simulated cycles, then released.
+    Intermittent {
+        /// Length of the stuck window in cycles.
+        cycles: u64,
+    },
+    /// Permanent: stuck for the rest of the run.
+    Permanent,
+}
+
+/// One bit-level fault to inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultRecord {
+    /// Target core (always 0 in the single-core study; kept for the
+    /// multicore-capable mask format of the paper).
+    pub core: u32,
+    /// Target structure.
+    #[serde(with = "structure_id_serde")]
+    pub structure: StructureId,
+    /// Entry (row) within the structure.
+    pub entry: u64,
+    /// Bit within the entry.
+    pub bit: u32,
+    /// Flip or stuck polarity. `Flip` is only meaningful with
+    /// [`FaultDuration::Transient`]; stuck polarities pair with intermittent
+    /// or permanent durations.
+    pub kind: FaultKindSer,
+    /// Injection time.
+    pub at: InjectTime,
+    /// Persistence.
+    pub duration: FaultDuration,
+}
+
+/// Serializable mirror of [`FaultKind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKindSer {
+    /// Transient bit flip.
+    Flip,
+    /// Stuck at zero.
+    Stuck0,
+    /// Stuck at one.
+    Stuck1,
+}
+
+impl From<FaultKindSer> for FaultKind {
+    fn from(k: FaultKindSer) -> FaultKind {
+        match k {
+            FaultKindSer::Flip => FaultKind::Flip,
+            FaultKindSer::Stuck0 => FaultKind::Stuck0,
+            FaultKindSer::Stuck1 => FaultKind::Stuck1,
+        }
+    }
+}
+
+mod structure_id_serde {
+    use difi_uarch::fault::StructureId;
+    use serde::{de::Error, Deserialize, Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(id: &StructureId, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(id.name())
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<StructureId, D::Error> {
+        let s = String::deserialize(d)?;
+        StructureId::from_name(&s).ok_or_else(|| D::Error::custom(format!("unknown structure {s}")))
+    }
+}
+
+/// A complete fault mask for one injection run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InjectionSpec {
+    /// Identifier within the campaign (mask repository index).
+    pub id: u64,
+    /// The faults to inject (single- or multi-fault).
+    pub faults: Vec<FaultRecord>,
+}
+
+impl InjectionSpec {
+    /// A single-fault transient mask — the model used throughout the paper's
+    /// experimental section.
+    pub fn single_transient(
+        id: u64,
+        structure: StructureId,
+        entry: u64,
+        bit: u32,
+        cycle: u64,
+    ) -> InjectionSpec {
+        InjectionSpec {
+            id,
+            faults: vec![FaultRecord {
+                core: 0,
+                structure,
+                entry,
+                bit,
+                kind: FaultKindSer::Flip,
+                at: InjectTime::Cycle(cycle),
+                duration: FaultDuration::Transient,
+            }],
+        }
+    }
+}
+
+/// Execution limits for one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunLimits {
+    /// Hard cycle budget. The campaign sets this to 3× the fault-free cycle
+    /// count, the paper's timeout threshold.
+    pub max_cycles: u64,
+    /// Enable the §III.B.2 early-stop optimizations.
+    pub early_stop: bool,
+    /// Cycles without a commit before the run is declared deadlocked
+    /// (subsumed by the Timeout class).
+    pub deadlock_window: u64,
+}
+
+impl RunLimits {
+    /// Limits for a fault-free (golden) run: generous ceiling, no early
+    /// stop.
+    pub fn golden(max_cycles: u64) -> RunLimits {
+        RunLimits {
+            max_cycles,
+            early_stop: false,
+            deadlock_window: 200_000,
+        }
+    }
+
+    /// The paper's campaign limits for a benchmark whose golden run took
+    /// `golden_cycles`.
+    pub fn campaign(golden_cycles: u64) -> RunLimits {
+        RunLimits {
+            max_cycles: golden_cycles.saturating_mul(3),
+            early_stop: true,
+            deadlock_window: 200_000,
+        }
+    }
+}
+
+/// Why a run ended — the raw, unclassified record written to the logs
+/// repository.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunStatus {
+    /// The workload ran to completion (exit code attached). Whether it is
+    /// Masked / SDC / DUE is the parser's decision, not the simulator's.
+    Completed {
+        /// The workload's exit code.
+        exit_code: u64,
+    },
+    /// Cycle budget exhausted or commit stalled — deadlock or livelock.
+    Timeout,
+    /// The simulated process died (illegal instruction, wild access, …).
+    ProcessCrash(String),
+    /// The simulated system died (nano-kernel panic).
+    SystemCrash(String),
+    /// A simulator assertion fired (MARSS-style rich checking).
+    SimulatorAssert(String),
+    /// The simulator itself reached an unhandled internal state.
+    SimulatorCrash(String),
+    /// The run was stopped early because the fault was proven masked.
+    EarlyStopMasked(EarlyStop),
+}
+
+/// Which early-stop rule fired (§III.B.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EarlyStop {
+    /// Rule (i): the fault landed in an invalid/unused entry.
+    DeadEntry,
+    /// Rule (ii): the faulty entry was overwritten before ever being read.
+    OverwrittenBeforeRead,
+}
+
+/// Everything one injection run reports back to the campaign controller.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RawRunResult {
+    /// Terminal status.
+    pub status: RunStatus,
+    /// Bytes the workload wrote to the console.
+    pub output: Vec<u8>,
+    /// Handled (logged) ISA exceptions at end of run.
+    pub exceptions: u64,
+    /// Simulated cycles consumed.
+    pub cycles: u64,
+    /// Committed architectural instructions.
+    pub instructions: u64,
+    /// True if any injected fault was read after injection.
+    pub fault_consumed: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_transient_builder() {
+        let s = InjectionSpec::single_transient(7, StructureId::L1dData, 100, 5, 12345);
+        assert_eq!(s.faults.len(), 1);
+        let f = &s.faults[0];
+        assert_eq!(f.structure, StructureId::L1dData);
+        assert_eq!(f.at, InjectTime::Cycle(12345));
+        assert_eq!(f.duration, FaultDuration::Transient);
+    }
+
+    #[test]
+    fn spec_json_roundtrip() {
+        let s = InjectionSpec::single_transient(1, StructureId::IntRegFile, 3, 63, 9);
+        let j = serde_json::to_string(&s).unwrap();
+        assert!(j.contains("int_prf"));
+        let back: InjectionSpec = serde_json::from_str(&j).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn run_limits_campaign_is_three_times_golden() {
+        let l = RunLimits::campaign(1000);
+        assert_eq!(l.max_cycles, 3000);
+        assert!(l.early_stop);
+    }
+
+    #[test]
+    fn raw_result_json_roundtrip() {
+        let r = RawRunResult {
+            status: RunStatus::SimulatorAssert("rob head invalid".into()),
+            output: b"xyz".to_vec(),
+            exceptions: 2,
+            cycles: 500,
+            instructions: 120,
+            fault_consumed: true,
+        };
+        let j = serde_json::to_string(&r).unwrap();
+        let back: RawRunResult = serde_json::from_str(&j).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn fault_kind_conversion() {
+        assert_eq!(FaultKind::from(FaultKindSer::Flip), FaultKind::Flip);
+        assert_eq!(FaultKind::from(FaultKindSer::Stuck0), FaultKind::Stuck0);
+        assert_eq!(FaultKind::from(FaultKindSer::Stuck1), FaultKind::Stuck1);
+    }
+}

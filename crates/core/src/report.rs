@@ -1,0 +1,300 @@
+//! Report aggregation: from classified runs to the per-benchmark /
+//! per-structure breakdowns behind the paper's Figs. 2–6.
+
+use crate::classify::{Classifier, Outcome};
+use crate::logs::CampaignLog;
+use difi_util::stats::Proportion;
+use serde::{Deserialize, Serialize};
+
+/// Counts per fault-effect class for one campaign cell.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassCounts {
+    /// Masked runs.
+    pub masked: u64,
+    /// Silent data corruptions.
+    pub sdc: u64,
+    /// Detected unrecoverable errors.
+    pub due: u64,
+    /// Timeouts (deadlock/livelock).
+    pub timeout: u64,
+    /// Crashes (process/system/simulator).
+    pub crash: u64,
+    /// Simulator assertions.
+    pub assert_: u64,
+}
+
+impl ClassCounts {
+    /// Total runs.
+    pub fn total(&self) -> u64 {
+        self.masked + self.sdc + self.due + self.timeout + self.crash + self.assert_
+    }
+
+    /// Count for one class.
+    pub fn get(&self, o: Outcome) -> u64 {
+        match o {
+            Outcome::Masked => self.masked,
+            Outcome::Sdc => self.sdc,
+            Outcome::Due => self.due,
+            Outcome::Timeout => self.timeout,
+            Outcome::Crash => self.crash,
+            Outcome::Assert => self.assert_,
+        }
+    }
+
+    /// Adds one classified run.
+    pub fn add(&mut self, o: Outcome) {
+        match o {
+            Outcome::Masked => self.masked += 1,
+            Outcome::Sdc => self.sdc += 1,
+            Outcome::Due => self.due += 1,
+            Outcome::Timeout => self.timeout += 1,
+            Outcome::Crash => self.crash += 1,
+            Outcome::Assert => self.assert_ += 1,
+        }
+    }
+
+    /// Merges another cell into this one.
+    pub fn merge(&mut self, other: &ClassCounts) {
+        self.masked += other.masked;
+        self.sdc += other.sdc;
+        self.due += other.due;
+        self.timeout += other.timeout;
+        self.crash += other.crash;
+        self.assert_ += other.assert_;
+    }
+
+    /// The paper's *vulnerability*: "the sum of all non-masked behaviors",
+    /// as a fraction of total runs.
+    pub fn vulnerability(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            (t - self.masked) as f64 / t as f64
+        }
+    }
+
+    /// Fraction of runs in one class.
+    pub fn fraction(&self, o: Outcome) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.get(o) as f64 / t as f64
+        }
+    }
+
+    /// Wilson confidence interval for the vulnerability at `confidence`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cell is empty.
+    pub fn vulnerability_interval(&self, confidence: f64) -> Proportion {
+        Proportion::wilson(self.total() - self.masked, self.total(), confidence)
+    }
+}
+
+/// Classifies every run of a campaign log against its own golden run.
+pub fn classify_log(log: &CampaignLog) -> ClassCounts {
+    classify_log_with(log, &Classifier::from_golden(&log.golden))
+}
+
+/// Classifies a campaign log with an explicit (possibly reconfigured)
+/// classifier.
+pub fn classify_log_with(log: &CampaignLog, classifier: &Classifier) -> ClassCounts {
+    let mut counts = ClassCounts::default();
+    for run in &log.runs {
+        counts.add(classifier.classify(&run.result));
+    }
+    counts
+}
+
+/// One row of a figure: a benchmark with its three per-injector cells
+/// (MaFIN-x86, GeFIN-x86, GeFIN-ARM — the paper's three stacked bars).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FigureRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Per-injector class counts, in the paper's bar order.
+    pub cells: Vec<(String, ClassCounts)>,
+}
+
+/// A full figure: one hardware structure across benchmarks and injectors.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Figure {
+    /// Figure title (e.g. "Fig. 3 — L1D cache (data arrays)").
+    pub title: String,
+    /// Per-benchmark rows.
+    pub rows: Vec<FigureRow>,
+}
+
+impl Figure {
+    /// The average row (the paper's rightmost "average" bars): per injector,
+    /// the merge of all benchmark cells.
+    pub fn averages(&self) -> Vec<(String, ClassCounts)> {
+        let mut avg: Vec<(String, ClassCounts)> = Vec::new();
+        for row in &self.rows {
+            for (inj, counts) in &row.cells {
+                match avg.iter_mut().find(|(n, _)| n == inj) {
+                    Some((_, c)) => c.merge(counts),
+                    None => avg.push((inj.clone(), *counts)),
+                }
+            }
+        }
+        avg
+    }
+
+    /// Renders the figure as an aligned text table (percent per class),
+    /// ending with the average row — the textual equivalent of the paper's
+    /// stacked-bar charts.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!("{}\n", self.title));
+        s.push_str(&format!(
+            "{:<10} {:<11} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>7}\n",
+            "benchmark", "injector", "masked", "sdc", "due", "tmout", "crash", "assrt", "vuln%"
+        ));
+        let render_cells = |name: &str, cells: &[(String, ClassCounts)], s: &mut String| {
+            for (inj, c) in cells {
+                s.push_str(&format!(
+                    "{:<10} {:<11} {:>6.1} {:>6.1} {:>6.1} {:>6.1} {:>6.1} {:>6.1} {:>7.2}\n",
+                    name,
+                    inj,
+                    100.0 * c.fraction(Outcome::Masked),
+                    100.0 * c.fraction(Outcome::Sdc),
+                    100.0 * c.fraction(Outcome::Due),
+                    100.0 * c.fraction(Outcome::Timeout),
+                    100.0 * c.fraction(Outcome::Crash),
+                    100.0 * c.fraction(Outcome::Assert),
+                    100.0 * c.vulnerability(),
+                ));
+            }
+        };
+        for row in &self.rows {
+            render_cells(&row.benchmark, &row.cells, &mut s);
+        }
+        render_cells("AVERAGE", &self.averages(), &mut s);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logs::RunLog;
+    use crate::model::{InjectionSpec, RawRunResult, RunStatus};
+    use difi_uarch::fault::StructureId;
+
+    fn result(status: RunStatus, out: &[u8]) -> RawRunResult {
+        RawRunResult {
+            status,
+            output: out.to_vec(),
+            exceptions: 0,
+            cycles: 10,
+            instructions: 5,
+            fault_consumed: true,
+        }
+    }
+
+    fn log() -> CampaignLog {
+        let golden = RawRunResult {
+            status: RunStatus::Completed { exit_code: 0 },
+            output: b"g".to_vec(),
+            exceptions: 0,
+            cycles: 10,
+            instructions: 5,
+            fault_consumed: false,
+        };
+        let statuses = vec![
+            result(RunStatus::Completed { exit_code: 0 }, b"g"), // masked
+            result(RunStatus::Completed { exit_code: 0 }, b"x"), // sdc
+            result(RunStatus::Timeout, b""),
+            result(RunStatus::SimulatorAssert("a".into()), b""),
+            result(RunStatus::ProcessCrash("c".into()), b""),
+            result(RunStatus::Completed { exit_code: 0 }, b"g"), // masked
+        ];
+        CampaignLog {
+            injector: "MaFIN-x86".into(),
+            benchmark: "qsort".into(),
+            structure: "l1d_data".into(),
+            seed: 0,
+            golden,
+            runs: statuses
+                .into_iter()
+                .enumerate()
+                .map(|(i, result)| RunLog {
+                    spec: InjectionSpec::single_transient(
+                        i as u64,
+                        StructureId::L1dData,
+                        0,
+                        0,
+                        0,
+                    ),
+                    result,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn classify_log_counts_classes() {
+        let c = classify_log(&log());
+        assert_eq!(c.masked, 2);
+        assert_eq!(c.sdc, 1);
+        assert_eq!(c.timeout, 1);
+        assert_eq!(c.assert_, 1);
+        assert_eq!(c.crash, 1);
+        assert_eq!(c.total(), 6);
+        assert!((c.vulnerability() - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counts_merge_and_fraction() {
+        let mut a = ClassCounts {
+            masked: 8,
+            sdc: 2,
+            ..Default::default()
+        };
+        let b = ClassCounts {
+            masked: 2,
+            crash: 8,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.total(), 20);
+        assert!((a.fraction(Outcome::Masked) - 0.5).abs() < 1e-12);
+        assert!((a.vulnerability() - 0.5).abs() < 1e-12);
+        let ci = a.vulnerability_interval(0.99);
+        assert!(ci.lo < 0.5 && ci.hi > 0.5);
+    }
+
+    #[test]
+    fn figure_average_merges_all_rows() {
+        let cell = |m, s| ClassCounts {
+            masked: m,
+            sdc: s,
+            ..Default::default()
+        };
+        let fig = Figure {
+            title: "T".into(),
+            rows: vec![
+                FigureRow {
+                    benchmark: "a".into(),
+                    cells: vec![("M".into(), cell(9, 1)), ("G".into(), cell(8, 2))],
+                },
+                FigureRow {
+                    benchmark: "b".into(),
+                    cells: vec![("M".into(), cell(7, 3)), ("G".into(), cell(6, 4))],
+                },
+            ],
+        };
+        let avg = fig.averages();
+        assert_eq!(avg.len(), 2);
+        let m = &avg.iter().find(|(n, _)| n == "M").unwrap().1;
+        assert_eq!(m.masked, 16);
+        assert_eq!(m.sdc, 4);
+        let rendered = fig.render();
+        assert!(rendered.contains("AVERAGE"));
+        assert!(rendered.contains("benchmark"));
+    }
+}

@@ -1,0 +1,622 @@
+//! The **arme** instruction set: an ARM-flavoured fixed-width RISC encoding.
+//!
+//! Design points mirroring AArch64 (gem5's best-supported ISA alongside x86)
+//! that matter to the fault-injection study:
+//!
+//! * **Fixed 4-byte instructions**: a corrupted bit damages exactly one
+//!   instruction and can never de-synchronise the decode stream — the
+//!   opposite failure mode from x86e.
+//! * **Three-operand ALU** and a strict **load/store architecture**: more
+//!   (but denser-behaving) instructions for the same work, a larger L1I
+//!   footprint per kernel, different register lifetime patterns.
+//! * **Fused compare-and-branch** (no FLAGS register dependency chains).
+//! * **Link-register calls** (`bl` writes `r14`; no implicit stack traffic).
+//! * **Alignment-checked** memory accesses; misaligned accesses trap to the
+//!   nano-kernel which fixes them up and logs an exception (a DUE source).
+//!
+//! ## Encoding summary (op6 = bits \[31:26\], little-endian words)
+//!
+//! ```text
+//! op6 0x00  illegal (the all-zero word traps, as on real hardware)
+//! op6 0x01  nop
+//! op6 0x02  alu  rd,ra,rb      rd[25:21] ra[20:16] rb[15:11] func[10:7] w[6]
+//! op6 0x03  alui rd,ra,imm11   rd[25:21] ra[20:16] func[15:12] w[11] imm11[10:0]
+//! op6 0x04  movz rd,imm16,sh   rd[25:21] sh[17:16] imm16[15:0]
+//! op6 0x05  movk rd,imm16,sh   (keep other bits)
+//! op6 0x06  load rd,[ra+imm9]  rd ra w[11:10] sx[9] imm9[8:0]
+//! op6 0x07  store [ra+imm10],rd  rd ra w[11:10] imm10[9:0]
+//! op6 0x08  bcond ra,rb,off12  cond[25:22] ra[21:17] rb[16:12] off12[11:0]
+//! op6 0x09  b   off26
+//! op6 0x0A  bl  off26          (writes r14)
+//! op6 0x0B  br  ra             ra[20:16]
+//! op6 0x0C  syscall
+//! op6 0x0D  fpalu fd,fa,fb     fd[25:21] fa[20:16] fb[15:11] func[10:7]
+//! op6 0x0E  fload fd,[ra+imm11]
+//! op6 0x0F  fstore [ra+imm11],fd
+//! op6 0x10..0x3F  illegal
+//! ```
+//!
+//! Branch offsets are in *words*, relative to the instruction after the
+//! branch. Register fields are 5 bits wide but only values 0–15 name
+//! architectural registers (0–7 for FP); anything else is an illegal
+//! encoding — one more way a flipped bit surfaces as an ISA fault.
+
+use crate::uop::{BranchKind, Cond, Decoded, FpOp, IntOp, Reg, Uop, UopKind, Width};
+
+/// Sign-extends the low `bits` bits of `v`.
+#[inline]
+fn sext(v: u32, bits: u32) -> i64 {
+    let shift = 64 - bits;
+    ((v as u64) << shift) as i64 >> shift
+}
+
+#[inline]
+fn field(w: u32, hi: u32, lo: u32) -> u32 {
+    (w >> lo) & ((1 << (hi - lo + 1)) - 1)
+}
+
+fn gpr5(v: u32) -> Option<Reg> {
+    (v < 16).then(|| Reg(v as u8))
+}
+
+fn fpr5(v: u32) -> Option<Reg> {
+    (v < 8).then(|| Reg::fpr(v as u8))
+}
+
+// ---------------------------------------------------------------------------
+// Encoding helpers.
+// ---------------------------------------------------------------------------
+
+/// Encodes `nop`.
+pub fn encode_nop() -> u32 {
+    0x01 << 26
+}
+
+/// Encodes `syscall`.
+pub fn encode_syscall() -> u32 {
+    0x0C << 26
+}
+
+/// Encodes a three-operand ALU op `rd = ra op rb`.
+pub fn encode_alu_rrr(op: IntOp, w32: bool, rd: u8, ra: u8, rb: u8) -> u32 {
+    debug_assert!(op != IntOp::CmpFlags, "arme has no FLAGS");
+    (0x02 << 26)
+        | (rd as u32) << 21
+        | (ra as u32) << 16
+        | (rb as u32) << 11
+        | (op.index() as u32) << 7
+        | (w32 as u32) << 6
+}
+
+/// Encodes an immediate ALU op `rd = ra op imm11` (signed immediate).
+///
+/// # Panics
+///
+/// Panics if `imm` does not fit in 11 signed bits.
+pub fn encode_alu_rri(op: IntOp, w32: bool, rd: u8, ra: u8, imm: i32) -> u32 {
+    assert!((-1024..=1023).contains(&imm), "imm11 out of range: {imm}");
+    debug_assert!(op != IntOp::CmpFlags);
+    (0x03 << 26)
+        | (rd as u32) << 21
+        | (ra as u32) << 16
+        | (op.index() as u32) << 12
+        | (w32 as u32) << 11
+        | (imm as u32 & 0x7FF)
+}
+
+/// Encodes `movz rd, imm16 << (16*sh)`.
+pub fn encode_movz(rd: u8, imm16: u16, sh: u8) -> u32 {
+    debug_assert!(sh < 4);
+    (0x04 << 26) | (rd as u32) << 21 | (sh as u32) << 16 | imm16 as u32
+}
+
+/// Encodes `movk rd, imm16 << (16*sh)` (keeps other bits).
+pub fn encode_movk(rd: u8, imm16: u16, sh: u8) -> u32 {
+    debug_assert!(sh < 4);
+    (0x05 << 26) | (rd as u32) << 21 | (sh as u32) << 16 | imm16 as u32
+}
+
+/// Encodes a load `rd = [ra + imm9]`.
+///
+/// # Panics
+///
+/// Panics if `imm` does not fit in 9 signed bits.
+pub fn encode_load(w: Width, signed: bool, rd: u8, base: u8, imm: i32) -> u32 {
+    assert!((-256..=255).contains(&imm), "imm9 out of range: {imm}");
+    (0x06 << 26)
+        | (rd as u32) << 21
+        | (base as u32) << 16
+        | (w.code() as u32) << 10
+        | (signed as u32) << 9
+        | (imm as u32 & 0x1FF)
+}
+
+/// Encodes a store `[ra + imm10] = rs`.
+///
+/// # Panics
+///
+/// Panics if `imm` does not fit in 10 signed bits.
+pub fn encode_store(w: Width, rs: u8, base: u8, imm: i32) -> u32 {
+    assert!((-512..=511).contains(&imm), "imm10 out of range: {imm}");
+    (0x07 << 26)
+        | (rs as u32) << 21
+        | (base as u32) << 16
+        | (w.code() as u32) << 10
+        | (imm as u32 & 0x3FF)
+}
+
+/// Encodes a fused compare-and-branch `bcond ra, rb, off12` (offset in words
+/// from the next instruction).
+///
+/// # Panics
+///
+/// Panics if `off_words` does not fit in 12 signed bits.
+pub fn encode_bcond(c: Cond, ra: u8, rb: u8, off_words: i32) -> u32 {
+    assert!((-2048..=2047).contains(&off_words), "off12 out of range");
+    (0x08 << 26)
+        | (c.index() as u32) << 22
+        | (ra as u32) << 17
+        | (rb as u32) << 12
+        | (off_words as u32 & 0xFFF)
+}
+
+/// Encodes `b off26` (words).
+pub fn encode_b(off_words: i32) -> u32 {
+    assert!((-(1 << 25)..(1 << 25)).contains(&off_words));
+    (0x09 << 26) | (off_words as u32 & 0x3FF_FFFF)
+}
+
+/// Encodes `bl off26` (writes the link register `r14`).
+pub fn encode_bl(off_words: i32) -> u32 {
+    assert!((-(1 << 25)..(1 << 25)).contains(&off_words));
+    (0x0A << 26) | (off_words as u32 & 0x3FF_FFFF)
+}
+
+/// Encodes the indirect `br ra`.
+pub fn encode_br(ra: u8) -> u32 {
+    (0x0B << 26) | (ra as u32) << 16
+}
+
+/// Encodes a three-operand FP op `fd = fa op fb`.
+pub fn encode_fpalu(op: FpOp, fd: u8, fa: u8, fb: u8) -> u32 {
+    (0x0D << 26)
+        | (fd as u32) << 21
+        | (fa as u32) << 16
+        | (fb as u32) << 11
+        | (op.index() as u32) << 7
+}
+
+/// Encodes `fload fd, [ra + imm11]`.
+pub fn encode_fload(fd: u8, base: u8, imm: i32) -> u32 {
+    assert!((-1024..=1023).contains(&imm));
+    (0x0E << 26) | (fd as u32) << 21 | (base as u32) << 16 | (imm as u32 & 0x7FF)
+}
+
+/// Encodes `fstore [ra + imm11], fs`.
+pub fn encode_fstore(fs: u8, base: u8, imm: i32) -> u32 {
+    assert!((-1024..=1023).contains(&imm));
+    (0x0F << 26) | (fs as u32) << 21 | (base as u32) << 16 | (imm as u32 & 0x7FF)
+}
+
+// ---------------------------------------------------------------------------
+// Decoding.
+// ---------------------------------------------------------------------------
+
+/// Decodes one arme instruction at `pc` (bytes little-endian, `bytes[0]` is
+/// the byte at `pc`). Returns [`Decoded::illegal`] for reserved encodings,
+/// out-of-range register fields, or truncated input; the consumed length is
+/// always 4 so the fixed-width stream stays in sync.
+pub fn decode(bytes: &[u8], pc: u64) -> Decoded {
+    if bytes.len() < 4 {
+        return Decoded::illegal(4);
+    }
+    let w = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    let op6 = w >> 26;
+    let one = |u: Uop| Decoded {
+        len: 4,
+        uops: vec![u],
+        fault: None,
+    };
+    let illegal = || Decoded::illegal(4);
+    match op6 {
+        0x01 => one(Uop::nop()),
+        0x02 => {
+            let func = field(w, 10, 7) as u8;
+            let Some(op) = IntOp::from_index(func) else {
+                return illegal();
+            };
+            if op == IntOp::CmpFlags {
+                return illegal();
+            }
+            let (Some(rd), Some(ra), Some(rb)) = (
+                gpr5(field(w, 25, 21)),
+                gpr5(field(w, 20, 16)),
+                gpr5(field(w, 15, 11)),
+            ) else {
+                return illegal();
+            };
+            let width = if w >> 6 & 1 != 0 { Width::B4 } else { Width::B8 };
+            // Mov uses only ra.
+            let (ra, rb) = if op == IntOp::Mov {
+                (Some(ra), None)
+            } else {
+                (Some(ra), Some(rb))
+            };
+            one(Uop::alu(op, width, rd, ra, rb, 0))
+        }
+        0x03 => {
+            let func = field(w, 15, 12) as u8;
+            let Some(op) = IntOp::from_index(func) else {
+                return illegal();
+            };
+            if op == IntOp::CmpFlags {
+                return illegal();
+            }
+            let (Some(rd), Some(ra)) = (gpr5(field(w, 25, 21)), gpr5(field(w, 20, 16))) else {
+                return illegal();
+            };
+            let width = if w >> 11 & 1 != 0 { Width::B4 } else { Width::B8 };
+            let imm = sext(field(w, 10, 0), 11);
+            let ra = if op == IntOp::Mov { None } else { Some(ra) };
+            // Immediate-form Mov ignores ra and loads the immediate.
+            one(Uop::alu(op, width, rd, ra, None, imm))
+        }
+        0x04 | 0x05 => {
+            let Some(rd) = gpr5(field(w, 25, 21)) else {
+                return illegal();
+            };
+            let sh = field(w, 17, 16) * 16;
+            let imm = (field(w, 15, 0) as u64) << sh;
+            if op6 == 0x04 {
+                one(Uop::alu(IntOp::Mov, Width::B8, rd, None, None, imm as i64))
+            } else {
+                // movk: rd = (rd & !mask) | imm — expressed as and + or µops.
+                let mask = !((0xFFFFu64) << sh);
+                let and = Uop::alu(IntOp::And, Width::B8, rd, Some(rd), None, mask as i64);
+                let or = Uop::alu(IntOp::Or, Width::B8, rd, Some(rd), None, imm as i64);
+                Decoded {
+                    len: 4,
+                    uops: vec![and, or],
+                    fault: None,
+                }
+            }
+        }
+        0x06 => {
+            let (Some(rd), Some(ra)) = (gpr5(field(w, 25, 21)), gpr5(field(w, 20, 16))) else {
+                return illegal();
+            };
+            let width = Width::from_code(field(w, 11, 10) as u8);
+            let signed = w >> 9 & 1 != 0;
+            let imm = sext(field(w, 8, 0), 9);
+            one(Uop::load(width, signed, rd, ra, imm))
+        }
+        0x07 => {
+            let (Some(rs), Some(ra)) = (gpr5(field(w, 25, 21)), gpr5(field(w, 20, 16))) else {
+                return illegal();
+            };
+            let width = Width::from_code(field(w, 11, 10) as u8);
+            let imm = sext(field(w, 9, 0), 10);
+            one(Uop::store(width, rs, ra, imm))
+        }
+        0x08 => {
+            let Some(cond) = Cond::from_index(field(w, 25, 22) as u8) else {
+                return illegal();
+            };
+            let Some(ra) = gpr5(field(w, 21, 17)) else {
+                return illegal();
+            };
+            // rb field 31 names the zero register (AArch64 XZR style);
+            // it decodes to `None` and compares against the constant 0.
+            let rb_field = field(w, 16, 12);
+            let rb = if rb_field == 31 {
+                None
+            } else {
+                match gpr5(rb_field) {
+                    Some(r) => Some(r),
+                    None => return illegal(),
+                }
+            };
+            let off = sext(field(w, 11, 0), 12) * 4;
+            let mut u = Uop::nop();
+            u.kind = UopKind::Branch;
+            u.branch = BranchKind::CondDirect;
+            u.cond = cond;
+            u.cond_on_flags = false;
+            u.ra = Some(ra);
+            u.rb = rb;
+            u.target = pc.wrapping_add(4).wrapping_add(off as u64);
+            one(u)
+        }
+        0x09 | 0x0A => {
+            let off = sext(w & 0x3FF_FFFF, 26) * 4;
+            let target = pc.wrapping_add(4).wrapping_add(off as u64);
+            let mut u = Uop::nop();
+            u.kind = UopKind::Branch;
+            u.target = target;
+            if op6 == 0x09 {
+                u.branch = BranchKind::Jump;
+                one(u)
+            } else {
+                u.branch = BranchKind::Call;
+                u.rd = Some(Reg::LR);
+                u.imm = pc.wrapping_add(4) as i64; // link value
+                one(u)
+            }
+        }
+        0x0B => {
+            let Some(ra) = gpr5(field(w, 20, 16)) else {
+                return illegal();
+            };
+            let mut u = Uop::nop();
+            u.kind = UopKind::Branch;
+            // Returning through the link register is Ret-flavoured so the
+            // return-address stack predicts it; other registers are plain
+            // indirect jumps.
+            u.branch = if ra == Reg::LR {
+                BranchKind::Ret
+            } else {
+                BranchKind::JumpInd
+            };
+            u.ra = Some(ra);
+            one(u)
+        }
+        0x0C => {
+            let mut u = Uop::nop();
+            u.kind = UopKind::Syscall;
+            one(u)
+        }
+        0x0D => {
+            let func = field(w, 10, 7) as u8;
+            let Some(op) = FpOp::from_index(func) else {
+                return illegal();
+            };
+            let mut u = Uop::nop();
+            u.kind = UopKind::Fp;
+            u.fp = op;
+            match op {
+                FpOp::FromInt | FpOp::FromBits => {
+                    let (Some(fd), Some(ra)) = (fpr5(field(w, 25, 21)), gpr5(field(w, 20, 16)))
+                    else {
+                        return illegal();
+                    };
+                    u.rd = Some(fd);
+                    u.ra = Some(ra);
+                }
+                FpOp::ToInt | FpOp::ToBits => {
+                    let (Some(rd), Some(fa)) = (gpr5(field(w, 25, 21)), fpr5(field(w, 20, 16)))
+                    else {
+                        return illegal();
+                    };
+                    u.rd = Some(rd);
+                    u.ra = Some(fa);
+                }
+                FpOp::CmpFlags => {
+                    // arme has no FLAGS register; FP comparisons produce a
+                    // 0/1 integer result instead.
+                    let (Some(rd), Some(fa), Some(fb)) = (
+                        gpr5(field(w, 25, 21)),
+                        fpr5(field(w, 20, 16)),
+                        fpr5(field(w, 15, 11)),
+                    ) else {
+                        return illegal();
+                    };
+                    u.rd = Some(rd);
+                    u.ra = Some(fa);
+                    u.rb = Some(fb);
+                    // imm selects the predicate: 0 = lt, 1 = le, 2 = eq.
+                    u.imm = field(w, 6, 5) as i64;
+                }
+                FpOp::Neg | FpOp::Abs | FpOp::Sqrt | FpOp::Mov => {
+                    let (Some(fd), Some(fa)) = (fpr5(field(w, 25, 21)), fpr5(field(w, 20, 16)))
+                    else {
+                        return illegal();
+                    };
+                    u.rd = Some(fd);
+                    u.ra = Some(fa);
+                }
+                _ => {
+                    let (Some(fd), Some(fa), Some(fb)) = (
+                        fpr5(field(w, 25, 21)),
+                        fpr5(field(w, 20, 16)),
+                        fpr5(field(w, 15, 11)),
+                    ) else {
+                        return illegal();
+                    };
+                    u.rd = Some(fd);
+                    u.ra = Some(fa);
+                    u.rb = Some(fb);
+                }
+            }
+            one(u)
+        }
+        0x0E => {
+            let (Some(fd), Some(ra)) = (fpr5(field(w, 25, 21)), gpr5(field(w, 20, 16))) else {
+                return illegal();
+            };
+            let imm = sext(field(w, 10, 0), 11);
+            one(Uop::load(Width::B8, false, fd, ra, imm))
+        }
+        0x0F => {
+            let (Some(fs), Some(ra)) = (fpr5(field(w, 25, 21)), gpr5(field(w, 20, 16))) else {
+                return illegal();
+            };
+            let imm = sext(field(w, 10, 0), 11);
+            one(Uop::store(Width::B8, fs, ra, imm))
+        }
+        _ => illegal(),
+    }
+}
+
+/// Encodes an FP compare producing a 0/1 integer (`pred`: 0 = lt, 1 = le,
+/// 2 = eq).
+pub fn encode_fcmp_int(pred: u8, rd: u8, fa: u8, fb: u8) -> u32 {
+    debug_assert!(pred < 3);
+    (0x0D << 26)
+        | (rd as u32) << 21
+        | (fa as u32) << 16
+        | (fb as u32) << 11
+        | (FpOp::CmpFlags.index() as u32) << 7
+        | (pred as u32) << 5
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dec(w: u32) -> Decoded {
+        decode(&w.to_le_bytes(), 0x10_000)
+    }
+
+    #[test]
+    fn zero_word_is_illegal() {
+        let d = dec(0);
+        assert!(d.fault.is_some());
+        assert_eq!(d.len, 4);
+    }
+
+    #[test]
+    fn alu_rrr_three_operand() {
+        let d = dec(encode_alu_rrr(IntOp::Sub, false, 3, 7, 9));
+        let u = &d.uops[0];
+        assert_eq!(u.alu, IntOp::Sub);
+        assert_eq!(u.rd, Some(Reg::gpr(3)));
+        assert_eq!(u.ra, Some(Reg::gpr(7)));
+        assert_eq!(u.rb, Some(Reg::gpr(9)));
+        assert_eq!(u.width, Width::B8);
+    }
+
+    #[test]
+    fn alu_rrr_32bit_width() {
+        let d = dec(encode_alu_rrr(IntOp::Add, true, 1, 2, 3));
+        assert_eq!(d.uops[0].width, Width::B4);
+    }
+
+    #[test]
+    fn alu_imm_signed_range() {
+        let d = dec(encode_alu_rri(IntOp::Add, false, 2, 5, -1000));
+        assert_eq!(d.uops[0].imm, -1000);
+        assert_eq!(d.uops[0].ra, Some(Reg::gpr(5)));
+        let d = dec(encode_alu_rri(IntOp::Mov, false, 2, 0, 1023));
+        assert_eq!(d.uops[0].imm, 1023);
+        assert_eq!(d.uops[0].ra, None);
+    }
+
+    #[test]
+    fn movz_movk_build_constants() {
+        let d = dec(encode_movz(4, 0xBEEF, 1));
+        assert_eq!(d.uops[0].imm as u64, 0xBEEF_0000);
+        let d = dec(encode_movk(4, 0xF00D, 0));
+        assert_eq!(d.uops.len(), 2);
+        assert_eq!(d.uops[0].alu, IntOp::And);
+        assert_eq!(d.uops[0].imm as u64, !0xFFFFu64);
+        assert_eq!(d.uops[1].alu, IntOp::Or);
+        assert_eq!(d.uops[1].imm as u64, 0xF00D);
+    }
+
+    #[test]
+    fn load_store_roundtrip() {
+        let d = dec(encode_load(Width::B2, true, 5, 15, -200));
+        let u = &d.uops[0];
+        assert_eq!(u.kind, UopKind::Load);
+        assert!(u.signed);
+        assert_eq!(u.width, Width::B2);
+        assert_eq!(u.imm, -200);
+        let d = dec(encode_store(Width::B8, 2, 3, 500));
+        let u = &d.uops[0];
+        assert_eq!(u.kind, UopKind::Store);
+        assert_eq!(u.rb, Some(Reg::gpr(2)));
+        assert_eq!(u.imm, 500);
+    }
+
+    #[test]
+    fn bcond_compares_registers() {
+        let d = decode(&encode_bcond(Cond::LtS, 1, 2, -3).to_le_bytes(), 0x20_000);
+        let u = &d.uops[0];
+        assert_eq!(u.branch, BranchKind::CondDirect);
+        assert!(!u.cond_on_flags);
+        assert_eq!(u.ra, Some(Reg::gpr(1)));
+        assert_eq!(u.rb, Some(Reg::gpr(2)));
+        assert_eq!(u.target, 0x20_000 + 4 - 12);
+    }
+
+    #[test]
+    fn bl_writes_link_register() {
+        let d = decode(&encode_bl(16).to_le_bytes(), 0x10_000);
+        let u = &d.uops[0];
+        assert_eq!(u.branch, BranchKind::Call);
+        assert_eq!(u.rd, Some(Reg::LR));
+        assert_eq!(u.imm, 0x10_004);
+        assert_eq!(u.target, 0x10_000 + 4 + 64);
+    }
+
+    #[test]
+    fn br_through_lr_is_return() {
+        let d = dec(encode_br(14));
+        assert_eq!(d.uops[0].branch, BranchKind::Ret);
+        let d = dec(encode_br(5));
+        assert_eq!(d.uops[0].branch, BranchKind::JumpInd);
+    }
+
+    #[test]
+    fn fp_three_operand() {
+        let d = dec(encode_fpalu(FpOp::Mul, 3, 1, 2));
+        let u = &d.uops[0];
+        assert_eq!(u.fp, FpOp::Mul);
+        assert_eq!(u.rd, Some(Reg::fpr(3)));
+        assert_eq!(u.ra, Some(Reg::fpr(1)));
+        assert_eq!(u.rb, Some(Reg::fpr(2)));
+    }
+
+    #[test]
+    fn fp_compare_writes_int_register() {
+        let d = dec(encode_fcmp_int(0, 9, 1, 2));
+        let u = &d.uops[0];
+        assert_eq!(u.fp, FpOp::CmpFlags);
+        assert_eq!(u.rd, Some(Reg::gpr(9)));
+        assert_eq!(u.imm, 0);
+    }
+
+    #[test]
+    fn fp_load_store() {
+        let d = dec(encode_fload(4, 15, 80));
+        assert_eq!(d.uops[0].rd, Some(Reg::fpr(4)));
+        assert_eq!(d.uops[0].width, Width::B8);
+        let d = dec(encode_fstore(4, 15, -80));
+        assert_eq!(d.uops[0].rb, Some(Reg::fpr(4)));
+        assert_eq!(d.uops[0].imm, -80);
+    }
+
+    #[test]
+    fn out_of_range_register_fields_fault() {
+        // rb field = 20 (invalid GPR) in an ALU op.
+        let w = (0x02u32 << 26) | 3 << 21 | 7 << 16 | 20 << 11;
+        assert!(dec(w).fault.is_some());
+        // fd field = 9 (invalid FPR) in an FP op.
+        let w = (0x0Du32 << 26) | 9 << 21 | 1 << 16 | 2 << 11;
+        assert!(dec(w).fault.is_some());
+    }
+
+    #[test]
+    fn reserved_op6_values_fault() {
+        for op6 in [0x00u32, 0x10, 0x1F, 0x2A, 0x3F] {
+            let w = op6 << 26 | 0x1234;
+            assert!(dec(w).fault.is_some(), "op6 {op6:#x}");
+        }
+    }
+
+    #[test]
+    fn truncated_input_faults() {
+        let d = decode(&[0x12, 0x34], 0x10_000);
+        assert!(d.fault.is_some());
+    }
+
+    #[test]
+    fn every_word_decodes_without_panic() {
+        // Fuzz a deterministic sweep of words; decode must never panic.
+        let mut w: u32 = 0x9E3779B9;
+        for _ in 0..200_000 {
+            w = w.wrapping_mul(0x01000193).wrapping_add(0x9E3779B9);
+            let _ = dec(w);
+        }
+    }
+}

@@ -1,0 +1,1068 @@
+//! Three-address macro-assembler targeting both ISAs.
+//!
+//! The workloads of the study are written once against this builder and
+//! compiled to **x86e** and **arme**, the way the paper compiles MiBench for
+//! x86 and ARM. The backend lowers each three-address operation into the
+//! target's idiom:
+//!
+//! * x86e lowers `rd = ra op rb` into destructive two-operand sequences
+//!   (using `r13` as an assembler scratch when needed), immediate compares
+//!   into `cmp` + `jcc` FLAGS pairs, and large constants into `movabs`.
+//! * arme emits three-operand instructions directly, builds constants from
+//!   `movz`/`movk` pieces, and lowers out-of-range memory offsets through
+//!   the scratch register.
+//!
+//! ## Register convention
+//!
+//! * `r0..=r3` — arguments / return value (`r0`).
+//! * `r4..=r12` — general scratch for the workload.
+//! * `r13` — **reserved** assembler scratch (both ISAs).
+//! * `r14` — link register (arme `call`); reserved.
+//! * `r15` — stack pointer.
+//! * `f0..=f6` — floating-point scratch; `f7` is the x86e assembler scratch.
+//!
+//! The entry point is the first emitted instruction; programs terminate via
+//! [`Asm::exit`].
+
+use crate::arme;
+use crate::program::{Isa, MemoryMap, Program};
+use crate::uop::{Cond, IntOp, Width};
+use crate::x86e;
+use difi_util::{Error, Result};
+
+/// A forward-referenceable code label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Label(usize);
+
+/// Floating-point branch predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FCond {
+    /// branch if `fa < fb`
+    Lt,
+    /// branch if `fa <= fb`
+    Le,
+    /// branch if `fa == fb`
+    Eq,
+    /// branch if `fa != fb`
+    Ne,
+    /// branch if `fa >= fb`
+    Ge,
+    /// branch if `fa > fb`
+    Gt,
+}
+
+/// The assembler scratch register (reserved; see module docs).
+pub const SCRATCH: u8 = 13;
+/// The x86e floating-point assembler scratch.
+pub const FSCRATCH: u8 = 7;
+/// The stack pointer register number.
+pub const SP: u8 = 15;
+
+#[derive(Debug, Clone, Copy)]
+enum FixupKind {
+    /// x86e `jcc rel16` — displacement at `at + 1`.
+    X86Jcc,
+    /// x86e `jmp`/`call rel32` — displacement at `at + 1`.
+    X86Rel32,
+    /// arme `bcond` — 12-bit word offset in the instruction at `at`.
+    ArmBcond,
+    /// arme `b`/`bl` — 26-bit word offset.
+    ArmB26,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Fixup {
+    at: usize,
+    len: usize,
+    kind: FixupKind,
+    label: Label,
+}
+
+/// The two-ISA macro-assembler. See the [module docs](self) for the
+/// programming model.
+///
+/// # Example
+///
+/// ```
+/// use difi_isa::asm::Asm;
+/// use difi_isa::program::Isa;
+/// use difi_isa::uop::IntOp;
+///
+/// # fn main() -> Result<(), difi_util::Error> {
+/// let mut a = Asm::new(Isa::Arme);
+/// a.li(0, 2); // r0 = syscall WRITE_INT
+/// a.li(1, 7);
+/// a.op(IntOp::Add, 1, 1, 1); // r1 = 14
+/// a.exit(0);
+/// let prog = a.finish("doubler")?;
+/// assert_eq!(prog.isa, Isa::Arme);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Asm {
+    isa: Isa,
+    map: MemoryMap,
+    code: Vec<u8>,
+    data: Vec<u8>,
+    labels: Vec<Option<u64>>,
+    fixups: Vec<Fixup>,
+}
+
+impl Asm {
+    /// Creates an assembler for `isa` using the default memory map.
+    pub fn new(isa: Isa) -> Asm {
+        Asm {
+            isa,
+            map: MemoryMap::DEFAULT,
+            code: Vec::new(),
+            data: Vec::new(),
+            labels: Vec::new(),
+            fixups: Vec::new(),
+        }
+    }
+
+    /// The target ISA.
+    pub fn isa(&self) -> Isa {
+        self.isa
+    }
+
+    /// Current code offset (bytes from the code base).
+    pub fn here(&self) -> u64 {
+        self.code.len() as u64
+    }
+
+    fn emit(&mut self, bytes: &[u8]) {
+        self.code.extend_from_slice(bytes);
+    }
+
+    fn emit_w(&mut self, w: u32) {
+        self.code.extend_from_slice(&w.to_le_bytes());
+    }
+
+    fn check_gpr(r: u8) {
+        assert!(
+            r <= 12 || r == SP,
+            "register r{r} is reserved (workloads may use r0..r12 and sp)"
+        );
+    }
+
+    fn check_fpr(f: u8) {
+        assert!(f <= 6, "f{f} is reserved (workloads may use f0..f6)");
+    }
+
+    // -- labels ------------------------------------------------------------
+
+    /// Creates a fresh, unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `l` to the current code position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already bound.
+    pub fn bind(&mut self, l: Label) {
+        assert!(self.labels[l.0].is_none(), "label bound twice");
+        self.labels[l.0] = Some(self.here());
+    }
+
+    /// Creates a label bound to the current position.
+    pub fn here_label(&mut self) -> Label {
+        let l = self.label();
+        self.bind(l);
+        l
+    }
+
+    // -- data section ------------------------------------------------------
+
+    fn data_align(&mut self, align: usize) {
+        while self.data.len() % align != 0 {
+            self.data.push(0);
+        }
+    }
+
+    /// Appends raw bytes to the data section; returns their absolute address.
+    pub fn data_bytes(&mut self, bytes: &[u8]) -> u64 {
+        let addr = self.map.data_base + self.data.len() as u64;
+        self.data.extend_from_slice(bytes);
+        addr
+    }
+
+    /// Appends 8-aligned `u64` words; returns their absolute address.
+    pub fn data_u64s(&mut self, words: &[u64]) -> u64 {
+        self.data_align(8);
+        let addr = self.map.data_base + self.data.len() as u64;
+        for w in words {
+            self.data.extend_from_slice(&w.to_le_bytes());
+        }
+        addr
+    }
+
+    /// Appends 4-aligned `u32` words; returns their absolute address.
+    pub fn data_u32s(&mut self, words: &[u32]) -> u64 {
+        self.data_align(4);
+        let addr = self.map.data_base + self.data.len() as u64;
+        for w in words {
+            self.data.extend_from_slice(&w.to_le_bytes());
+        }
+        addr
+    }
+
+    /// Appends 8-aligned `f64` constants; returns their absolute address.
+    pub fn data_f64s(&mut self, vals: &[f64]) -> u64 {
+        self.data_align(8);
+        let addr = self.map.data_base + self.data.len() as u64;
+        for v in vals {
+            self.data.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        addr
+    }
+
+    /// Reserves `size` zeroed bytes with the given alignment; returns their
+    /// absolute address.
+    pub fn bss(&mut self, size: u64, align: usize) -> u64 {
+        self.data_align(align);
+        let addr = self.map.data_base + self.data.len() as u64;
+        self.data.resize(self.data.len() + size as usize, 0);
+        addr
+    }
+
+    // -- moves and constants ------------------------------------------------
+
+    /// `rd = imm` (any 64-bit constant).
+    pub fn li(&mut self, rd: u8, imm: i64) {
+        Self::check_gpr(rd);
+        self.li_any(rd, imm);
+    }
+
+    fn li_any(&mut self, rd: u8, imm: i64) {
+        match self.isa {
+            Isa::X86e => {
+                if i32::try_from(imm).is_ok() {
+                    let b = x86e::encode_alu_ri(IntOp::Mov, false, rd, imm as i32);
+                    self.emit(&b);
+                } else {
+                    let b = x86e::encode_movabs(rd, imm as u64);
+                    self.emit(&b);
+                }
+            }
+            Isa::Arme => {
+                if (-1024..=1023).contains(&imm) {
+                    self.emit_w(arme::encode_alu_rri(IntOp::Mov, false, rd, 0, imm as i32));
+                } else {
+                    let v = imm as u64;
+                    self.emit_w(arme::encode_movz(rd, v as u16, 0));
+                    for sh in 1..4u8 {
+                        let piece = (v >> (16 * sh)) as u16;
+                        if piece != 0 {
+                            self.emit_w(arme::encode_movk(rd, piece, sh));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// `rd = ra`.
+    pub fn mov(&mut self, rd: u8, ra: u8) {
+        Self::check_gpr(rd);
+        Self::check_gpr(ra);
+        if rd == ra {
+            return;
+        }
+        self.mov_any(rd, ra);
+    }
+
+    fn mov_any(&mut self, rd: u8, ra: u8) {
+        match self.isa {
+            Isa::X86e => {
+                let b = x86e::encode_alu_rr(IntOp::Mov, false, rd, ra);
+                self.emit(&b);
+            }
+            Isa::Arme => self.emit_w(arme::encode_alu_rrr(IntOp::Mov, false, rd, ra, 0)),
+        }
+    }
+
+    // -- integer ALU ---------------------------------------------------------
+
+    /// `rd = ra op rb` (64-bit).
+    pub fn op(&mut self, op: IntOp, rd: u8, ra: u8, rb: u8) {
+        self.op_w(op, false, rd, ra, rb);
+    }
+
+    /// `rd = ra op rb` (32-bit, result zero-extended).
+    pub fn op32(&mut self, op: IntOp, rd: u8, ra: u8, rb: u8) {
+        self.op_w(op, true, rd, ra, rb);
+    }
+
+    fn op_w(&mut self, op: IntOp, w32: bool, rd: u8, ra: u8, rb: u8) {
+        assert!(op != IntOp::Mov && op != IntOp::CmpFlags, "use mov/br");
+        Self::check_gpr(rd);
+        Self::check_gpr(ra);
+        Self::check_gpr(rb);
+        match self.isa {
+            Isa::Arme => self.emit_w(arme::encode_alu_rrr(op, w32, rd, ra, rb)),
+            Isa::X86e => {
+                if rd == ra {
+                    let b = x86e::encode_alu_rr(op, w32, rd, rb);
+                    self.emit(&b);
+                } else if rd == rb {
+                    if op.commutative() {
+                        let b = x86e::encode_alu_rr(op, w32, rd, ra);
+                        self.emit(&b);
+                    } else {
+                        // rd aliases the second operand of a non-commutative
+                        // op: go through the scratch register.
+                        self.mov_any(SCRATCH, ra);
+                        let b = x86e::encode_alu_rr(op, w32, SCRATCH, rb);
+                        self.emit(&b);
+                        self.mov_any(rd, SCRATCH);
+                    }
+                } else {
+                    self.mov_any(rd, ra);
+                    let b = x86e::encode_alu_rr(op, w32, rd, rb);
+                    self.emit(&b);
+                }
+            }
+        }
+    }
+
+    /// `rd = ra op imm` (64-bit).
+    pub fn opi(&mut self, op: IntOp, rd: u8, ra: u8, imm: i32) {
+        self.opi_w(op, false, rd, ra, imm);
+    }
+
+    /// `rd = ra op imm` (32-bit).
+    pub fn opi32(&mut self, op: IntOp, rd: u8, ra: u8, imm: i32) {
+        self.opi_w(op, true, rd, ra, imm);
+    }
+
+    fn opi_w(&mut self, op: IntOp, w32: bool, rd: u8, ra: u8, imm: i32) {
+        assert!(op != IntOp::Mov && op != IntOp::CmpFlags, "use li/br");
+        Self::check_gpr(rd);
+        Self::check_gpr(ra);
+        match self.isa {
+            Isa::Arme => {
+                if (-1024..=1023).contains(&imm) {
+                    self.emit_w(arme::encode_alu_rri(op, w32, rd, ra, imm));
+                } else {
+                    self.li_any(SCRATCH, imm as i64);
+                    self.emit_w(arme::encode_alu_rrr(op, w32, rd, ra, SCRATCH));
+                }
+            }
+            Isa::X86e => {
+                if rd != ra {
+                    self.mov_any(rd, ra);
+                }
+                let b = x86e::encode_alu_ri(op, w32, rd, imm);
+                self.emit(&b);
+            }
+        }
+    }
+
+    /// Folds a 64-bit memory operand: `rd = rd op [base + off]`
+    /// (`Add`/`Sub`/`And`/`Or`/`Xor`). On x86e this emits the CISC
+    /// memory-operand instruction that the decoder cracks into µops; on arme
+    /// it is a load + op pair through the scratch register.
+    pub fn op_mem(&mut self, op: IntOp, rd: u8, base: u8, off: i32) {
+        assert!(op.index() <= 4, "op_mem supports add/sub/and/or/xor");
+        Self::check_gpr(rd);
+        Self::check_gpr(base);
+        match self.isa {
+            Isa::X86e => {
+                let b = x86e::encode_alu_mem(op, rd, base, off);
+                self.emit(&b);
+            }
+            Isa::Arme => {
+                self.load_any(Width::B8, false, SCRATCH, base, off);
+                self.emit_w(arme::encode_alu_rrr(op, false, rd, rd, SCRATCH));
+            }
+        }
+    }
+
+    // -- memory ---------------------------------------------------------------
+
+    /// `rd = [base + off]`, zero- or sign-extended.
+    pub fn load(&mut self, w: Width, signed: bool, rd: u8, base: u8, off: i32) {
+        Self::check_gpr(rd);
+        Self::check_gpr(base);
+        self.load_any(w, signed, rd, base, off);
+    }
+
+    fn load_any(&mut self, w: Width, signed: bool, rd: u8, base: u8, off: i32) {
+        match self.isa {
+            Isa::X86e => {
+                let b = x86e::encode_load(w, signed, rd, base, off);
+                self.emit(&b);
+            }
+            Isa::Arme => {
+                if (-256..=255).contains(&off) {
+                    self.emit_w(arme::encode_load(w, signed, rd, base, off));
+                } else {
+                    self.li_any(SCRATCH, off as i64);
+                    self.emit_w(arme::encode_alu_rrr(IntOp::Add, false, SCRATCH, base, SCRATCH));
+                    self.emit_w(arme::encode_load(w, signed, rd, SCRATCH, 0));
+                }
+            }
+        }
+    }
+
+    /// `[base + off] = rs`.
+    pub fn store(&mut self, w: Width, rs: u8, base: u8, off: i32) {
+        Self::check_gpr(rs);
+        Self::check_gpr(base);
+        match self.isa {
+            Isa::X86e => {
+                let b = x86e::encode_store(w, rs, base, off);
+                self.emit(&b);
+            }
+            Isa::Arme => {
+                if (-512..=511).contains(&off) {
+                    self.emit_w(arme::encode_store(w, rs, base, off));
+                } else {
+                    self.li_any(SCRATCH, off as i64);
+                    self.emit_w(arme::encode_alu_rrr(IntOp::Add, false, SCRATCH, base, SCRATCH));
+                    self.emit_w(arme::encode_store(w, rs, SCRATCH, 0));
+                }
+            }
+        }
+    }
+
+    /// Pushes `r` onto the stack.
+    pub fn push(&mut self, r: u8) {
+        Self::check_gpr(r);
+        match self.isa {
+            Isa::X86e => {
+                let b = x86e::encode_store(Width::B8, r, SP, -8);
+                self.emit(&b);
+                let b = x86e::encode_alu_ri(IntOp::Sub, false, SP, 8);
+                self.emit(&b);
+            }
+            Isa::Arme => {
+                self.emit_w(arme::encode_store(Width::B8, r, SP, -8));
+                self.emit_w(arme::encode_alu_rri(IntOp::Sub, false, SP, SP, 8));
+            }
+        }
+    }
+
+    /// Pops the top of stack into `r`.
+    pub fn pop(&mut self, r: u8) {
+        Self::check_gpr(r);
+        match self.isa {
+            Isa::X86e => {
+                let b = x86e::encode_alu_ri(IntOp::Add, false, SP, 8);
+                self.emit(&b);
+                let b = x86e::encode_load(Width::B8, false, r, SP, -8);
+                self.emit(&b);
+            }
+            Isa::Arme => {
+                self.emit_w(arme::encode_alu_rri(IntOp::Add, false, SP, SP, 8));
+                self.emit_w(arme::encode_load(Width::B8, false, r, SP, -8));
+            }
+        }
+    }
+
+    /// Adjusts the stack pointer by `delta` bytes (negative allocates).
+    pub fn add_sp(&mut self, delta: i32) {
+        match self.isa {
+            Isa::X86e => {
+                let b = x86e::encode_alu_ri(IntOp::Add, false, SP, delta);
+                self.emit(&b);
+            }
+            Isa::Arme => {
+                if (-1024..=1023).contains(&delta) {
+                    self.emit_w(arme::encode_alu_rri(IntOp::Add, false, SP, SP, delta));
+                } else {
+                    self.li_any(SCRATCH, delta as i64);
+                    self.emit_w(arme::encode_alu_rrr(IntOp::Add, false, SP, SP, SCRATCH));
+                }
+            }
+        }
+    }
+
+    // -- control flow ----------------------------------------------------------
+
+    /// Conditional branch: `if ra cond rb goto target`.
+    pub fn br(&mut self, c: Cond, ra: u8, rb: u8, target: Label) {
+        Self::check_gpr(ra);
+        Self::check_gpr(rb);
+        match self.isa {
+            Isa::X86e => {
+                let b = x86e::encode_alu_rr(IntOp::CmpFlags, false, ra, rb);
+                self.emit(&b);
+                self.emit_jcc(c, target);
+            }
+            Isa::Arme => self.emit_bcond(c, ra, rb, target),
+        }
+    }
+
+    /// Conditional branch against an immediate: `if ra cond imm goto target`.
+    pub fn bri(&mut self, c: Cond, ra: u8, imm: i32, target: Label) {
+        Self::check_gpr(ra);
+        match self.isa {
+            Isa::X86e => {
+                let b = x86e::encode_alu_ri(IntOp::CmpFlags, false, ra, imm);
+                self.emit(&b);
+                self.emit_jcc(c, target);
+            }
+            Isa::Arme => {
+                if imm == 0 {
+                    // rb field 31 is the zero register in bcond position.
+                    self.emit_bcond_raw(c, ra, 31, target);
+                } else {
+                    self.li_any(SCRATCH, imm as i64);
+                    self.emit_bcond(c, ra, SCRATCH, target);
+                }
+            }
+        }
+    }
+
+    fn emit_jcc(&mut self, c: Cond, target: Label) {
+        let at = self.code.len();
+        let b = x86e::encode_jcc(c, 0);
+        self.emit(&b);
+        self.fixups.push(Fixup {
+            at,
+            len: 3,
+            kind: FixupKind::X86Jcc,
+            label: target,
+        });
+    }
+
+    fn emit_bcond(&mut self, c: Cond, ra: u8, rb: u8, target: Label) {
+        self.emit_bcond_raw(c, ra, rb, target);
+    }
+
+    fn emit_bcond_raw(&mut self, c: Cond, ra: u8, rb: u8, target: Label) {
+        let at = self.code.len();
+        // Encode with a placeholder offset; register fields are final.
+        let w = (0x08u32 << 26)
+            | (c.index() as u32) << 22
+            | (ra as u32) << 17
+            | (rb as u32) << 12;
+        self.emit_w(w);
+        self.fixups.push(Fixup {
+            at,
+            len: 4,
+            kind: FixupKind::ArmBcond,
+            label: target,
+        });
+    }
+
+    /// Unconditional jump.
+    pub fn jmp(&mut self, target: Label) {
+        let at = self.code.len();
+        match self.isa {
+            Isa::X86e => {
+                let b = x86e::encode_jmp(0);
+                self.emit(&b);
+                self.fixups.push(Fixup {
+                    at,
+                    len: 5,
+                    kind: FixupKind::X86Rel32,
+                    label: target,
+                });
+            }
+            Isa::Arme => {
+                self.emit_w(arme::encode_b(0));
+                self.fixups.push(Fixup {
+                    at,
+                    len: 4,
+                    kind: FixupKind::ArmB26,
+                    label: target,
+                });
+            }
+        }
+    }
+
+    /// Calls the subroutine at `target` (stack push on x86e, link register on
+    /// arme).
+    pub fn call(&mut self, target: Label) {
+        let at = self.code.len();
+        match self.isa {
+            Isa::X86e => {
+                let b = x86e::encode_call(0);
+                self.emit(&b);
+                self.fixups.push(Fixup {
+                    at,
+                    len: 5,
+                    kind: FixupKind::X86Rel32,
+                    label: target,
+                });
+            }
+            Isa::Arme => {
+                self.emit_w(arme::encode_bl(0));
+                self.fixups.push(Fixup {
+                    at,
+                    len: 4,
+                    kind: FixupKind::ArmB26,
+                    label: target,
+                });
+            }
+        }
+    }
+
+    /// Returns from a subroutine.
+    ///
+    /// arme leaf functions return through `r14`; non-leaf functions must save
+    /// and restore it themselves ([`Asm::save_lr`] / [`Asm::restore_lr`]).
+    pub fn ret(&mut self) {
+        match self.isa {
+            Isa::X86e => {
+                let b = x86e::encode_ret();
+                self.emit(&b);
+            }
+            Isa::Arme => self.emit_w(arme::encode_br(14)),
+        }
+    }
+
+    /// Saves the return address at function entry (arme pushes `r14`; x86e's
+    /// `call` already pushed it, so this is a no-op).
+    pub fn save_lr(&mut self) {
+        if self.isa == Isa::Arme {
+            self.emit_w(arme::encode_store(Width::B8, 14, SP, -8));
+            self.emit_w(arme::encode_alu_rri(IntOp::Sub, false, SP, SP, 8));
+        }
+    }
+
+    /// Restores the return address before [`Asm::ret`] (arme pops `r14`).
+    pub fn restore_lr(&mut self) {
+        if self.isa == Isa::Arme {
+            self.emit_w(arme::encode_alu_rri(IntOp::Add, false, SP, SP, 8));
+            self.emit_w(arme::encode_load(Width::B8, false, 14, SP, -8));
+        }
+    }
+
+    /// Emits a `nop`.
+    pub fn nop(&mut self) {
+        match self.isa {
+            Isa::X86e => {
+                let b = x86e::encode_nop();
+                self.emit(&b);
+            }
+            Isa::Arme => self.emit_w(arme::encode_nop()),
+        }
+    }
+
+    /// Emits the tolerated hint opcode (x86e) or a `nop` (arme) — the
+    /// deliberate DUE-producing instruction.
+    pub fn hint(&mut self, code: u8) {
+        match self.isa {
+            Isa::X86e => {
+                let b = x86e::encode_hint(code);
+                self.emit(&b);
+            }
+            Isa::Arme => self.emit_w(arme::encode_nop()),
+        }
+    }
+
+    /// Emits a raw `syscall` (arguments already in `r0..r2`).
+    pub fn syscall(&mut self) {
+        match self.isa {
+            Isa::X86e => {
+                let b = x86e::encode_syscall();
+                self.emit(&b);
+            }
+            Isa::Arme => self.emit_w(arme::encode_syscall()),
+        }
+    }
+
+    /// Terminates the program with `code`.
+    pub fn exit(&mut self, code: i64) {
+        self.li(1, code);
+        self.li(0, crate::kernel::sys::EXIT as i64);
+        self.syscall();
+    }
+
+    /// Writes `len` bytes at the address in `ptr_reg` to the console.
+    pub fn write_buf(&mut self, ptr_reg: u8, len_reg: u8) {
+        self.mov(1, ptr_reg);
+        self.mov(2, len_reg);
+        self.li(0, crate::kernel::sys::WRITE as i64);
+        self.syscall();
+    }
+
+    /// Writes the integer in `val_reg` as a decimal line to the console.
+    pub fn write_int(&mut self, val_reg: u8) {
+        self.mov(1, val_reg);
+        self.li(0, crate::kernel::sys::WRITE_INT as i64);
+        self.syscall();
+    }
+
+    // -- floating point ---------------------------------------------------------
+
+    /// `fd = fa op fb` for binary FP operations.
+    pub fn falu(&mut self, op: crate::uop::FpOp, fd: u8, fa: u8, fb: u8) {
+        use crate::uop::FpOp;
+        assert!(
+            matches!(op, FpOp::Add | FpOp::Sub | FpOp::Mul | FpOp::Div),
+            "falu takes binary fp ops"
+        );
+        Self::check_fpr(fd);
+        Self::check_fpr(fa);
+        Self::check_fpr(fb);
+        match self.isa {
+            Isa::Arme => self.emit_w(arme::encode_fpalu(op, fd, fa, fb)),
+            Isa::X86e => {
+                if fd == fa {
+                    let b = x86e::encode_fp_rr(op, fd, fb);
+                    self.emit(&b);
+                } else if fd == fb {
+                    if matches!(op, FpOp::Add | FpOp::Mul) {
+                        let b = x86e::encode_fp_rr(op, fd, fa);
+                        self.emit(&b);
+                    } else {
+                        let b = x86e::encode_fp_unary(FpOp::Mov, FSCRATCH, fa);
+                        self.emit(&b);
+                        let b = x86e::encode_fp_rr(op, FSCRATCH, fb);
+                        self.emit(&b);
+                        let b = x86e::encode_fp_unary(FpOp::Mov, fd, FSCRATCH);
+                        self.emit(&b);
+                    }
+                } else {
+                    let b = x86e::encode_fp_unary(FpOp::Mov, fd, fa);
+                    self.emit(&b);
+                    let b = x86e::encode_fp_rr(op, fd, fb);
+                    self.emit(&b);
+                }
+            }
+        }
+    }
+
+    /// `fd = op fa` for unary FP operations (`Neg`, `Abs`, `Sqrt`, `Mov`).
+    pub fn funary(&mut self, op: crate::uop::FpOp, fd: u8, fa: u8) {
+        use crate::uop::FpOp;
+        assert!(matches!(op, FpOp::Neg | FpOp::Abs | FpOp::Sqrt | FpOp::Mov));
+        Self::check_fpr(fd);
+        Self::check_fpr(fa);
+        match self.isa {
+            Isa::Arme => self.emit_w(arme::encode_fpalu(op, fd, fa, 0)),
+            Isa::X86e => {
+                let b = x86e::encode_fp_unary(op, fd, fa);
+                self.emit(&b);
+            }
+        }
+    }
+
+    /// `fd = [base + off]` (f64).
+    pub fn fload(&mut self, fd: u8, base: u8, off: i32) {
+        Self::check_fpr(fd);
+        Self::check_gpr(base);
+        match self.isa {
+            Isa::X86e => {
+                let b = x86e::encode_fload(fd, base, off);
+                self.emit(&b);
+            }
+            Isa::Arme => {
+                if (-1024..=1023).contains(&off) {
+                    self.emit_w(arme::encode_fload(fd, base, off));
+                } else {
+                    self.li_any(SCRATCH, off as i64);
+                    self.emit_w(arme::encode_alu_rrr(IntOp::Add, false, SCRATCH, base, SCRATCH));
+                    self.emit_w(arme::encode_fload(fd, SCRATCH, 0));
+                }
+            }
+        }
+    }
+
+    /// `[base + off] = fs` (f64).
+    pub fn fstore(&mut self, fs: u8, base: u8, off: i32) {
+        Self::check_fpr(fs);
+        Self::check_gpr(base);
+        match self.isa {
+            Isa::X86e => {
+                let b = x86e::encode_fstore(fs, base, off);
+                self.emit(&b);
+            }
+            Isa::Arme => {
+                if (-1024..=1023).contains(&off) {
+                    self.emit_w(arme::encode_fstore(fs, base, off));
+                } else {
+                    self.li_any(SCRATCH, off as i64);
+                    self.emit_w(arme::encode_alu_rrr(IntOp::Add, false, SCRATCH, base, SCRATCH));
+                    self.emit_w(arme::encode_fstore(fs, SCRATCH, 0));
+                }
+            }
+        }
+    }
+
+    /// `fd = (f64) ra` (signed integer to double).
+    pub fn cvt_if(&mut self, fd: u8, ra: u8) {
+        Self::check_fpr(fd);
+        Self::check_gpr(ra);
+        match self.isa {
+            Isa::X86e => {
+                let b = x86e::encode_cvtif(fd, ra);
+                self.emit(&b);
+            }
+            Isa::Arme => self.emit_w(arme::encode_fpalu(crate::uop::FpOp::FromInt, fd, ra, 0)),
+        }
+    }
+
+    /// `rd = (i64) fa` (truncating double to integer).
+    pub fn cvt_fi(&mut self, rd: u8, fa: u8) {
+        Self::check_gpr(rd);
+        Self::check_fpr(fa);
+        match self.isa {
+            Isa::X86e => {
+                let b = x86e::encode_cvtfi(rd, fa);
+                self.emit(&b);
+            }
+            Isa::Arme => self.emit_w(arme::encode_fpalu(crate::uop::FpOp::ToInt, rd, fa, 0)),
+        }
+    }
+
+    /// `rd = bits(fa)` (bitcast f64 → u64), used to hash FP results into
+    /// integer output.
+    pub fn fbits(&mut self, rd: u8, fa: u8) {
+        Self::check_gpr(rd);
+        Self::check_fpr(fa);
+        match self.isa {
+            Isa::X86e => {
+                let b = x86e::encode_movfi(rd, fa);
+                self.emit(&b);
+            }
+            Isa::Arme => self.emit_w(arme::encode_fpalu(crate::uop::FpOp::ToBits, rd, fa, 0)),
+        }
+    }
+
+    /// Loads an immediate f64 constant into `fd` (via the integer path).
+    pub fn fli(&mut self, fd: u8, v: f64) {
+        Self::check_fpr(fd);
+        self.li_any(SCRATCH, v.to_bits() as i64);
+        match self.isa {
+            Isa::X86e => {
+                let b = x86e::encode_movif(fd, SCRATCH);
+                self.emit(&b);
+            }
+            Isa::Arme => {
+                self.emit_w(arme::encode_fpalu(crate::uop::FpOp::FromBits, fd, SCRATCH, 0))
+            }
+        }
+    }
+
+    /// FP conditional branch: `if fa cond fb goto target`.
+    pub fn fbr(&mut self, c: FCond, fa: u8, fb: u8, target: Label) {
+        Self::check_fpr(fa);
+        Self::check_fpr(fb);
+        match self.isa {
+            Isa::X86e => {
+                let b = x86e::encode_fcmp(fa, fb);
+                self.emit(&b);
+                let cc = match c {
+                    FCond::Lt => Cond::LtU,
+                    FCond::Le => Cond::LeU,
+                    FCond::Eq => Cond::Eq,
+                    FCond::Ne => Cond::Ne,
+                    FCond::Ge => Cond::GeU,
+                    FCond::Gt => Cond::GtU,
+                };
+                self.emit_jcc(cc, target);
+            }
+            Isa::Arme => {
+                // Produce 0/1 in the scratch, branch on it. Negated
+                // predicates invert the branch sense.
+                let (pred, branch_if_one) = match c {
+                    FCond::Lt => (0u8, true),
+                    FCond::Ge => (0, false),
+                    FCond::Le => (1, true),
+                    FCond::Gt => (1, false),
+                    FCond::Eq => (2, true),
+                    FCond::Ne => (2, false),
+                };
+                self.emit_w(arme::encode_fcmp_int(pred, SCRATCH, fa, fb));
+                let cc = if branch_if_one { Cond::Ne } else { Cond::Eq };
+                self.emit_bcond_raw(cc, SCRATCH, 31, target);
+            }
+        }
+    }
+
+    // -- finalization -------------------------------------------------------------
+
+    /// Resolves all fixups and produces the program image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Program`] for unbound labels, out-of-range branch
+    /// displacements, or oversized sections.
+    pub fn finish(self, name: &str) -> Result<Program> {
+        let Asm {
+            isa,
+            map,
+            mut code,
+            data,
+            labels,
+            fixups,
+        } = self;
+        for f in &fixups {
+            let Some(target) = labels[f.label.0] else {
+                return Err(Error::Program(format!("unbound label in {name}")));
+            };
+            let end = (f.at + f.len) as i64;
+            let disp = target as i64 - end;
+            match f.kind {
+                FixupKind::X86Jcc => {
+                    let d = i16::try_from(disp).map_err(|_| {
+                        Error::Program(format!("jcc displacement {disp} out of range in {name}"))
+                    })?;
+                    code[f.at + 1..f.at + 3].copy_from_slice(&d.to_le_bytes());
+                }
+                FixupKind::X86Rel32 => {
+                    let d = i32::try_from(disp).map_err(|_| {
+                        Error::Program(format!("rel32 displacement out of range in {name}"))
+                    })?;
+                    code[f.at + 1..f.at + 5].copy_from_slice(&d.to_le_bytes());
+                }
+                FixupKind::ArmBcond => {
+                    let words = disp / 4;
+                    if !(-2048..=2047).contains(&words) || disp % 4 != 0 {
+                        return Err(Error::Program(format!(
+                            "bcond displacement {disp} out of range in {name}"
+                        )));
+                    }
+                    let mut w = u32::from_le_bytes(code[f.at..f.at + 4].try_into().unwrap());
+                    w |= (words as u32) & 0xFFF;
+                    code[f.at..f.at + 4].copy_from_slice(&w.to_le_bytes());
+                }
+                FixupKind::ArmB26 => {
+                    let words = disp / 4;
+                    if !(-(1i64 << 25)..(1i64 << 25)).contains(&words) || disp % 4 != 0 {
+                        return Err(Error::Program(format!(
+                            "b/bl displacement out of range in {name}"
+                        )));
+                    }
+                    let mut w = u32::from_le_bytes(code[f.at..f.at + 4].try_into().unwrap());
+                    w |= (words as u32) & 0x3FF_FFFF;
+                    code[f.at..f.at + 4].copy_from_slice(&w.to_le_bytes());
+                }
+            }
+        }
+        let prog = Program {
+            isa,
+            entry: map.code_base,
+            code,
+            data,
+            map,
+            name: name.to_string(),
+        };
+        prog.validate()?;
+        Ok(prog)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode;
+
+    #[test]
+    fn finish_rejects_unbound_label() {
+        let mut a = Asm::new(Isa::X86e);
+        let l = a.label();
+        a.jmp(l);
+        assert!(a.finish("t").is_err());
+    }
+
+    #[test]
+    fn forward_and_backward_labels_resolve_x86() {
+        let mut a = Asm::new(Isa::X86e);
+        let fwd = a.label();
+        let back = a.here_label();
+        a.nop();
+        a.jmp(fwd);
+        a.jmp(back);
+        a.bind(fwd);
+        a.exit(0);
+        let p = a.finish("t").unwrap();
+        // Decode the two jumps and verify their absolute targets.
+        let base = p.map.code_base;
+        // nop at +0 (1B); jmp fwd at +1 (5B); jmp back at +6 (5B); fwd at +11.
+        let d = decode(Isa::X86e, &p.code[1..], base + 1);
+        assert_eq!(d.uops[0].target, base + 11);
+        let d = decode(Isa::X86e, &p.code[6..], base + 6);
+        assert_eq!(d.uops[0].target, base);
+    }
+
+    #[test]
+    fn forward_and_backward_labels_resolve_arm() {
+        let mut a = Asm::new(Isa::Arme);
+        let fwd = a.label();
+        let back = a.here_label();
+        a.nop();
+        a.jmp(fwd);
+        a.jmp(back);
+        a.bind(fwd);
+        a.exit(0);
+        let p = a.finish("t").unwrap();
+        let base = p.map.code_base;
+        let d = decode(Isa::Arme, &p.code[4..], base + 4);
+        assert_eq!(d.uops[0].target, base + 12);
+        let d = decode(Isa::Arme, &p.code[8..], base + 8);
+        assert_eq!(d.uops[0].target, base);
+    }
+
+    #[test]
+    fn x86_three_address_lowering_uses_scratch_when_needed() {
+        // rd == rb on a non-commutative op requires the scratch path.
+        let mut a = Asm::new(Isa::X86e);
+        a.op(IntOp::Sub, 2, 1, 2); // r2 = r1 - r2
+        let p = a.finish("t").unwrap();
+        // mov r13,r1 (2B); sub r13,r2 (2B); mov r2,r13 (2B).
+        assert_eq!(p.code.len(), 6);
+    }
+
+    #[test]
+    fn arm_three_address_is_single_instruction() {
+        let mut a = Asm::new(Isa::Arme);
+        a.op(IntOp::Sub, 2, 1, 2);
+        let p = a.finish("t").unwrap();
+        assert_eq!(p.code.len(), 4);
+    }
+
+    #[test]
+    fn data_section_addresses_are_stable_and_aligned() {
+        let mut a = Asm::new(Isa::Arme);
+        let s = a.data_bytes(b"abc");
+        let w = a.data_u64s(&[1, 2, 3]);
+        assert_eq!(s, MemoryMap::DEFAULT.data_base);
+        assert_eq!(w % 8, 0);
+        assert!(w >= s + 3);
+        let b = a.bss(100, 16);
+        assert_eq!(b % 16, 0);
+        a.exit(0);
+        let p = a.finish("t").unwrap();
+        assert_eq!(&p.data[0..3], b"abc");
+        let off = (w - MemoryMap::DEFAULT.data_base) as usize;
+        assert_eq!(p.data[off], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn scratch_register_is_rejected() {
+        let mut a = Asm::new(Isa::X86e);
+        a.li(SCRATCH, 1);
+    }
+
+    #[test]
+    fn li_big_constant_both_isas() {
+        for isa in [Isa::X86e, Isa::Arme] {
+            let mut a = Asm::new(isa);
+            a.li(4, 0x1234_5678_9ABC_DEF0u64 as i64);
+            a.exit(0);
+            let p = a.finish("t").unwrap();
+            assert!(p.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn large_offsets_lower_on_arme() {
+        let mut a = Asm::new(Isa::Arme);
+        a.load(Width::B8, false, 2, 3, 100_000);
+        a.store(Width::B4, 2, 3, -100_000);
+        a.exit(0);
+        assert!(a.finish("t").is_ok());
+    }
+}

@@ -1,0 +1,797 @@
+//! Functional (architectural) emulator.
+//!
+//! Executes a [`Program`] at architecture level — no pipeline, no caches —
+//! and produces the *golden* output, instruction counts, and exception
+//! counts that fault-injection runs are classified against. It shares the
+//! decoders and the nano-kernel with the detailed simulators, so any
+//! divergence between a fault-free pipeline run and the emulator is a
+//! simulator bug, which the integration tests exploit.
+
+use crate::kernel::{self, FlatMem, KernelOutcome};
+use crate::program::{Isa, MemoryMap, Program};
+use crate::uop::{
+    compare_flags, fp_compare_flags, BranchKind, Fault, FpOp, IntOp, Reg, Uop, UopKind,
+    Width,
+};
+
+/// Why an emulation ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmuExit {
+    /// Program called `exit` with this code.
+    Exited(u64),
+    /// An unrecoverable ISA fault terminated the process.
+    Fault(Fault),
+    /// The nano-kernel panicked (corrupted kernel state).
+    KernelPanic(&'static str),
+    /// The instruction budget was exhausted.
+    InstrLimit,
+}
+
+/// The result of a completed emulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EmuResult {
+    /// How the run ended.
+    pub exit: EmuExit,
+    /// Console output.
+    pub output: Vec<u8>,
+    /// Architectural instructions executed.
+    pub instructions: u64,
+    /// µops executed.
+    pub uops: u64,
+    /// Handled (logged) ISA exceptions — the golden DUE baseline.
+    pub exceptions: u64,
+    /// Dynamic counts per µop kind, for workload characterization.
+    pub mix: InstructionMix,
+}
+
+/// Dynamic instruction-mix counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InstructionMix {
+    /// Integer ALU µops.
+    pub alu: u64,
+    /// Load µops.
+    pub loads: u64,
+    /// Store µops.
+    pub stores: u64,
+    /// Branch µops.
+    pub branches: u64,
+    /// Taken branches.
+    pub taken: u64,
+    /// FP µops.
+    pub fp: u64,
+    /// Syscalls.
+    pub syscalls: u64,
+}
+
+/// The architectural emulator.
+#[derive(Debug)]
+pub struct Emulator {
+    mem: Vec<u8>,
+    map: MemoryMap,
+    isa: Isa,
+    pc: u64,
+    iregs: [u64; Reg::NUM_INT],
+    fregs: [u64; Reg::NUM_FP],
+    output: Vec<u8>,
+    instructions: u64,
+    uops: u64,
+    mix: InstructionMix,
+}
+
+impl Emulator {
+    /// Boots the program: memory image loaded, kernel installed, registers
+    /// cleared, SP at the stack top.
+    pub fn new(program: &Program) -> Emulator {
+        let mut mem = program.initial_memory();
+        kernel::install(&mut mem, &program.map);
+        let mut iregs = [0u64; Reg::NUM_INT];
+        iregs[Reg::SP.class_index()] = program.map.stack_top;
+        Emulator {
+            mem,
+            map: program.map,
+            isa: program.isa,
+            pc: program.entry,
+            iregs,
+            fregs: [0; Reg::NUM_FP],
+            output: Vec::new(),
+            instructions: 0,
+            uops: 0,
+            mix: InstructionMix::default(),
+        }
+    }
+
+    /// Runs to completion or until `max_instructions`.
+    pub fn run(mut self, max_instructions: u64) -> EmuResult {
+        let exit = loop {
+            if self.instructions >= max_instructions {
+                break EmuExit::InstrLimit;
+            }
+            match self.step() {
+                Ok(None) => {}
+                Ok(Some(exit)) => break exit,
+                Err(fault) => break EmuExit::Fault(fault),
+            }
+        };
+        let exceptions = {
+            let mut fm = FlatMem { mem: &mut self.mem };
+            kernel::exception_count(&mut fm, &self.map)
+        };
+        EmuResult {
+            exit,
+            output: self.output,
+            instructions: self.instructions,
+            uops: self.uops,
+            exceptions,
+            mix: self.mix,
+        }
+    }
+
+    #[inline]
+    fn reg(&self, r: Reg) -> u64 {
+        if r.is_fp() {
+            self.fregs[r.class_index()]
+        } else {
+            self.iregs[r.class_index()]
+        }
+    }
+
+    #[inline]
+    fn set_reg(&mut self, r: Reg, v: u64) {
+        if r.is_fp() {
+            self.fregs[r.class_index()] = v;
+        } else {
+            self.iregs[r.class_index()] = v;
+        }
+    }
+
+    fn fetch_window(&self) -> Result<&[u8], Fault> {
+        let code_end = self.map.code_base + self.map.code_size;
+        if self.pc < self.map.code_base || self.pc >= code_end {
+            return Err(Fault::OutOfBounds(self.pc));
+        }
+        let start = self.pc as usize;
+        let end = (self.pc + crate::MAX_INST_LEN as u64).min(code_end) as usize;
+        Ok(&self.mem[start..end])
+    }
+
+    /// Executes one architectural instruction. Returns `Ok(Some(exit))` on
+    /// termination, `Ok(None)` to continue.
+    pub fn step(&mut self) -> Result<Option<EmuExit>, Fault> {
+        let window = self.fetch_window()?;
+        let d = crate::decode(self.isa, window, self.pc);
+        if let Some(f) = d.fault {
+            return Err(f);
+        }
+        self.instructions += 1;
+        let next_pc = self.pc + d.len as u64;
+        let mut new_pc = next_pc;
+        for u in &d.uops {
+            self.uops += 1;
+            match self.exec_uop(u)? {
+                UopEffect::None => {}
+                UopEffect::Branch(t) => {
+                    new_pc = t;
+                    break;
+                }
+                UopEffect::Exit(e) => return Ok(Some(e)),
+            }
+        }
+        self.pc = new_pc;
+        Ok(None)
+    }
+
+    fn exec_uop(&mut self, u: &Uop) -> Result<UopEffect, Fault> {
+        match u.kind {
+            UopKind::Nop => Ok(UopEffect::None),
+            UopKind::Alu => {
+                self.mix.alu += 1;
+                let a = u.ra.map(|r| self.reg(r)).unwrap_or(u.imm as u64);
+                let b = u.rb.map(|r| self.reg(r)).unwrap_or(u.imm as u64);
+                let v = eval_int_op(u.alu, u.width, a, b)?;
+                self.set_reg(u.rd.expect("alu writes a register"), v);
+                Ok(UopEffect::None)
+            }
+            UopKind::Load => {
+                self.mix.loads += 1;
+                let addr = self
+                    .reg(u.ra.expect("load has base"))
+                    .wrapping_add(u.imm as u64);
+                let v = self.mem_read(addr, u.width, u.signed)?;
+                self.set_reg(u.rd.expect("load writes a register"), v);
+                Ok(UopEffect::None)
+            }
+            UopKind::Store => {
+                self.mix.stores += 1;
+                let addr = self
+                    .reg(u.ra.expect("store has base"))
+                    .wrapping_add(u.imm as u64);
+                let v = self.reg(u.rb.expect("store has data"));
+                self.mem_write(addr, u.width, v)?;
+                Ok(UopEffect::None)
+            }
+            UopKind::Branch => {
+                self.mix.branches += 1;
+                let taken_target = match u.branch {
+                    BranchKind::CondDirect => {
+                        let taken = if u.cond_on_flags {
+                            u.cond.eval_flags(self.reg(Reg::FLAGS))
+                        } else {
+                            let a = self.reg(u.ra.expect("cond branch has ra"));
+                            let b = u.rb.map(|r| self.reg(r)).unwrap_or(0);
+                            u.cond.eval_regs(a, b)
+                        };
+                        if taken {
+                            Some(u.target)
+                        } else {
+                            None
+                        }
+                    }
+                    BranchKind::Jump => Some(u.target),
+                    BranchKind::Call => {
+                        if let Some(rd) = u.rd {
+                            // arme: write the link register.
+                            self.set_reg(rd, u.imm as u64);
+                        }
+                        Some(u.target)
+                    }
+                    BranchKind::Ret | BranchKind::JumpInd => {
+                        Some(self.reg(u.ra.expect("indirect branch has ra")))
+                    }
+                };
+                match taken_target {
+                    Some(t) => {
+                        self.mix.taken += 1;
+                        Ok(UopEffect::Branch(t))
+                    }
+                    None => Ok(UopEffect::None),
+                }
+            }
+            UopKind::Fp => {
+                self.mix.fp += 1;
+                let a = u.ra.map(|r| self.reg(r)).unwrap_or(0);
+                let b = u.rb.map(|r| self.reg(r)).unwrap_or(0);
+                // The arme FP compare writes a 0/1 predicate to an integer
+                // register; the x86e form writes FLAGS bits.
+                let v = if u.fp == FpOp::CmpFlags && u.rd != Some(Reg::FLAGS) {
+                    eval_fp_predicate(u.imm, a, b)
+                } else {
+                    eval_fp_op(u.fp, a, b, u.imm)
+                };
+                self.set_reg(u.rd.expect("fp op writes a register"), v);
+                Ok(UopEffect::None)
+            }
+            UopKind::Syscall => {
+                self.mix.syscalls += 1;
+                let (r0, r1, r2) = (self.iregs[0], self.iregs[1], self.iregs[2]);
+                let map = self.map;
+                let mut fm = FlatMem { mem: &mut self.mem };
+                match kernel::handle_syscall(&mut fm, &map, r0, r1, r2) {
+                    KernelOutcome::Continue(out) => {
+                        self.output.extend_from_slice(&out);
+                        Ok(UopEffect::None)
+                    }
+                    KernelOutcome::Exit(code) => Ok(UopEffect::Exit(EmuExit::Exited(code))),
+                    KernelOutcome::Panic(msg) => Ok(UopEffect::Exit(EmuExit::KernelPanic(msg))),
+                    KernelOutcome::Kill(f) => Err(f),
+                }
+            }
+            UopKind::Hint => {
+                let map = self.map;
+                let mut fm = FlatMem { mem: &mut self.mem };
+                match kernel::log_exception(&mut fm, &map) {
+                    Ok(()) => Ok(UopEffect::None),
+                    Err(KernelOutcome::Panic(m)) => Ok(UopEffect::Exit(EmuExit::KernelPanic(m))),
+                    Err(_) => Ok(UopEffect::None),
+                }
+            }
+        }
+    }
+
+    fn mem_read(&mut self, addr: u64, w: Width, signed: bool) -> Result<u64, Fault> {
+        let len = w.bytes();
+        if !self.map.contains(addr, len) {
+            return Err(Fault::OutOfBounds(addr));
+        }
+        if self.isa == Isa::Arme && addr % len != 0 {
+            // Alignment trap: the nano-kernel fixes it up and logs it.
+            self.note_alignment()?;
+        }
+        let a = addr as usize;
+        let raw = match w {
+            Width::B1 => self.mem[a] as u64,
+            Width::B2 => u16::from_le_bytes(self.mem[a..a + 2].try_into().unwrap()) as u64,
+            Width::B4 => u32::from_le_bytes(self.mem[a..a + 4].try_into().unwrap()) as u64,
+            Width::B8 => u64::from_le_bytes(self.mem[a..a + 8].try_into().unwrap()),
+        };
+        Ok(extend(raw, w, signed))
+    }
+
+    fn mem_write(&mut self, addr: u64, w: Width, v: u64) -> Result<(), Fault> {
+        let len = w.bytes();
+        if !self.map.contains(addr, len) {
+            return Err(Fault::OutOfBounds(addr));
+        }
+        if self.map.in_code(addr, len) {
+            return Err(Fault::CodeWrite(addr));
+        }
+        if self.isa == Isa::Arme && addr % len != 0 {
+            self.note_alignment()?;
+        }
+        let a = addr as usize;
+        match w {
+            Width::B1 => self.mem[a] = v as u8,
+            Width::B2 => self.mem[a..a + 2].copy_from_slice(&(v as u16).to_le_bytes()),
+            Width::B4 => self.mem[a..a + 4].copy_from_slice(&(v as u32).to_le_bytes()),
+            Width::B8 => self.mem[a..a + 8].copy_from_slice(&v.to_le_bytes()),
+        }
+        Ok(())
+    }
+
+    fn note_alignment(&mut self) -> Result<(), Fault> {
+        let map = self.map;
+        let mut fm = FlatMem { mem: &mut self.mem };
+        // A kernel panic during the fixup surfaces as an unrecoverable
+        // fault; the detailed simulators report it as a system crash.
+        kernel::log_exception(&mut fm, &map).map_err(|_| Fault::OutOfBounds(map.kernel_base))
+    }
+}
+
+enum UopEffect {
+    None,
+    Branch(u64),
+    Exit(EmuExit),
+}
+
+/// Zero- or sign-extends a raw loaded value of width `w`.
+#[inline]
+pub fn extend(raw: u64, w: Width, signed: bool) -> u64 {
+    if !signed {
+        return raw;
+    }
+    match w {
+        Width::B1 => raw as u8 as i8 as i64 as u64,
+        Width::B2 => raw as u16 as i16 as i64 as u64,
+        Width::B4 => raw as u32 as i32 as i64 as u64,
+        Width::B8 => raw,
+    }
+}
+
+/// Evaluates an integer ALU operation at the given width.
+///
+/// # Errors
+///
+/// Returns [`Fault::DivideByZero`] for division/remainder by zero.
+pub fn eval_int_op(op: IntOp, w: Width, a: u64, b: u64) -> Result<u64, Fault> {
+    let wide = w != Width::B4;
+    let (a32, b32) = (a as u32, b as u32);
+    let v = match op {
+        IntOp::Add => {
+            if wide {
+                a.wrapping_add(b)
+            } else {
+                a32.wrapping_add(b32) as u64
+            }
+        }
+        IntOp::Sub => {
+            if wide {
+                a.wrapping_sub(b)
+            } else {
+                a32.wrapping_sub(b32) as u64
+            }
+        }
+        IntOp::And => {
+            if wide {
+                a & b
+            } else {
+                (a32 & b32) as u64
+            }
+        }
+        IntOp::Or => {
+            if wide {
+                a | b
+            } else {
+                (a32 | b32) as u64
+            }
+        }
+        IntOp::Xor => {
+            if wide {
+                a ^ b
+            } else {
+                (a32 ^ b32) as u64
+            }
+        }
+        IntOp::Shl => {
+            if wide {
+                a << (b & 63)
+            } else {
+                (a32 << (b32 & 31)) as u64
+            }
+        }
+        IntOp::Shr => {
+            if wide {
+                a >> (b & 63)
+            } else {
+                (a32 >> (b32 & 31)) as u64
+            }
+        }
+        IntOp::Sar => {
+            if wide {
+                ((a as i64) >> (b & 63)) as u64
+            } else {
+                ((a32 as i32) >> (b32 & 31)) as u32 as u64
+            }
+        }
+        IntOp::Mul => {
+            if wide {
+                a.wrapping_mul(b)
+            } else {
+                a32.wrapping_mul(b32) as u64
+            }
+        }
+        IntOp::DivS => {
+            if (wide && b == 0) || (!wide && b32 == 0) {
+                return Err(Fault::DivideByZero);
+            }
+            if wide {
+                (a as i64).wrapping_div(b as i64) as u64
+            } else {
+                (a32 as i32).wrapping_div(b32 as i32) as u32 as u64
+            }
+        }
+        IntOp::DivU => {
+            if (wide && b == 0) || (!wide && b32 == 0) {
+                return Err(Fault::DivideByZero);
+            }
+            if wide {
+                a / b
+            } else {
+                (a32 / b32) as u64
+            }
+        }
+        IntOp::RemS => {
+            if (wide && b == 0) || (!wide && b32 == 0) {
+                return Err(Fault::DivideByZero);
+            }
+            if wide {
+                (a as i64).wrapping_rem(b as i64) as u64
+            } else {
+                (a32 as i32).wrapping_rem(b32 as i32) as u32 as u64
+            }
+        }
+        IntOp::RemU => {
+            if (wide && b == 0) || (!wide && b32 == 0) {
+                return Err(Fault::DivideByZero);
+            }
+            if wide {
+                a % b
+            } else {
+                (a32 % b32) as u64
+            }
+        }
+        IntOp::Mov => {
+            if wide {
+                a
+            } else {
+                a32 as u64
+            }
+        }
+        IntOp::CmpFlags => compare_flags(a, b, w),
+    };
+    Ok(v)
+}
+
+/// Evaluates an FP operation on raw register bits, returning raw result bits.
+pub fn eval_fp_op(op: FpOp, a_bits: u64, b_bits: u64, imm: i64) -> u64 {
+    let a = f64::from_bits(a_bits);
+    let b = f64::from_bits(b_bits);
+    match op {
+        FpOp::Add => (a + b).to_bits(),
+        FpOp::Sub => (a - b).to_bits(),
+        FpOp::Mul => (a * b).to_bits(),
+        FpOp::Div => (a / b).to_bits(),
+        FpOp::Neg => (-a).to_bits(),
+        FpOp::Abs => a.abs().to_bits(),
+        FpOp::Sqrt => a.sqrt().to_bits(),
+        // The x86e FLAGS form; callers use `eval_fp_predicate` for arme's
+        // 0/1 predicate form (distinguished by the destination register).
+        FpOp::CmpFlags => {
+            let _ = imm;
+            fp_compare_flags(a, b)
+        }
+        FpOp::FromInt => ((a_bits as i64) as f64).to_bits(),
+        FpOp::ToInt => {
+            // Truncation with saturation at the i64 range (like cvttsd2si
+            // returning the indefinite value, simplified to saturate).
+            let t = a.trunc();
+            let v = if t.is_nan() {
+                0
+            } else if t >= i64::MAX as f64 {
+                i64::MAX
+            } else if t <= i64::MIN as f64 {
+                i64::MIN
+            } else {
+                t as i64
+            };
+            v as u64
+        }
+        FpOp::Mov => a_bits,
+        FpOp::FromBits => a_bits,
+        FpOp::ToBits => a_bits,
+    }
+}
+
+/// Evaluates the arme FP predicate form (0 = lt, 1 = le, 2 = eq) to 0/1.
+pub fn eval_fp_predicate(pred: i64, a_bits: u64, b_bits: u64) -> u64 {
+    let a = f64::from_bits(a_bits);
+    let b = f64::from_bits(b_bits);
+    let r = match pred {
+        0 => a < b,
+        1 => a <= b,
+        _ => a == b,
+    };
+    r as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::{Asm, FCond};
+    use crate::uop::Cond;
+
+    fn run(p: &Program) -> EmuResult {
+        Emulator::new(p).run(1_000_000)
+    }
+
+    fn both_isas(build: impl Fn(&mut Asm)) -> (EmuResult, EmuResult) {
+        let mut out = Vec::new();
+        for isa in [Isa::X86e, Isa::Arme] {
+            let mut a = Asm::new(isa);
+            build(&mut a);
+            let p = a.finish("t").unwrap();
+            out.push(run(&p));
+        }
+        let b = out.pop().unwrap();
+        let a = out.pop().unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn arithmetic_loop_matches_across_isas() {
+        // sum of 1..=100 = 5050
+        let (x, a) = both_isas(|a| {
+            a.li(4, 0); // sum
+            a.li(5, 1); // i
+            let top = a.here_label();
+            a.op(IntOp::Add, 4, 4, 5);
+            a.opi(IntOp::Add, 5, 5, 1);
+            a.bri(Cond::LeS, 5, 100, top);
+            a.write_int(4);
+            a.exit(0);
+        });
+        assert_eq!(x.exit, EmuExit::Exited(0));
+        assert_eq!(a.exit, EmuExit::Exited(0));
+        assert_eq!(x.output, b"5050\n");
+        assert_eq!(a.output, b"5050\n");
+        // The CISC encoding runs fewer-or-equal architectural instructions
+        // but the RISC one should not be wildly different.
+        assert!(x.instructions > 100 && a.instructions > 100);
+    }
+
+    #[test]
+    fn memory_roundtrip_all_widths() {
+        let (x, a) = both_isas(|a| {
+            let buf = a.bss(64, 8);
+            a.li(4, buf as i64);
+            a.li(5, -2i64);
+            a.store(Width::B1, 5, 4, 0);
+            a.store(Width::B2, 5, 4, 8);
+            a.store(Width::B4, 5, 4, 16);
+            a.store(Width::B8, 5, 4, 24);
+            a.load(Width::B1, true, 6, 4, 0); // -2
+            a.load(Width::B2, false, 7, 4, 8); // 0xFFFE
+            a.op(IntOp::Add, 6, 6, 7);
+            a.write_int(6);
+            a.exit(0);
+        });
+        // -2 + 0xFFFE = 65532
+        assert_eq!(x.output, b"65532\n");
+        assert_eq!(a.output, b"65532\n");
+    }
+
+    #[test]
+    fn call_ret_and_stack() {
+        let (x, a) = both_isas(|a| {
+            let func = a.label();
+            let done = a.label();
+            a.li(0, 21);
+            a.call(func);
+            a.write_int(0);
+            a.exit(0);
+            a.jmp(done); // unreachable
+            a.bind(func);
+            a.op(IntOp::Add, 0, 0, 0); // r0 *= 2
+            a.ret();
+            a.bind(done);
+        });
+        assert_eq!(x.output, b"42\n");
+        assert_eq!(a.output, b"42\n");
+    }
+
+    #[test]
+    fn nested_calls_preserve_return_path() {
+        let (x, a) = both_isas(|a| {
+            let f1 = a.label();
+            let f2 = a.label();
+            a.li(0, 1);
+            a.call(f1);
+            a.write_int(0);
+            a.exit(0);
+            a.bind(f1);
+            a.save_lr();
+            a.opi(IntOp::Add, 0, 0, 10);
+            a.call(f2);
+            a.opi(IntOp::Add, 0, 0, 100);
+            a.restore_lr();
+            a.ret();
+            a.bind(f2);
+            a.opi(IntOp::Add, 0, 0, 1000);
+            a.ret();
+        });
+        assert_eq!(x.output, b"1111\n");
+        assert_eq!(a.output, b"1111\n");
+    }
+
+    #[test]
+    fn fp_pipeline_f64() {
+        let (x, a) = both_isas(|a| {
+            a.fli(0, 1.5);
+            a.fli(1, 2.25);
+            a.falu(FpOp::Mul, 2, 0, 1); // 3.375
+            a.fli(3, 0.375);
+            a.falu(FpOp::Sub, 2, 2, 3); // 3.0
+            a.funary(FpOp::Sqrt, 2, 2); // sqrt(3)
+            a.falu(FpOp::Mul, 2, 2, 2); // ~3.0
+            a.cvt_fi(4, 2);
+            a.write_int(4);
+            let skip = a.label();
+            a.fbr(FCond::Gt, 2, 3, skip); // 3.0 > 0.375 → taken
+            a.li(5, 999);
+            a.write_int(5);
+            a.bind(skip);
+            a.exit(0);
+        });
+        // sqrt(3)^2 rounds to 2.999…, truncation gives 2 (or 3 — identical
+        // on both ISAs since both use f64). Accept what the emulator says
+        // but demand cross-ISA equality and that the branch was taken.
+        assert_eq!(x.output, a.output);
+        assert!(!x.output.is_empty());
+        assert!(!String::from_utf8_lossy(&x.output).contains("999"));
+    }
+
+    #[test]
+    fn write_buf_syscall() {
+        let (x, a) = both_isas(|a| {
+            let msg = a.data_bytes(b"differential");
+            a.li(4, msg as i64);
+            a.li(5, 12);
+            a.write_buf(4, 5);
+            a.exit(0);
+        });
+        assert_eq!(x.output, b"differential");
+        assert_eq!(a.output, b"differential");
+    }
+
+    #[test]
+    fn misaligned_load_is_fixed_up_and_logged_on_arme() {
+        let mut a = Asm::new(Isa::Arme);
+        let buf = a.data_u64s(&[0x0807_0605_0403_0201]);
+        a.li(4, buf as i64);
+        a.load(Width::B4, false, 5, 4, 1); // misaligned by 1
+        a.write_int(5);
+        a.exit(0);
+        let r = run(&a.finish("t").unwrap());
+        assert_eq!(r.exit, EmuExit::Exited(0));
+        assert_eq!(r.exceptions, 1, "alignment fixup must be logged");
+        assert_eq!(r.output, format!("{}\n", 0x0504_0302u32).into_bytes());
+    }
+
+    #[test]
+    fn misaligned_load_is_silent_on_x86e() {
+        let mut a = Asm::new(Isa::X86e);
+        let buf = a.data_u64s(&[0x0807_0605_0403_0201]);
+        a.li(4, buf as i64);
+        a.load(Width::B4, false, 5, 4, 1);
+        a.write_int(5);
+        a.exit(0);
+        let r = run(&a.finish("t").unwrap());
+        assert_eq!(r.exceptions, 0);
+        assert_eq!(r.output, format!("{}\n", 0x0504_0302u32).into_bytes());
+    }
+
+    #[test]
+    fn hint_logs_exception_on_x86e() {
+        let mut a = Asm::new(Isa::X86e);
+        a.hint(7);
+        a.exit(0);
+        let r = run(&a.finish("t").unwrap());
+        assert_eq!(r.exit, EmuExit::Exited(0));
+        assert_eq!(r.exceptions, 1);
+    }
+
+    #[test]
+    fn divide_by_zero_faults() {
+        let (x, a) = both_isas(|a| {
+            a.li(4, 10);
+            a.li(5, 0);
+            a.op(IntOp::DivS, 6, 4, 5);
+            a.exit(0);
+        });
+        assert_eq!(x.exit, EmuExit::Fault(Fault::DivideByZero));
+        assert_eq!(a.exit, EmuExit::Fault(Fault::DivideByZero));
+    }
+
+    #[test]
+    fn wild_store_faults() {
+        let (x, a) = both_isas(|a| {
+            a.li(4, 0x7FFF_FFFF_0000i64);
+            a.store(Width::B8, 4, 4, 0);
+            a.exit(0);
+        });
+        assert!(matches!(x.exit, EmuExit::Fault(Fault::OutOfBounds(_))));
+        assert!(matches!(a.exit, EmuExit::Fault(Fault::OutOfBounds(_))));
+    }
+
+    #[test]
+    fn store_to_code_region_faults() {
+        let (x, a) = both_isas(|a| {
+            a.li(4, MemoryMap::DEFAULT.code_base as i64);
+            a.li(5, 0);
+            a.store(Width::B8, 5, 4, 0);
+            a.exit(0);
+        });
+        assert!(matches!(x.exit, EmuExit::Fault(Fault::CodeWrite(_))));
+        assert!(matches!(a.exit, EmuExit::Fault(Fault::CodeWrite(_))));
+    }
+
+    #[test]
+    fn runaway_program_hits_instruction_limit() {
+        let mut a = Asm::new(Isa::Arme);
+        let top = a.here_label();
+        a.jmp(top);
+        let r = Emulator::new(&a.finish("t").unwrap()).run(10_000);
+        assert_eq!(r.exit, EmuExit::InstrLimit);
+        assert_eq!(r.instructions, 10_000);
+    }
+
+    #[test]
+    fn instruction_mix_is_counted() {
+        let (x, _) = both_isas(|a| {
+            let buf = a.bss(8, 8);
+            a.li(4, buf as i64);
+            a.li(5, 3);
+            a.store(Width::B8, 5, 4, 0);
+            a.load(Width::B8, false, 6, 4, 0);
+            let l = a.label();
+            a.bri(Cond::Eq, 6, 3, l);
+            a.bind(l);
+            a.exit(0);
+        });
+        assert!(x.mix.loads >= 1);
+        assert!(x.mix.stores >= 1);
+        assert!(x.mix.branches >= 1 && x.mix.taken >= 1);
+        assert_eq!(x.mix.syscalls, 1);
+    }
+
+    #[test]
+    fn op32_wraps_at_32_bits() {
+        let (x, a) = both_isas(|a| {
+            a.li(4, 0xFFFF_FFFFu32 as i64);
+            a.li(5, 1);
+            a.op32(IntOp::Add, 6, 4, 5);
+            a.write_int(6);
+            a.exit(0);
+        });
+        assert_eq!(x.output, b"0\n");
+        assert_eq!(a.output, b"0\n");
+    }
+}

@@ -1,0 +1,77 @@
+//! # difi-isa
+//!
+//! Instruction-set infrastructure for the `difi` differential fault-injection
+//! workspace. The paper compares the x86 ISA (on MARSS and gem5) against the
+//! ARM ISA (on gem5); this crate provides the two from-scratch ISAs that play
+//! those roles, sharing one micro-op IR:
+//!
+//! * **x86e** ([`x86e`]) — variable-length (1–10 byte) CISC-style encoding,
+//!   two-operand destructive ALU, memory-operand ALU forms (cracked into
+//!   µops), a FLAGS register written by compares and read by conditional
+//!   branches, stack-based `call`/`ret`, unaligned accesses allowed.
+//! * **arme** ([`arme`]) — fixed 4-byte RISC encoding, three-operand ALU,
+//!   strict load/store architecture, fused compare-and-branch, link-register
+//!   calls, alignment-checked memory accesses.
+//!
+//! These deliberately contrast along the axes the paper's differential
+//! analysis cares about: instruction footprint in the L1I cache, µop cracking,
+//! register pressure and spill traffic, call/return memory behaviour, and the
+//! ways corrupted instruction bytes manifest (de-synchronised variable-length
+//! decode vs. single-word corruption).
+//!
+//! The crate also provides:
+//!
+//! * [`uop`] — the shared micro-op IR both simulators execute.
+//! * [`asm`] — a three-address [`asm::CodeGen`] builder with a backend per
+//!   ISA, used by `difi-workloads` to compile each benchmark once for both
+//!   architectures.
+//! * [`program`] — program images, the memory map, and the loader.
+//! * [`emu`] — a functional (architectural) emulator used to produce golden
+//!   outputs and to validate the decoders against the pipelines.
+//! * [`kernel`] — the nano-kernel ABI: syscalls, the simulated kernel state
+//!   region, and the exception-handling policy that produces the paper's DUE
+//!   and system-crash outcome classes.
+
+pub mod arme;
+pub mod asm;
+pub mod emu;
+pub mod kernel;
+pub mod program;
+pub mod uop;
+pub mod x86e;
+
+pub use program::{Isa, MemoryMap, Program};
+pub use uop::{Cond, Decoded, Fault, FpOp, IntOp, Reg, Uop, UopKind, Width};
+
+/// Decodes one instruction of `isa` starting at `bytes[0]` (which is the byte
+/// at address `pc`). `bytes` should contain [`MAX_INST_LEN`] bytes where
+/// available, or all remaining bytes of the code region.
+///
+/// Decoding never fails: undecodable input yields a [`Decoded`] whose
+/// `fault` is set and whose µops are empty. How that fault is *surfaced*
+/// (immediate assertion vs. deferred ISA exception) is a simulator policy —
+/// the exact divergence the paper's Remark 8 documents.
+pub fn decode(isa: Isa, bytes: &[u8], pc: u64) -> Decoded {
+    match isa {
+        Isa::X86e => x86e::decode(bytes, pc),
+        Isa::Arme => arme::decode(bytes, pc),
+    }
+}
+
+/// Upper bound on the encoded length of one instruction in either ISA.
+pub const MAX_INST_LEN: usize = 10;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_dispatches_per_isa() {
+        let x = x86e::decode(&[x86e::OPC_NOP, 0, 0, 0], 0x1000);
+        assert_eq!(x.len, 1);
+        assert!(x.fault.is_none());
+        let a = arme::decode(&arme::encode_nop().to_le_bytes(), 0x1000);
+        assert_eq!(a.len, 4);
+        assert!(a.fault.is_none());
+    }
+}

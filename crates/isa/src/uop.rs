@@ -1,0 +1,797 @@
+//! The micro-op IR shared by both simulated microarchitectures.
+//!
+//! Each ISA's decoder *cracks* architectural instructions into one or more
+//! µops. The µop is the unit the out-of-order machinery renames, issues,
+//! executes and commits — matching how MARSS and gem5 internally model x86.
+
+/// An architectural register name in the unified namespace.
+///
+/// * `0..=15` — general-purpose integer registers `r0..r15`
+///   (`r15` is the stack pointer by convention; `r14` the link register on
+///   arme).
+/// * `16`, `17` — integer cracking temporaries (decoder-visible only; the
+///   x86e decoder uses them when splitting memory-operand instructions).
+/// * `18` — the x86e FLAGS register.
+/// * `128..=135` — floating-point registers `f0..f7`.
+/// * `136` — floating-point cracking temporary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// Number of integer architectural registers (r0..r15, two temps, FLAGS).
+    pub const NUM_INT: usize = 19;
+    /// Number of floating-point architectural registers (f0..f7 plus temp).
+    pub const NUM_FP: usize = 9;
+    /// The stack pointer.
+    pub const SP: Reg = Reg(15);
+    /// The link register (arme call convention).
+    pub const LR: Reg = Reg(14);
+    /// First integer cracking temporary.
+    pub const T0: Reg = Reg(16);
+    /// Second integer cracking temporary.
+    pub const T1: Reg = Reg(17);
+    /// The x86e FLAGS register.
+    pub const FLAGS: Reg = Reg(18);
+
+    /// Constructs a general-purpose integer register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > 15`.
+    pub fn gpr(i: u8) -> Reg {
+        assert!(i <= 15, "gpr index out of range");
+        Reg(i)
+    }
+
+    /// Constructs a floating-point register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > 7`.
+    pub fn fpr(i: u8) -> Reg {
+        assert!(i <= 7, "fpr index out of range");
+        Reg(128 + i)
+    }
+
+    /// True if this is a floating-point register.
+    #[inline]
+    pub fn is_fp(self) -> bool {
+        self.0 >= 128
+    }
+
+    /// Index within its class (int: `0..19`, fp: `0..9`).
+    #[inline]
+    pub fn class_index(self) -> usize {
+        if self.is_fp() {
+            (self.0 - 128) as usize
+        } else {
+            self.0 as usize
+        }
+    }
+}
+
+impl std::fmt::Display for Reg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.0 {
+            15 => write!(f, "sp"),
+            18 => write!(f, "flags"),
+            16 => write!(f, "t0"),
+            17 => write!(f, "t1"),
+            136 => write!(f, "ft"),
+            n if n >= 128 => write!(f, "f{}", n - 128),
+            n => write!(f, "r{n}"),
+        }
+    }
+}
+
+/// Access/operation width in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Width {
+    /// 1 byte.
+    B1,
+    /// 2 bytes.
+    B2,
+    /// 4 bytes (32-bit ALU ops zero-extend their result).
+    B4,
+    /// 8 bytes (the default ALU width).
+    B8,
+}
+
+impl Width {
+    /// The width in bytes.
+    #[inline]
+    pub fn bytes(self) -> u64 {
+        match self {
+            Width::B1 => 1,
+            Width::B2 => 2,
+            Width::B4 => 4,
+            Width::B8 => 8,
+        }
+    }
+
+    /// Decodes a two-bit width code (0→1, 1→2, 2→4, 3→8).
+    pub fn from_code(c: u8) -> Width {
+        match c & 3 {
+            0 => Width::B1,
+            1 => Width::B2,
+            2 => Width::B4,
+            _ => Width::B8,
+        }
+    }
+
+    /// The two-bit width code.
+    pub fn code(self) -> u8 {
+        match self {
+            Width::B1 => 0,
+            Width::B2 => 1,
+            Width::B4 => 2,
+            Width::B8 => 3,
+        }
+    }
+}
+
+/// Integer ALU operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IntOp {
+    /// `rd = a + b`
+    Add,
+    /// `rd = a - b`
+    Sub,
+    /// `rd = a & b`
+    And,
+    /// `rd = a | b`
+    Or,
+    /// `rd = a ^ b`
+    Xor,
+    /// `rd = a << (b & width-1)`
+    Shl,
+    /// logical right shift
+    Shr,
+    /// arithmetic right shift
+    Sar,
+    /// low half of `a * b`
+    Mul,
+    /// signed division (`Fault::DivideByZero` when `b == 0`)
+    DivS,
+    /// unsigned division
+    DivU,
+    /// signed remainder
+    RemS,
+    /// unsigned remainder
+    RemU,
+    /// `rd = a` (or the immediate); `b` ignored
+    Mov,
+    /// compare `a` with `b` and produce a FLAGS value (x86e `cmp`)
+    CmpFlags,
+}
+
+impl IntOp {
+    /// Number of encodable ALU operations (`Mov` and `CmpFlags` included).
+    pub const COUNT: u8 = 15;
+
+    /// Decodes the 4-bit op index used by both ISA encodings.
+    pub fn from_index(i: u8) -> Option<IntOp> {
+        use IntOp::*;
+        Some(match i {
+            0 => Add,
+            1 => Sub,
+            2 => And,
+            3 => Or,
+            4 => Xor,
+            5 => Shl,
+            6 => Shr,
+            7 => Sar,
+            8 => Mul,
+            9 => DivS,
+            10 => DivU,
+            11 => RemS,
+            12 => RemU,
+            13 => Mov,
+            14 => CmpFlags,
+            _ => return None,
+        })
+    }
+
+    /// The 4-bit op index.
+    pub fn index(self) -> u8 {
+        use IntOp::*;
+        match self {
+            Add => 0,
+            Sub => 1,
+            And => 2,
+            Or => 3,
+            Xor => 4,
+            Shl => 5,
+            Shr => 6,
+            Sar => 7,
+            Mul => 8,
+            DivS => 9,
+            DivU => 10,
+            RemS => 11,
+            RemU => 12,
+            Mov => 13,
+            CmpFlags => 14,
+        }
+    }
+
+    /// True for operations where operand order does not matter.
+    pub fn commutative(self) -> bool {
+        matches!(
+            self,
+            IntOp::Add | IntOp::And | IntOp::Or | IntOp::Xor | IntOp::Mul
+        )
+    }
+
+    /// True for the division family (multi-cycle functional unit, can fault).
+    pub fn is_div(self) -> bool {
+        matches!(self, IntOp::DivS | IntOp::DivU | IntOp::RemS | IntOp::RemU)
+    }
+}
+
+/// Floating-point operation (all on `f64`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpOp {
+    /// `fd = a + b`
+    Add,
+    /// `fd = a - b`
+    Sub,
+    /// `fd = a * b`
+    Mul,
+    /// `fd = a / b`
+    Div,
+    /// `fd = -a`
+    Neg,
+    /// `fd = |a|`
+    Abs,
+    /// `fd = sqrt(a)`
+    Sqrt,
+    /// compare `a` with `b`, producing an x86e-style FLAGS value
+    /// (ZF = equal, CF = less-than); destination is the FLAGS register
+    CmpFlags,
+    /// `fd = (f64) (i64) a` — integer source register
+    FromInt,
+    /// `rd = (i64) a` (round toward zero) — integer destination register
+    ToInt,
+    /// `fd = a`
+    Mov,
+    /// bitcast an integer register into an FP register
+    FromBits,
+    /// bitcast an FP register into an integer register
+    ToBits,
+}
+
+impl FpOp {
+    /// Number of encodable FP operations.
+    pub const COUNT: u8 = 13;
+
+    /// Decodes the 4-bit FP op index.
+    pub fn from_index(i: u8) -> Option<FpOp> {
+        use FpOp::*;
+        Some(match i {
+            0 => Add,
+            1 => Sub,
+            2 => Mul,
+            3 => Div,
+            4 => Neg,
+            5 => Abs,
+            6 => Sqrt,
+            7 => CmpFlags,
+            8 => FromInt,
+            9 => ToInt,
+            10 => Mov,
+            11 => FromBits,
+            12 => ToBits,
+            _ => return None,
+        })
+    }
+
+    /// The 4-bit FP op index.
+    pub fn index(self) -> u8 {
+        use FpOp::*;
+        match self {
+            Add => 0,
+            Sub => 1,
+            Mul => 2,
+            Div => 3,
+            Neg => 4,
+            Abs => 5,
+            Sqrt => 6,
+            CmpFlags => 7,
+            FromInt => 8,
+            ToInt => 9,
+            Mov => 10,
+            FromBits => 11,
+            ToBits => 12,
+        }
+    }
+}
+
+/// Branch condition codes, shared by both ISAs.
+///
+/// On arme they compare two register sources directly; on x86e they test a
+/// FLAGS value produced by an earlier `cmp`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// equal
+    Eq,
+    /// not equal
+    Ne,
+    /// signed less-than
+    LtS,
+    /// signed greater-or-equal
+    GeS,
+    /// signed less-or-equal
+    LeS,
+    /// signed greater-than
+    GtS,
+    /// unsigned less-than (x86e: below / FP less)
+    LtU,
+    /// unsigned greater-or-equal
+    GeU,
+    /// unsigned less-or-equal
+    LeU,
+    /// unsigned greater-than
+    GtU,
+}
+
+/// FLAGS register bit layout (x86e).
+pub mod flags {
+    /// Zero flag.
+    pub const ZF: u64 = 1 << 0;
+    /// Sign flag.
+    pub const SF: u64 = 1 << 1;
+    /// Carry flag (unsigned borrow / FP less-than).
+    pub const CF: u64 = 1 << 2;
+    /// Overflow flag.
+    pub const OF: u64 = 1 << 3;
+}
+
+impl Cond {
+    /// Number of condition codes.
+    pub const COUNT: u8 = 10;
+
+    /// Decodes the 4-bit condition index.
+    pub fn from_index(i: u8) -> Option<Cond> {
+        use Cond::*;
+        Some(match i {
+            0 => Eq,
+            1 => Ne,
+            2 => LtS,
+            3 => GeS,
+            4 => LeS,
+            5 => GtS,
+            6 => LtU,
+            7 => GeU,
+            8 => LeU,
+            9 => GtU,
+            _ => return None,
+        })
+    }
+
+    /// The 4-bit condition index.
+    pub fn index(self) -> u8 {
+        use Cond::*;
+        match self {
+            Eq => 0,
+            Ne => 1,
+            LtS => 2,
+            GeS => 3,
+            LeS => 4,
+            GtS => 5,
+            LtU => 6,
+            GeU => 7,
+            LeU => 8,
+            GtU => 9,
+        }
+    }
+
+    /// Evaluates the condition on two register values (arme semantics).
+    pub fn eval_regs(self, a: u64, b: u64) -> bool {
+        use Cond::*;
+        match self {
+            Eq => a == b,
+            Ne => a != b,
+            LtS => (a as i64) < (b as i64),
+            GeS => (a as i64) >= (b as i64),
+            LeS => (a as i64) <= (b as i64),
+            GtS => (a as i64) > (b as i64),
+            LtU => a < b,
+            GeU => a >= b,
+            LeU => a <= b,
+            GtU => a > b,
+        }
+    }
+
+    /// Evaluates the condition on a FLAGS value (x86e semantics).
+    pub fn eval_flags(self, fl: u64) -> bool {
+        use flags::*;
+        let zf = fl & ZF != 0;
+        let sf = fl & SF != 0;
+        let cf = fl & CF != 0;
+        let of = fl & OF != 0;
+        use Cond::*;
+        match self {
+            Eq => zf,
+            Ne => !zf,
+            LtS => sf != of,
+            GeS => sf == of,
+            LeS => zf || sf != of,
+            GtS => !zf && sf == of,
+            LtU => cf,
+            GeU => !cf,
+            LeU => cf || zf,
+            GtU => !cf && !zf,
+        }
+    }
+}
+
+/// Computes the FLAGS value for `cmp a, b` at the given width.
+pub fn compare_flags(a: u64, b: u64, width: Width) -> u64 {
+    let (a, b, sign_bit) = match width {
+        Width::B4 => (a & 0xFFFF_FFFF, b & 0xFFFF_FFFF, 31),
+        _ => (a, b, 63),
+    };
+    let diff = a.wrapping_sub(b);
+    let diff = if width == Width::B4 {
+        diff & 0xFFFF_FFFF
+    } else {
+        diff
+    };
+    let mut fl = 0;
+    if diff == 0 {
+        fl |= flags::ZF;
+    }
+    if diff >> sign_bit & 1 != 0 {
+        fl |= flags::SF;
+    }
+    if a < b {
+        fl |= flags::CF;
+    }
+    // Signed overflow of a - b.
+    let of = ((a ^ b) & (a ^ diff)) >> sign_bit & 1 != 0;
+    if of {
+        fl |= flags::OF;
+    }
+    fl
+}
+
+/// Computes the FLAGS value for an FP compare (ucomisd-style:
+/// ZF = equal, CF = less; unordered sets both).
+pub fn fp_compare_flags(a: f64, b: f64) -> u64 {
+    if a.is_nan() || b.is_nan() {
+        flags::ZF | flags::CF
+    } else if a == b {
+        flags::ZF
+    } else if a < b {
+        flags::CF
+    } else {
+        0
+    }
+}
+
+/// Control-flow class of a µop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchKind {
+    /// Conditional direct branch; `target` is the taken destination.
+    CondDirect,
+    /// Unconditional direct jump.
+    Jump,
+    /// Unconditional indirect jump through `ra`.
+    JumpInd,
+    /// Direct call (the arme form also writes the link register).
+    Call,
+    /// Return (indirect jump flavoured for the return address stack).
+    Ret,
+}
+
+/// The kind of work a µop performs — used for functional-unit routing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UopKind {
+    /// Integer ALU operation [`IntOp`].
+    Alu,
+    /// Memory load into `rd` from `[ra + imm]`.
+    Load,
+    /// Memory store of `rb` to `[ra + imm]`.
+    Store,
+    /// Control flow ([`BranchKind`] in `branch`).
+    Branch,
+    /// Floating-point operation [`FpOp`].
+    Fp,
+    /// System call into the nano-kernel.
+    Syscall,
+    /// Tolerated hint opcode: raises a logged (non-fatal) ISA exception.
+    Hint,
+    /// No operation.
+    Nop,
+}
+
+/// ISA-level faults an instruction can raise.
+///
+/// These are the raw events the paper's classification maps onto outcome
+/// classes: `Illegal`/`OutOfBounds`/`DivideByZero` terminate the process
+/// (Crash), `Alignment` and `Hint` exceptions are handled and logged by the
+/// nano-kernel (DUE when the run still completes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fault {
+    /// Undecodable or reserved instruction encoding.
+    Illegal,
+    /// Memory access outside the mapped address space.
+    OutOfBounds(u64),
+    /// Misaligned access on an alignment-checked ISA (arme).
+    Alignment(u64),
+    /// Integer division by zero.
+    DivideByZero,
+    /// Store to the read-only code region.
+    CodeWrite(u64),
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Fault::Illegal => write!(f, "illegal instruction"),
+            Fault::OutOfBounds(a) => write!(f, "out-of-bounds access at {a:#x}"),
+            Fault::Alignment(a) => write!(f, "misaligned access at {a:#x}"),
+            Fault::DivideByZero => write!(f, "integer divide by zero"),
+            Fault::CodeWrite(a) => write!(f, "store into code region at {a:#x}"),
+        }
+    }
+}
+
+/// One micro-operation.
+///
+/// A flat struct (rather than a deep enum) because the out-of-order pipelines
+/// store µops in issue-queue payloads as packed bit-fields, and a fixed shape
+/// keeps that codec — itself a fault-injection target — simple.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uop {
+    /// Functional class.
+    pub kind: UopKind,
+    /// Integer ALU operation (meaningful for `Alu`).
+    pub alu: IntOp,
+    /// FP operation (meaningful for `Fp`).
+    pub fp: FpOp,
+    /// Operation / access width.
+    pub width: Width,
+    /// Sign-extend loaded value (loads only).
+    pub signed: bool,
+    /// Destination register.
+    pub rd: Option<Reg>,
+    /// First source register.
+    pub ra: Option<Reg>,
+    /// Second source register (store data lives here).
+    pub rb: Option<Reg>,
+    /// Immediate operand / address displacement.
+    pub imm: i64,
+    /// Branch condition (CondDirect only).
+    pub cond: Cond,
+    /// `true` when the condition tests FLAGS (x86e) rather than `ra`/`rb`.
+    pub cond_on_flags: bool,
+    /// Branch class (meaningful for `Branch`).
+    pub branch: BranchKind,
+    /// Absolute taken-target for direct control flow.
+    pub target: u64,
+}
+
+impl Uop {
+    /// A NOP µop — the base for builders below.
+    pub fn nop() -> Uop {
+        Uop {
+            kind: UopKind::Nop,
+            alu: IntOp::Add,
+            fp: FpOp::Add,
+            width: Width::B8,
+            signed: false,
+            rd: None,
+            ra: None,
+            rb: None,
+            imm: 0,
+            cond: Cond::Eq,
+            cond_on_flags: false,
+            branch: BranchKind::Jump,
+            target: 0,
+        }
+    }
+
+    /// Builds an integer ALU µop `rd = ra op rb`.
+    pub fn alu(op: IntOp, width: Width, rd: Reg, ra: Option<Reg>, rb: Option<Reg>, imm: i64) -> Uop {
+        Uop {
+            kind: UopKind::Alu,
+            alu: op,
+            width,
+            rd: Some(rd),
+            ra,
+            rb,
+            imm,
+            ..Uop::nop()
+        }
+    }
+
+    /// Builds a load µop `rd = [ra + imm]`.
+    pub fn load(width: Width, signed: bool, rd: Reg, base: Reg, disp: i64) -> Uop {
+        Uop {
+            kind: UopKind::Load,
+            width,
+            signed,
+            rd: Some(rd),
+            ra: Some(base),
+            imm: disp,
+            ..Uop::nop()
+        }
+    }
+
+    /// Builds a store µop `[ra + imm] = rb`.
+    pub fn store(width: Width, data: Reg, base: Reg, disp: i64) -> Uop {
+        Uop {
+            kind: UopKind::Store,
+            width,
+            rb: Some(data),
+            ra: Some(base),
+            imm: disp,
+            ..Uop::nop()
+        }
+    }
+
+    /// True if the µop writes an integer register.
+    pub fn writes_int(&self) -> bool {
+        matches!(self.rd, Some(r) if !r.is_fp())
+    }
+
+    /// True if the µop writes a floating-point register.
+    pub fn writes_fp(&self) -> bool {
+        matches!(self.rd, Some(r) if r.is_fp())
+    }
+
+    /// True for control-flow µops.
+    pub fn is_branch(&self) -> bool {
+        self.kind == UopKind::Branch
+    }
+
+    /// True for memory µops.
+    pub fn is_mem(&self) -> bool {
+        matches!(self.kind, UopKind::Load | UopKind::Store)
+    }
+}
+
+/// Maximum µops one architectural instruction cracks into.
+pub const MAX_UOPS: usize = 4;
+
+/// A decoded architectural instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decoded {
+    /// Encoded length in bytes.
+    pub len: u8,
+    /// The cracked micro-ops (empty when `fault` is set).
+    pub uops: Vec<Uop>,
+    /// Decode-time fault (illegal/reserved encoding).
+    pub fault: Option<Fault>,
+}
+
+impl Decoded {
+    /// A faulted decode of the given consumed length.
+    pub fn illegal(len: u8) -> Decoded {
+        Decoded {
+            len,
+            uops: Vec::new(),
+            fault: Some(Fault::Illegal),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_namespace_roundtrip() {
+        assert!(!Reg::gpr(5).is_fp());
+        assert!(Reg::fpr(3).is_fp());
+        assert_eq!(Reg::fpr(3).class_index(), 3);
+        assert_eq!(Reg::FLAGS.class_index(), 18);
+        assert_eq!(Reg::SP, Reg(15));
+        assert_eq!(format!("{}", Reg::gpr(7)), "r7");
+        assert_eq!(format!("{}", Reg::fpr(2)), "f2");
+        assert_eq!(format!("{}", Reg::SP), "sp");
+    }
+
+    #[test]
+    #[should_panic(expected = "gpr index")]
+    fn gpr_constructor_validates() {
+        Reg::gpr(16);
+    }
+
+    #[test]
+    fn intop_index_roundtrip() {
+        for i in 0..IntOp::COUNT {
+            let op = IntOp::from_index(i).unwrap();
+            assert_eq!(op.index(), i);
+        }
+        assert!(IntOp::from_index(IntOp::COUNT).is_none());
+    }
+
+    #[test]
+    fn fpop_index_roundtrip() {
+        for i in 0..FpOp::COUNT {
+            let op = FpOp::from_index(i).unwrap();
+            assert_eq!(op.index(), i);
+        }
+        assert!(FpOp::from_index(FpOp::COUNT).is_none());
+    }
+
+    #[test]
+    fn cond_index_roundtrip() {
+        for i in 0..Cond::COUNT {
+            let c = Cond::from_index(i).unwrap();
+            assert_eq!(c.index(), i);
+        }
+        assert!(Cond::from_index(Cond::COUNT).is_none());
+    }
+
+    #[test]
+    fn cond_reg_semantics() {
+        assert!(Cond::LtS.eval_regs((-1i64) as u64, 0));
+        assert!(!Cond::LtU.eval_regs((-1i64) as u64, 0));
+        assert!(Cond::GtU.eval_regs(u64::MAX, 0));
+        assert!(Cond::Eq.eval_regs(7, 7));
+        assert!(Cond::LeS.eval_regs(7, 7));
+        assert!(!Cond::GtS.eval_regs(7, 7));
+    }
+
+    #[test]
+    fn flags_semantics_match_reg_semantics() {
+        // For every condition and a grid of values, evaluating through the
+        // FLAGS produced by compare_flags must agree with direct evaluation.
+        let vals: [u64; 7] = [
+            0,
+            1,
+            5,
+            u64::MAX,
+            (i64::MIN) as u64,
+            (i64::MAX) as u64,
+            0x8000_0000,
+        ];
+        for &a in &vals {
+            for &b in &vals {
+                let fl = compare_flags(a, b, Width::B8);
+                for i in 0..Cond::COUNT {
+                    let c = Cond::from_index(i).unwrap();
+                    assert_eq!(
+                        c.eval_flags(fl),
+                        c.eval_regs(a, b),
+                        "cond {c:?} a={a:#x} b={b:#x}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flags_semantics_32bit() {
+        let a = 0xFFFF_FFFFu64; // -1 as i32, but large positive as i64
+        let b = 0u64;
+        let fl = compare_flags(a, b, Width::B4);
+        assert!(Cond::LtS.eval_flags(fl), "32-bit -1 < 0 signed");
+        assert!(Cond::GtU.eval_flags(fl), "32-bit 0xffffffff > 0 unsigned");
+    }
+
+    #[test]
+    fn fp_compare_flag_values() {
+        assert!(Cond::LtU.eval_flags(fp_compare_flags(1.0, 2.0)));
+        assert!(Cond::Eq.eval_flags(fp_compare_flags(2.0, 2.0)));
+        assert!(Cond::GtU.eval_flags(fp_compare_flags(3.0, 2.0)));
+        // Unordered compares as "below or equal" but never strictly greater.
+        let un = fp_compare_flags(f64::NAN, 2.0);
+        assert!(!Cond::GtU.eval_flags(un));
+    }
+
+    #[test]
+    fn uop_builders_set_expected_fields() {
+        let l = Uop::load(Width::B4, true, Reg::gpr(2), Reg::SP, -8);
+        assert_eq!(l.kind, UopKind::Load);
+        assert!(l.signed && l.is_mem() && l.writes_int());
+        let s = Uop::store(Width::B8, Reg::gpr(1), Reg::gpr(3), 16);
+        assert_eq!(s.rb, Some(Reg::gpr(1)));
+        assert!(!s.writes_int());
+        let a = Uop::alu(IntOp::Add, Width::B8, Reg::gpr(0), Some(Reg::gpr(1)), Some(Reg::gpr(2)), 0);
+        assert!(a.writes_int() && !a.writes_fp() && !a.is_branch());
+    }
+}

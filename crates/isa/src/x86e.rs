@@ -1,0 +1,868 @@
+//! The **x86e** instruction set: an x86-flavoured variable-length CISC
+//! encoding.
+//!
+//! Design points mirroring x86 (and therefore MARSS's and gem5's x86
+//! decoders) that matter to the fault-injection study:
+//!
+//! * **Variable length** (1–10 bytes): a single corrupted bit in the L1I
+//!   cache can change an instruction's length and de-synchronise decoding of
+//!   everything after it — a major source of the Crash/Assert outcomes the
+//!   paper observes for instruction-cache faults.
+//! * **Two-operand destructive ALU** plus **memory-operand forms** that the
+//!   decoder cracks into load + ALU µop pairs, like a real x86 front-end.
+//! * A **FLAGS register** written by `cmp`/`fcmp` and read by `jcc`.
+//! * **Stack-based call/ret** (every call is also a store, every return a
+//!   load), giving x86e more data-memory traffic than arme.
+//! * Unaligned memory access is architecturally allowed.
+//!
+//! ## Encoding summary
+//!
+//! ```text
+//! 0x01                nop
+//! 0x02                ret                  (load t0,[sp]; sp+=8; jmp t0)
+//! 0x03                syscall
+//! 0x04 ii             hint imm8            (logged, otherwise a nop)
+//! 0x05 mr             jmp  reg             (reg in high nibble)
+//! 0x06 dddd           jmp  rel32
+//! 0x07 dddd           call rel32           (t0=ret; [sp-8]=t0; sp-=8; jmp)
+//! 0x10+op mr          alu64  rd, rb        rd = rd op rb
+//! 0x20+op mr ii       alu64  rd, imm8
+//! 0x30+op mr iiii     alu64  rd, imm32
+//! 0x40+op mr          alu32  rd, rb
+//! 0x50+op mr ii       alu32  rd, imm8
+//! 0x60+op mr iiii     alu32  rd, imm32
+//! 0x70+cc dd dd       jcc  rel16
+//! 0x80+w mr ii        load  zx, disp8      rd, [base+disp]
+//! 0x84+w mr ii        load  sx, disp8
+//! 0x88+w mr iiii      load  zx, disp32
+//! 0x8C+w mr iiii      load  sx, disp32
+//! 0x90+w mr ii        store disp8          [base+disp], rs
+//! 0x94+w mr iiii      store disp32
+//! 0x98 mr i*8         movabs rd, imm64
+//! 0xA0+op mr ii       alu64  rd, [base+disp8]   (op in add..xor)
+//! 0xA8+op mr iiii     alu64  rd, [base+disp32]
+//! 0xB0 mr             fcmp  fa, fb         (writes FLAGS)
+//! 0xB1 mr ii          fload  fd, [base+disp8]
+//! 0xB2 mr iiii        fload  fd, [base+disp32]
+//! 0xB3 mr ii          fstore [base+disp8], fs
+//! 0xB4 mr iiii        fstore [base+disp32], fs
+//! 0xB5 mr             cvtif fd, ra
+//! 0xB6 mr             cvtfi rd, fa
+//! 0xB7 mr             movif fd, ra         (bitcast)
+//! 0xB8 mr             movfi rd, fa         (bitcast)
+//! 0xC0+f mr           fp arith  fd = fd op fb   (f: add,sub,mul,div)
+//! 0xC4 mr             fneg fd, fb
+//! 0xC5 mr             fabs fd, fb
+//! 0xC6 mr             fsqrt fd, fb
+//! 0xC7 mr             fmov fd, fb
+//! ```
+//!
+//! `mr` is a mod-reg byte: high nibble = first register, low nibble = second.
+//! All displacements/immediates are little-endian and sign-extended. Branch
+//! displacements are relative to the *end* of the instruction. All other
+//! opcode bytes are illegal.
+
+use crate::uop::{
+    BranchKind, Cond, Decoded, FpOp, IntOp, Reg, Uop, UopKind, Width,
+};
+
+/// Opcode of `nop`.
+pub const OPC_NOP: u8 = 0x01;
+/// Opcode of `ret`.
+pub const OPC_RET: u8 = 0x02;
+/// Opcode of `syscall`.
+pub const OPC_SYSCALL: u8 = 0x03;
+/// Opcode of `hint`.
+pub const OPC_HINT: u8 = 0x04;
+/// Opcode of the indirect jump.
+pub const OPC_JMP_REG: u8 = 0x05;
+/// Opcode of the direct jump.
+pub const OPC_JMP: u8 = 0x06;
+/// Opcode of the direct call.
+pub const OPC_CALL: u8 = 0x07;
+
+#[inline]
+fn mr(hi: u8, lo: u8) -> u8 {
+    debug_assert!(hi < 16 && lo < 16);
+    hi << 4 | lo
+}
+
+// ---------------------------------------------------------------------------
+// Encoding helpers (used by the `asm` backend and by tests).
+// ---------------------------------------------------------------------------
+
+/// Encodes `nop`.
+pub fn encode_nop() -> Vec<u8> {
+    vec![OPC_NOP]
+}
+
+/// Encodes `ret`.
+pub fn encode_ret() -> Vec<u8> {
+    vec![OPC_RET]
+}
+
+/// Encodes `syscall`.
+pub fn encode_syscall() -> Vec<u8> {
+    vec![OPC_SYSCALL]
+}
+
+/// Encodes `hint imm8` (the tolerated-opcode DUE source).
+pub fn encode_hint(code: u8) -> Vec<u8> {
+    vec![OPC_HINT, code]
+}
+
+/// Encodes a register-register ALU operation `rd = rd op rb`.
+pub fn encode_alu_rr(op: IntOp, w32: bool, rd: u8, rb: u8) -> Vec<u8> {
+    let base = if w32 { 0x40 } else { 0x10 };
+    vec![base + op.index(), mr(rd, rb)]
+}
+
+/// Encodes a register-immediate ALU operation `rd = rd op imm`.
+/// Chooses the imm8 form when the value fits.
+pub fn encode_alu_ri(op: IntOp, w32: bool, rd: u8, imm: i32) -> Vec<u8> {
+    if (-128..=127).contains(&imm) {
+        let base = if w32 { 0x50 } else { 0x20 };
+        vec![base + op.index(), mr(rd, 0), imm as i8 as u8]
+    } else {
+        let base = if w32 { 0x60 } else { 0x30 };
+        let mut v = vec![base + op.index(), mr(rd, 0)];
+        v.extend_from_slice(&imm.to_le_bytes());
+        v
+    }
+}
+
+/// Encodes `movabs rd, imm64`.
+pub fn encode_movabs(rd: u8, imm: u64) -> Vec<u8> {
+    let mut v = vec![0x98, mr(rd, 0)];
+    v.extend_from_slice(&imm.to_le_bytes());
+    v
+}
+
+/// Encodes a load `rd = [base + disp]`, picking the disp8 form when possible.
+pub fn encode_load(w: Width, signed: bool, rd: u8, base: u8, disp: i32) -> Vec<u8> {
+    if (-128..=127).contains(&disp) {
+        let opc = if signed { 0x84 } else { 0x80 } + w.code();
+        vec![opc, mr(rd, base), disp as i8 as u8]
+    } else {
+        let opc = if signed { 0x8C } else { 0x88 } + w.code();
+        let mut v = vec![opc, mr(rd, base)];
+        v.extend_from_slice(&disp.to_le_bytes());
+        v
+    }
+}
+
+/// Encodes a store `[base + disp] = rs`.
+pub fn encode_store(w: Width, rs: u8, base: u8, disp: i32) -> Vec<u8> {
+    if (-128..=127).contains(&disp) {
+        vec![0x90 + w.code(), mr(rs, base), disp as i8 as u8]
+    } else {
+        let mut v = vec![0x94 + w.code(), mr(rs, base)];
+        v.extend_from_slice(&disp.to_le_bytes());
+        v
+    }
+}
+
+/// Encodes a memory-operand ALU `rd = rd op [base + disp]` (64-bit;
+/// `op` must be `Add`, `Sub`, `And`, `Or` or `Xor`).
+///
+/// # Panics
+///
+/// Panics if `op` is not one of the five foldable operations.
+pub fn encode_alu_mem(op: IntOp, rd: u8, base: u8, disp: i32) -> Vec<u8> {
+    assert!(op.index() <= 4, "only add/sub/and/or/xor fold a memory operand");
+    if (-128..=127).contains(&disp) {
+        vec![0xA0 + op.index(), mr(rd, base), disp as i8 as u8]
+    } else {
+        let mut v = vec![0xA8 + op.index(), mr(rd, base)];
+        v.extend_from_slice(&disp.to_le_bytes());
+        v
+    }
+}
+
+/// Encodes `jcc rel16`; `disp` is relative to the end of the instruction.
+pub fn encode_jcc(cond: Cond, disp: i16) -> Vec<u8> {
+    let mut v = vec![0x70 + cond.index()];
+    v.extend_from_slice(&disp.to_le_bytes());
+    v
+}
+
+/// Encodes `jmp rel32`.
+pub fn encode_jmp(disp: i32) -> Vec<u8> {
+    let mut v = vec![OPC_JMP];
+    v.extend_from_slice(&disp.to_le_bytes());
+    v
+}
+
+/// Encodes `call rel32`.
+pub fn encode_call(disp: i32) -> Vec<u8> {
+    let mut v = vec![OPC_CALL];
+    v.extend_from_slice(&disp.to_le_bytes());
+    v
+}
+
+/// Encodes the indirect `jmp reg`.
+pub fn encode_jmp_reg(r: u8) -> Vec<u8> {
+    vec![OPC_JMP_REG, mr(r, 0)]
+}
+
+/// Encodes `fcmp fa, fb` (writes FLAGS).
+pub fn encode_fcmp(fa: u8, fb: u8) -> Vec<u8> {
+    vec![0xB0, mr(fa, fb)]
+}
+
+/// Encodes `fload fd, [base + disp]`.
+pub fn encode_fload(fd: u8, base: u8, disp: i32) -> Vec<u8> {
+    if (-128..=127).contains(&disp) {
+        vec![0xB1, mr(fd, base), disp as i8 as u8]
+    } else {
+        let mut v = vec![0xB2, mr(fd, base)];
+        v.extend_from_slice(&disp.to_le_bytes());
+        v
+    }
+}
+
+/// Encodes `fstore [base + disp], fs`.
+pub fn encode_fstore(fs: u8, base: u8, disp: i32) -> Vec<u8> {
+    if (-128..=127).contains(&disp) {
+        vec![0xB3, mr(fs, base), disp as i8 as u8]
+    } else {
+        let mut v = vec![0xB4, mr(fs, base)];
+        v.extend_from_slice(&disp.to_le_bytes());
+        v
+    }
+}
+
+/// Encodes `cvtif fd, ra` (int → f64).
+pub fn encode_cvtif(fd: u8, ra: u8) -> Vec<u8> {
+    vec![0xB5, mr(fd, ra)]
+}
+
+/// Encodes `cvtfi rd, fa` (f64 → int, truncating).
+pub fn encode_cvtfi(rd: u8, fa: u8) -> Vec<u8> {
+    vec![0xB6, mr(rd, fa)]
+}
+
+/// Encodes `movif fd, ra` (bitcast).
+pub fn encode_movif(fd: u8, ra: u8) -> Vec<u8> {
+    vec![0xB7, mr(fd, ra)]
+}
+
+/// Encodes `movfi rd, fa` (bitcast).
+pub fn encode_movfi(rd: u8, fa: u8) -> Vec<u8> {
+    vec![0xB8, mr(rd, fa)]
+}
+
+/// Encodes a binary FP arithmetic op `fd = fd op fb`
+/// (`Add`, `Sub`, `Mul`, `Div`).
+///
+/// # Panics
+///
+/// Panics for non-binary FP operations.
+pub fn encode_fp_rr(op: FpOp, fd: u8, fb: u8) -> Vec<u8> {
+    let idx = op.index();
+    assert!(idx <= 3, "encode_fp_rr takes add/sub/mul/div");
+    vec![0xC0 + idx, mr(fd, fb)]
+}
+
+/// Encodes a unary FP op `fd = op fb` (`Neg`, `Abs`, `Sqrt`, `Mov`).
+///
+/// # Panics
+///
+/// Panics for operations without a unary encoding.
+pub fn encode_fp_unary(op: FpOp, fd: u8, fb: u8) -> Vec<u8> {
+    let opc = match op {
+        FpOp::Neg => 0xC4,
+        FpOp::Abs => 0xC5,
+        FpOp::Sqrt => 0xC6,
+        FpOp::Mov => 0xC7,
+        _ => panic!("not a unary fp op"),
+    };
+    vec![opc, mr(fd, fb)]
+}
+
+// ---------------------------------------------------------------------------
+// Decoding.
+// ---------------------------------------------------------------------------
+
+#[inline]
+fn rd_hi(m: u8) -> Reg {
+    Reg(m >> 4)
+}
+
+#[inline]
+fn rg_lo(m: u8) -> Reg {
+    Reg(m & 0xF)
+}
+
+#[inline]
+fn fd_hi(m: u8) -> Option<Reg> {
+    let i = m >> 4;
+    (i < 8).then(|| Reg::fpr(i))
+}
+
+#[inline]
+fn fg_lo(m: u8) -> Option<Reg> {
+    let i = m & 0xF;
+    (i < 8).then(|| Reg::fpr(i))
+}
+
+fn i8_at(b: &[u8], i: usize) -> Option<i64> {
+    b.get(i).map(|&x| x as i8 as i64)
+}
+
+fn i16_at(b: &[u8], i: usize) -> Option<i64> {
+    Some(i16::from_le_bytes([*b.get(i)?, *b.get(i + 1)?]) as i64)
+}
+
+fn i32_at(b: &[u8], i: usize) -> Option<i64> {
+    Some(i32::from_le_bytes([*b.get(i)?, *b.get(i + 1)?, *b.get(i + 2)?, *b.get(i + 3)?]) as i64)
+}
+
+fn u64_at(b: &[u8], i: usize) -> Option<u64> {
+    if b.len() < i + 8 {
+        return None;
+    }
+    let mut a = [0u8; 8];
+    a.copy_from_slice(&b[i..i + 8]);
+    Some(u64::from_le_bytes(a))
+}
+
+/// Builds the µop sequence of an ALU instruction, handling `Mov` and
+/// `CmpFlags` special destinations.
+fn alu_uop(op: IntOp, width: Width, rd: Reg, src_reg: Option<Reg>, imm: i64) -> Uop {
+    match op {
+        IntOp::Mov => Uop::alu(op, width, rd, src_reg, None, imm),
+        IntOp::CmpFlags => Uop::alu(op, width, Reg::FLAGS, Some(rd), src_reg, imm),
+        _ => Uop::alu(op, width, rd, Some(rd), src_reg, imm),
+    }
+}
+
+/// Decodes one x86e instruction at `pc` from `bytes` (byte 0 = byte at `pc`).
+///
+/// Returns [`Decoded::illegal`] for reserved encodings or truncated input.
+pub fn decode(bytes: &[u8], pc: u64) -> Decoded {
+    let Some(&opc) = bytes.first() else {
+        return Decoded::illegal(1);
+    };
+    let one = |u: Uop, len: u8| Decoded {
+        len,
+        uops: vec![u],
+        fault: None,
+    };
+    match opc {
+        OPC_NOP => one(Uop::nop(), 1),
+        OPC_RET => {
+            // load t0, [sp]; sp += 8; jmp t0 (return-flavoured)
+            let ld = Uop::load(Width::B8, false, Reg::T0, Reg::SP, 0);
+            let add = Uop::alu(IntOp::Add, Width::B8, Reg::SP, Some(Reg::SP), None, 8);
+            let mut j = Uop::nop();
+            j.kind = UopKind::Branch;
+            j.branch = BranchKind::Ret;
+            j.ra = Some(Reg::T0);
+            Decoded {
+                len: 1,
+                uops: vec![ld, add, j],
+                fault: None,
+            }
+        }
+        OPC_SYSCALL => {
+            let mut u = Uop::nop();
+            u.kind = UopKind::Syscall;
+            one(u, 1)
+        }
+        OPC_HINT => {
+            if bytes.len() < 2 {
+                return Decoded::illegal(1);
+            }
+            let mut u = Uop::nop();
+            u.kind = UopKind::Hint;
+            u.imm = bytes[1] as i64;
+            one(u, 2)
+        }
+        OPC_JMP_REG => {
+            let Some(&m) = bytes.get(1) else {
+                return Decoded::illegal(1);
+            };
+            let mut u = Uop::nop();
+            u.kind = UopKind::Branch;
+            u.branch = BranchKind::JumpInd;
+            u.ra = Some(rd_hi(m));
+            one(u, 2)
+        }
+        OPC_JMP => {
+            let Some(d) = i32_at(bytes, 1) else {
+                return Decoded::illegal(1);
+            };
+            let mut u = Uop::nop();
+            u.kind = UopKind::Branch;
+            u.branch = BranchKind::Jump;
+            u.target = pc.wrapping_add(5).wrapping_add(d as u64);
+            one(u, 5)
+        }
+        OPC_CALL => {
+            let Some(d) = i32_at(bytes, 1) else {
+                return Decoded::illegal(1);
+            };
+            let ret_addr = pc.wrapping_add(5);
+            let target = ret_addr.wrapping_add(d as u64);
+            // t0 = ret_addr; [sp-8] = t0; sp -= 8; call target
+            let mv = Uop::alu(IntOp::Mov, Width::B8, Reg::T0, None, None, ret_addr as i64);
+            let st = Uop::store(Width::B8, Reg::T0, Reg::SP, -8);
+            let sub = Uop::alu(IntOp::Sub, Width::B8, Reg::SP, Some(Reg::SP), None, 8);
+            let mut j = Uop::nop();
+            j.kind = UopKind::Branch;
+            j.branch = BranchKind::Call;
+            j.target = target;
+            Decoded {
+                len: 5,
+                uops: vec![mv, st, sub, j],
+                fault: None,
+            }
+        }
+        // ALU register-register forms.
+        0x10..=0x1E | 0x40..=0x4E => {
+            let op = IntOp::from_index(opc & 0xF).unwrap();
+            let w = if opc & 0xF0 == 0x40 { Width::B4 } else { Width::B8 };
+            let Some(&m) = bytes.get(1) else {
+                return Decoded::illegal(1);
+            };
+            let (rd, rb) = (rd_hi(m), rg_lo(m));
+            one(alu_uop(op, w, rd, Some(rb), 0), 2)
+        }
+        // ALU register-imm8 forms.
+        0x20..=0x2E | 0x50..=0x5E => {
+            let op = IntOp::from_index(opc & 0xF).unwrap();
+            let w = if opc & 0xF0 == 0x50 { Width::B4 } else { Width::B8 };
+            let (Some(&m), Some(imm)) = (bytes.get(1), i8_at(bytes, 2)) else {
+                return Decoded::illegal(1);
+            };
+            one(alu_uop(op, w, rd_hi(m), None, imm), 3)
+        }
+        // ALU register-imm32 forms.
+        0x30..=0x3E | 0x60..=0x6E => {
+            let op = IntOp::from_index(opc & 0xF).unwrap();
+            let w = if opc & 0xF0 == 0x60 { Width::B4 } else { Width::B8 };
+            let (Some(&m), Some(imm)) = (bytes.get(1), i32_at(bytes, 2)) else {
+                return Decoded::illegal(1);
+            };
+            one(alu_uop(op, w, rd_hi(m), None, imm), 6)
+        }
+        // jcc rel16
+        0x70..=0x79 => {
+            let cond = Cond::from_index(opc & 0xF).unwrap();
+            let Some(d) = i16_at(bytes, 1) else {
+                return Decoded::illegal(1);
+            };
+            let mut u = Uop::nop();
+            u.kind = UopKind::Branch;
+            u.branch = BranchKind::CondDirect;
+            u.cond = cond;
+            u.cond_on_flags = true;
+            u.ra = Some(Reg::FLAGS);
+            u.target = pc.wrapping_add(3).wrapping_add(d as u64);
+            one(u, 3)
+        }
+        // Loads.
+        0x80..=0x8F => {
+            let signed = opc & 0x04 != 0;
+            let wide_disp = opc & 0x08 != 0;
+            let w = Width::from_code(opc & 3);
+            let Some(&m) = bytes.get(1) else {
+                return Decoded::illegal(1);
+            };
+            let (disp, len) = if wide_disp {
+                match i32_at(bytes, 2) {
+                    Some(d) => (d, 6),
+                    None => return Decoded::illegal(1),
+                }
+            } else {
+                match i8_at(bytes, 2) {
+                    Some(d) => (d, 3),
+                    None => return Decoded::illegal(1),
+                }
+            };
+            one(Uop::load(w, signed, rd_hi(m), rg_lo(m), disp), len)
+        }
+        // Stores.
+        0x90..=0x97 => {
+            let wide_disp = opc & 0x04 != 0;
+            let w = Width::from_code(opc & 3);
+            let Some(&m) = bytes.get(1) else {
+                return Decoded::illegal(1);
+            };
+            let (disp, len) = if wide_disp {
+                match i32_at(bytes, 2) {
+                    Some(d) => (d, 6),
+                    None => return Decoded::illegal(1),
+                }
+            } else {
+                match i8_at(bytes, 2) {
+                    Some(d) => (d, 3),
+                    None => return Decoded::illegal(1),
+                }
+            };
+            one(Uop::store(w, rd_hi(m), rg_lo(m), disp), len)
+        }
+        // movabs
+        0x98 => {
+            let (Some(&m), Some(imm)) = (bytes.get(1), u64_at(bytes, 2)) else {
+                return Decoded::illegal(1);
+            };
+            one(
+                Uop::alu(IntOp::Mov, Width::B8, rd_hi(m), None, None, imm as i64),
+                10,
+            )
+        }
+        // Memory-operand ALU (cracked into load + op).
+        0xA0..=0xA4 | 0xA8..=0xAC => {
+            let op = IntOp::from_index(opc & 0x7).unwrap();
+            let wide_disp = opc & 0x08 != 0;
+            let Some(&m) = bytes.get(1) else {
+                return Decoded::illegal(1);
+            };
+            let (disp, len) = if wide_disp {
+                match i32_at(bytes, 2) {
+                    Some(d) => (d, 6),
+                    None => return Decoded::illegal(1),
+                }
+            } else {
+                match i8_at(bytes, 2) {
+                    Some(d) => (d, 3),
+                    None => return Decoded::illegal(1),
+                }
+            };
+            let rd = rd_hi(m);
+            let ld = Uop::load(Width::B8, false, Reg::T0, rg_lo(m), disp);
+            let op_uop = Uop::alu(op, Width::B8, rd, Some(rd), Some(Reg::T0), 0);
+            Decoded {
+                len,
+                uops: vec![ld, op_uop],
+                fault: None,
+            }
+        }
+        // FP compare → FLAGS.
+        0xB0 => {
+            let Some(&m) = bytes.get(1) else {
+                return Decoded::illegal(1);
+            };
+            let (Some(fa), Some(fb)) = (fd_hi(m), fg_lo(m)) else {
+                return Decoded::illegal(2);
+            };
+            let mut u = Uop::nop();
+            u.kind = UopKind::Fp;
+            u.fp = FpOp::CmpFlags;
+            u.rd = Some(Reg::FLAGS);
+            u.ra = Some(fa);
+            u.rb = Some(fb);
+            one(u, 2)
+        }
+        // FP load/store.
+        0xB1..=0xB4 => {
+            let is_store = opc >= 0xB3;
+            let wide_disp = opc == 0xB2 || opc == 0xB4;
+            let Some(&m) = bytes.get(1) else {
+                return Decoded::illegal(1);
+            };
+            let (disp, len) = if wide_disp {
+                match i32_at(bytes, 2) {
+                    Some(d) => (d, 6),
+                    None => return Decoded::illegal(1),
+                }
+            } else {
+                match i8_at(bytes, 2) {
+                    Some(d) => (d, 3),
+                    None => return Decoded::illegal(1),
+                }
+            };
+            let Some(f) = fd_hi(m) else {
+                return Decoded::illegal(len);
+            };
+            let base = rg_lo(m);
+            let u = if is_store {
+                Uop::store(Width::B8, f, base, disp)
+            } else {
+                Uop::load(Width::B8, false, f, base, disp)
+            };
+            one(u, len)
+        }
+        // Conversions and bitcasts.
+        0xB5..=0xB8 => {
+            let Some(&m) = bytes.get(1) else {
+                return Decoded::illegal(1);
+            };
+            let mut u = Uop::nop();
+            u.kind = UopKind::Fp;
+            match opc {
+                0xB5 => {
+                    let Some(fd) = fd_hi(m) else {
+                        return Decoded::illegal(2);
+                    };
+                    u.fp = FpOp::FromInt;
+                    u.rd = Some(fd);
+                    u.ra = Some(rg_lo(m));
+                }
+                0xB6 => {
+                    let Some(fa) = fg_lo(m) else {
+                        return Decoded::illegal(2);
+                    };
+                    u.fp = FpOp::ToInt;
+                    u.rd = Some(rd_hi(m));
+                    u.ra = Some(fa);
+                }
+                0xB7 => {
+                    let Some(fd) = fd_hi(m) else {
+                        return Decoded::illegal(2);
+                    };
+                    u.fp = FpOp::FromBits;
+                    u.rd = Some(fd);
+                    u.ra = Some(rg_lo(m));
+                }
+                _ => {
+                    let Some(fa) = fg_lo(m) else {
+                        return Decoded::illegal(2);
+                    };
+                    u.fp = FpOp::ToBits;
+                    u.rd = Some(rd_hi(m));
+                    u.ra = Some(fa);
+                }
+            }
+            one(u, 2)
+        }
+        // FP arithmetic, destructive binary.
+        0xC0..=0xC3 => {
+            let Some(&m) = bytes.get(1) else {
+                return Decoded::illegal(1);
+            };
+            let (Some(fd), Some(fb)) = (fd_hi(m), fg_lo(m)) else {
+                return Decoded::illegal(2);
+            };
+            let mut u = Uop::nop();
+            u.kind = UopKind::Fp;
+            u.fp = FpOp::from_index(opc - 0xC0).unwrap();
+            u.rd = Some(fd);
+            u.ra = Some(fd);
+            u.rb = Some(fb);
+            one(u, 2)
+        }
+        // FP unary.
+        0xC4..=0xC7 => {
+            let Some(&m) = bytes.get(1) else {
+                return Decoded::illegal(1);
+            };
+            let (Some(fd), Some(fb)) = (fd_hi(m), fg_lo(m)) else {
+                return Decoded::illegal(2);
+            };
+            let mut u = Uop::nop();
+            u.kind = UopKind::Fp;
+            u.fp = match opc {
+                0xC4 => FpOp::Neg,
+                0xC5 => FpOp::Abs,
+                0xC6 => FpOp::Sqrt,
+                _ => FpOp::Mov,
+            };
+            u.rd = Some(fd);
+            u.ra = Some(fb);
+            one(u, 2)
+        }
+        _ => Decoded::illegal(1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dec(bytes: &[u8]) -> Decoded {
+        decode(bytes, 0x10_000)
+    }
+
+    #[test]
+    fn nop_hint_syscall() {
+        assert_eq!(dec(&encode_nop()).uops[0].kind, UopKind::Nop);
+        let h = dec(&encode_hint(0x5A));
+        assert_eq!(h.uops[0].kind, UopKind::Hint);
+        assert_eq!(h.uops[0].imm, 0x5A);
+        assert_eq!(dec(&encode_syscall()).uops[0].kind, UopKind::Syscall);
+    }
+
+    #[test]
+    fn alu_rr_decodes_destructive() {
+        let d = dec(&encode_alu_rr(IntOp::Sub, false, 3, 7));
+        assert_eq!(d.len, 2);
+        let u = &d.uops[0];
+        assert_eq!(u.kind, UopKind::Alu);
+        assert_eq!(u.alu, IntOp::Sub);
+        assert_eq!(u.rd, Some(Reg::gpr(3)));
+        assert_eq!(u.ra, Some(Reg::gpr(3)));
+        assert_eq!(u.rb, Some(Reg::gpr(7)));
+        assert_eq!(u.width, Width::B8);
+    }
+
+    #[test]
+    fn alu32_has_b4_width() {
+        let d = dec(&encode_alu_rr(IntOp::Add, true, 1, 2));
+        assert_eq!(d.uops[0].width, Width::B4);
+    }
+
+    #[test]
+    fn mov_rr_reads_only_source() {
+        let d = dec(&encode_alu_rr(IntOp::Mov, false, 4, 9));
+        let u = &d.uops[0];
+        assert_eq!(u.alu, IntOp::Mov);
+        assert_eq!(u.rd, Some(Reg::gpr(4)));
+        assert_eq!(u.ra, Some(Reg::gpr(9)));
+    }
+
+    #[test]
+    fn cmp_writes_flags() {
+        let d = dec(&encode_alu_rr(IntOp::CmpFlags, false, 4, 9));
+        let u = &d.uops[0];
+        assert_eq!(u.rd, Some(Reg::FLAGS));
+        assert_eq!(u.ra, Some(Reg::gpr(4)));
+        assert_eq!(u.rb, Some(Reg::gpr(9)));
+    }
+
+    #[test]
+    fn alu_imm_forms_roundtrip() {
+        let d = dec(&encode_alu_ri(IntOp::Add, false, 2, 100));
+        assert_eq!(d.len, 3);
+        assert_eq!(d.uops[0].imm, 100);
+        let d = dec(&encode_alu_ri(IntOp::Add, false, 2, -100000));
+        assert_eq!(d.len, 6);
+        assert_eq!(d.uops[0].imm, -100000);
+        let d = dec(&encode_alu_ri(IntOp::Mov, true, 2, -1));
+        assert_eq!(d.uops[0].ra, None);
+        assert_eq!(d.uops[0].imm, -1);
+    }
+
+    #[test]
+    fn movabs_roundtrip() {
+        let d = dec(&encode_movabs(11, 0xDEAD_BEEF_CAFE_F00D));
+        assert_eq!(d.len, 10);
+        assert_eq!(d.uops[0].imm as u64, 0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(d.uops[0].rd, Some(Reg::gpr(11)));
+    }
+
+    #[test]
+    fn load_store_roundtrip() {
+        let d = dec(&encode_load(Width::B2, true, 5, 15, -4));
+        assert_eq!(d.len, 3);
+        let u = &d.uops[0];
+        assert_eq!(u.kind, UopKind::Load);
+        assert!(u.signed);
+        assert_eq!(u.width, Width::B2);
+        assert_eq!(u.ra, Some(Reg::SP));
+        assert_eq!(u.imm, -4);
+
+        let d = dec(&encode_store(Width::B4, 2, 3, 1000));
+        assert_eq!(d.len, 6);
+        let u = &d.uops[0];
+        assert_eq!(u.kind, UopKind::Store);
+        assert_eq!(u.rb, Some(Reg::gpr(2)));
+        assert_eq!(u.imm, 1000);
+    }
+
+    #[test]
+    fn alu_mem_cracks_into_two_uops() {
+        let d = dec(&encode_alu_mem(IntOp::Xor, 6, 1, 24));
+        assert_eq!(d.uops.len(), 2);
+        assert_eq!(d.uops[0].kind, UopKind::Load);
+        assert_eq!(d.uops[0].rd, Some(Reg::T0));
+        assert_eq!(d.uops[1].alu, IntOp::Xor);
+        assert_eq!(d.uops[1].rb, Some(Reg::T0));
+    }
+
+    #[test]
+    fn call_cracks_into_stack_push_and_jump() {
+        let d = decode(&encode_call(0x40), 0x10_000);
+        assert_eq!(d.uops.len(), 4);
+        assert_eq!(d.uops[1].kind, UopKind::Store);
+        assert_eq!(d.uops[3].branch, BranchKind::Call);
+        assert_eq!(d.uops[3].target, 0x10_000 + 5 + 0x40);
+        // Return address constant is pc + 5.
+        assert_eq!(d.uops[0].imm, 0x10_005);
+    }
+
+    #[test]
+    fn ret_cracks_into_stack_pop_and_jump() {
+        let d = dec(&encode_ret());
+        assert_eq!(d.uops.len(), 3);
+        assert_eq!(d.uops[0].kind, UopKind::Load);
+        assert_eq!(d.uops[2].branch, BranchKind::Ret);
+    }
+
+    #[test]
+    fn jcc_computes_absolute_target() {
+        let d = decode(&encode_jcc(Cond::Ne, -6), 0x20_000);
+        let u = &d.uops[0];
+        assert_eq!(u.branch, BranchKind::CondDirect);
+        assert!(u.cond_on_flags);
+        assert_eq!(u.ra, Some(Reg::FLAGS));
+        assert_eq!(u.target, 0x20_000 + 3 - 6);
+    }
+
+    #[test]
+    fn jmp_negative_displacement() {
+        let d = decode(&encode_jmp(-10), 0x10_100);
+        assert_eq!(d.uops[0].target, 0x10_100 + 5 - 10);
+    }
+
+    #[test]
+    fn fp_ops_roundtrip() {
+        let d = dec(&encode_fp_rr(FpOp::Mul, 3, 5));
+        let u = &d.uops[0];
+        assert_eq!(u.fp, FpOp::Mul);
+        assert_eq!(u.rd, Some(Reg::fpr(3)));
+        assert_eq!(u.ra, Some(Reg::fpr(3)));
+        assert_eq!(u.rb, Some(Reg::fpr(5)));
+
+        let d = dec(&encode_fp_unary(FpOp::Sqrt, 2, 6));
+        assert_eq!(d.uops[0].fp, FpOp::Sqrt);
+        assert_eq!(d.uops[0].ra, Some(Reg::fpr(6)));
+
+        let d = dec(&encode_fcmp(1, 2));
+        assert_eq!(d.uops[0].rd, Some(Reg::FLAGS));
+
+        let d = dec(&encode_fload(4, 15, 64));
+        assert_eq!(d.uops[0].kind, UopKind::Load);
+        assert_eq!(d.uops[0].rd, Some(Reg::fpr(4)));
+
+        let d = dec(&encode_fstore(4, 15, 64));
+        assert_eq!(d.uops[0].kind, UopKind::Store);
+        assert_eq!(d.uops[0].rb, Some(Reg::fpr(4)));
+
+        let d = dec(&encode_cvtif(1, 9));
+        assert_eq!(d.uops[0].fp, FpOp::FromInt);
+        let d = dec(&encode_cvtfi(9, 1));
+        assert_eq!(d.uops[0].fp, FpOp::ToInt);
+        assert_eq!(d.uops[0].rd, Some(Reg::gpr(9)));
+    }
+
+    #[test]
+    fn reserved_opcodes_are_illegal() {
+        for opc in [0x00u8, 0x08, 0x0F, 0x1F, 0x3F, 0x7A, 0xA5, 0xC8, 0xFF] {
+            let d = dec(&[opc, 0, 0, 0, 0, 0]);
+            assert!(d.fault.is_some(), "opcode {opc:#x} should be illegal");
+            assert!(d.uops.is_empty());
+        }
+    }
+
+    #[test]
+    fn truncated_input_is_illegal_not_panic() {
+        // Each opcode with its stream cut short must decode to a fault.
+        for opc in 0u8..=255 {
+            let d = decode(&[opc], 0x10_000);
+            // Single-byte instructions decode fine; everything else faults.
+            if ![OPC_NOP, OPC_RET, OPC_SYSCALL].contains(&opc) {
+                assert!(d.fault.is_some() || d.len == 1, "opcode {opc:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn fp_register_out_of_range_is_illegal() {
+        // modrm high nibble 9 (> f7) on an FP op.
+        let d = dec(&[0xC0, 0x9A]);
+        assert!(d.fault.is_some());
+    }
+}

@@ -1,0 +1,251 @@
+//! # difi-mars
+//!
+//! **MarsSim** — the MARSS-flavoured out-of-order x86e simulator — and
+//! **MaFIN**, the MARSS-based fault injector built on it.
+//!
+//! MarsSim reproduces the MARSS properties the paper's differential analysis
+//! rests on (Table II column 1, plus the behaviours of Remarks 1, 3, 6, 8):
+//!
+//! * OoO pipeline, 64-entry ROB, 32-entry issue queue, **32-entry unified
+//!   LSQ whose loads and stores both hold data**;
+//! * 256 integer + 256 FP physical registers;
+//! * **aggressive load issue** before older store addresses resolve, with
+//!   alias replay;
+//! * **QEMU-style hypervisor escape**: kernel services bypass the caches;
+//!   committed stores keep main memory coherent (store-through);
+//! * tournament predictor whose chooser is bound to the **branch address**;
+//!   split 4-way BTBs (1K direct + 512 indirect); 16-entry RAS;
+//! * next-line **prefetchers** on L1I and L1D (the paper's added
+//!   components, Table IV "New");
+//! * **assertion-rich** model code: undecodable bytes and impossible
+//!   internal states stop the simulation with an assertion, wrong-path or
+//!   not.
+//!
+//! ```
+//! use difi_mars::MaFin;
+//! use difi_core::{InjectorDispatcher, InjectionSpec, RunLimits};
+//! use difi_isa::asm::Asm;
+//! use difi_isa::program::Isa;
+//!
+//! # fn main() -> Result<(), difi_util::Error> {
+//! let mut a = Asm::new(Isa::X86e);
+//! a.li(4, 7);
+//! a.write_int(4);
+//! a.exit(0);
+//! let prog = a.finish("seven")?;
+//! let mafin = MaFin::new();
+//! let golden = mafin.run(&prog, &InjectionSpec { id: 0, faults: vec![] },
+//!                        &RunLimits::golden(1_000_000));
+//! assert_eq!(golden.output, b"7\n");
+//! # Ok(())
+//! # }
+//! ```
+
+use difi_core::model::{
+    FaultDuration, InjectTime, InjectionSpec, RawRunResult, RunLimits, RunStatus,
+};
+use difi_core::InjectorDispatcher;
+use difi_isa::program::{Isa, Program};
+use difi_uarch::cache::CacheConfig;
+use difi_uarch::fault::StructureDesc;
+use difi_uarch::pipeline::engine::{EarlyWhy, EngineFault, EngineLimits};
+use difi_uarch::pipeline::{BtbOrg, CoreConfig, CorePolicy, LsqOrg, OoOCore, SimExit};
+use difi_uarch::predictor::TournamentConfig;
+
+/// The MarsSim core configuration (Table II, MARSS/x86 column).
+pub fn mars_config() -> CoreConfig {
+    CoreConfig {
+        int_prf: 256,
+        fp_prf: 256,
+        iq_entries: 32,
+        rob_entries: 64,
+        lsq: LsqOrg::Unified { entries: 32 },
+        width: 4,
+        fetch_bytes: 16,
+        int_alus: 2,
+        mul_div_units: 1,
+        fp_units: 2,
+        mem_ports: 4,
+        ras_depth: 16,
+        predictor: TournamentConfig::MARSS,
+        btb: BtbOrg::MarssSplit,
+        l1i: CacheConfig::L1,
+        l1d: CacheConfig::L1,
+        l2: CacheConfig::L2,
+        policy: CorePolicy {
+            aggressive_loads: true,
+            hypervisor_kernel: true,
+            store_through: true,
+            decode_fault_asserts: true,
+            payload_error_asserts: true,
+            rich_asserts: true,
+            prefetchers: true,
+            model_cache_data: true,
+        },
+    }
+}
+
+/// MarsSim as *original* MARSS: no modeled cache data arrays (loads read
+/// the QEMU-coherent main memory) and no added prefetchers. The baseline of
+/// the EXP-OVH comparison — the paper reports the data-array extension cost
+/// ≈40% of simulation throughput (§III.C).
+pub fn perf_only_config() -> CoreConfig {
+    let mut c = mars_config();
+    c.policy.prefetchers = false;
+    c.policy.model_cache_data = false;
+    c
+}
+
+/// **MaFIN** — the MARSS-based fault injector dispatcher.
+#[derive(Debug, Clone)]
+pub struct MaFin {
+    cfg: CoreConfig,
+}
+
+impl MaFin {
+    /// A MaFIN over the paper's MarsSim configuration.
+    pub fn new() -> MaFin {
+        MaFin { cfg: mars_config() }
+    }
+
+    /// A MaFIN over a custom configuration (sizing studies).
+    pub fn with_config(cfg: CoreConfig) -> MaFin {
+        MaFin { cfg }
+    }
+
+    /// The underlying core configuration.
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+
+    /// Boots a fresh MarsSim instance for one run (exposed for diagnostics
+    /// and the runtime-statistics studies behind Remarks 1–11).
+    pub fn boot(&self, program: &Program) -> OoOCore {
+        OoOCore::new(self.cfg, program)
+    }
+}
+
+impl Default for MaFin {
+    fn default() -> Self {
+        MaFin::new()
+    }
+}
+
+/// Translates campaign fault records into engine coordinates.
+pub fn to_engine_faults(spec: &InjectionSpec) -> Vec<EngineFault> {
+    spec.faults
+        .iter()
+        .map(|f| EngineFault {
+            structure: f.structure,
+            entry: f.entry,
+            bit: f.bit,
+            kind: f.kind.into(),
+            at_cycle: match f.at {
+                InjectTime::Cycle(c) => Some(c),
+                InjectTime::Instruction(_) => None,
+            },
+            at_instruction: match f.at {
+                InjectTime::Instruction(n) => Some(n),
+                InjectTime::Cycle(_) => None,
+            },
+            duration_cycles: match f.duration {
+                FaultDuration::Intermittent { cycles } => Some(cycles),
+                _ => None,
+            },
+        })
+        .collect()
+}
+
+/// Converts an engine exit into the campaign's raw status vocabulary.
+pub fn to_run_status(core: &OoOCore, exit: SimExit) -> RunStatus {
+    match exit {
+        SimExit::Exited(code) => RunStatus::Completed { exit_code: code },
+        SimExit::ProcessCrash(f) => RunStatus::ProcessCrash(f.to_string()),
+        SimExit::SystemCrash(m) => RunStatus::SystemCrash(m.to_string()),
+        SimExit::SimAssert(m) => RunStatus::SimulatorAssert(m),
+        SimExit::SimCrash(m) => RunStatus::SimulatorCrash(m),
+        SimExit::Timeout => RunStatus::Timeout,
+        SimExit::EarlyMasked => RunStatus::EarlyStopMasked(match core.early_reason() {
+            EarlyWhy::DeadEntry => difi_core::EarlyStop::DeadEntry,
+            EarlyWhy::Overwritten => difi_core::EarlyStop::OverwrittenBeforeRead,
+        }),
+    }
+}
+
+impl InjectorDispatcher for MaFin {
+    fn name(&self) -> &str {
+        "MaFIN-x86"
+    }
+
+    fn isa(&self) -> Isa {
+        Isa::X86e
+    }
+
+    fn structures(&self) -> Vec<StructureDesc> {
+        OoOCore::structures(&self.cfg)
+    }
+
+    fn run(&self, program: &Program, spec: &InjectionSpec, limits: &RunLimits) -> RawRunResult {
+        assert_eq!(program.isa, Isa::X86e, "MaFIN simulates x86e programs");
+        let mut core = OoOCore::new(self.cfg, program);
+        let faults = to_engine_faults(spec);
+        let elim = EngineLimits {
+            max_cycles: limits.max_cycles,
+            early_stop: limits.early_stop,
+            deadlock_window: limits.deadlock_window,
+        };
+        let run = core.run(&faults, &elim);
+        RawRunResult {
+            status: to_run_status(&core, run.exit),
+            output: run.output,
+            exceptions: run.exceptions,
+            cycles: run.stats.cycles,
+            instructions: run.stats.committed_instructions,
+            fault_consumed: run.fault_consumed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use difi_uarch::fault::StructureId;
+
+    #[test]
+    fn config_matches_table_ii() {
+        let c = mars_config();
+        assert_eq!(c.int_prf, 256);
+        assert_eq!(c.fp_prf, 256);
+        assert_eq!(c.iq_entries, 32);
+        assert_eq!(c.rob_entries, 64);
+        assert_eq!(c.lsq, LsqOrg::Unified { entries: 32 });
+        assert_eq!(c.l1d.capacity(), 32 * 1024);
+        assert_eq!(c.l2.capacity(), 1024 * 1024);
+        assert!(c.policy.hypervisor_kernel);
+        assert!(c.policy.aggressive_loads);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn structures_cover_table_iv() {
+        let m = MaFin::new();
+        let s = m.structures();
+        let find = |id| s.iter().find(|d| d.id == id).copied();
+        let lsq = find(StructureId::LsqData).unwrap();
+        assert_eq!(lsq.entries, 32, "unified queue exposes 32 data entries");
+        let rf = find(StructureId::IntRegFile).unwrap();
+        assert_eq!(rf.total_bits(), 256 * 64);
+        let l1d = find(StructureId::L1dData).unwrap();
+        assert_eq!(l1d.total_bits(), 32 * 1024 * 8);
+        let btb = find(StructureId::Btb).unwrap();
+        assert_eq!(btb.entries, 1024 + 512, "1K direct + 512 indirect entries");
+        assert!(find(StructureId::L1iData).is_some());
+        assert!(find(StructureId::DtlbValid).is_some());
+    }
+
+    #[test]
+    fn dispatcher_is_sync() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<MaFin>();
+    }
+}

@@ -1,0 +1,565 @@
+//! Set-associative write-back caches with bit-accurate, fault-injectable
+//! tag, data, and valid-bit arrays.
+//!
+//! The paper's key enabling work on MARSS was adding exactly these arrays
+//! ("MARSS … models the control information of cache memories (tags and
+//! control bits) but only keeps the actual data … at the main memory model";
+//! Table IV lists the added L1D/L1I/L2 data arrays and valid bits). Here the
+//! arrays are first-class: data lives per line, tags and valid bits in
+//! [`BitPlane`]s, and every probe, refill, read, write, and writeback flows
+//! through the planes — so an injected fault has precisely the consequences
+//! it would have in hardware, including **writebacks to a wrong address**
+//! when a dirty line's tag is corrupted.
+
+use crate::fault::FaultHook;
+use difi_util::bits::{self, BitPlane};
+
+/// Static geometry of one cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Number of sets (power of two).
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Line size in bytes (power of two).
+    pub line: usize,
+}
+
+impl CacheConfig {
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.sets * self.ways * self.line
+    }
+
+    /// The paper's L1 configuration: 32 KB, 64 B lines, 128 sets, 4-way.
+    pub const L1: CacheConfig = CacheConfig {
+        sets: 128,
+        ways: 4,
+        line: 64,
+    };
+
+    /// The paper's L2 configuration: 1 MB, 64 B lines, 1024 sets, 16-way.
+    pub const L2: CacheConfig = CacheConfig {
+        sets: 1024,
+        ways: 16,
+        line: 64,
+    };
+}
+
+/// Per-cache runtime statistics (drives the Remark 3/5/10/11 analyses).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Read (or fetch) probes that hit.
+    pub read_hits: u64,
+    /// Read probes that missed.
+    pub read_misses: u64,
+    /// Write probes that hit.
+    pub write_hits: u64,
+    /// Write probes that missed.
+    pub write_misses: u64,
+    /// Valid lines replaced by fills.
+    pub replacements: u64,
+    /// Dirty lines written back.
+    pub writebacks: u64,
+}
+
+/// A dirty line leaving the cache, addressed by its (tag-derived) line
+/// address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Writeback {
+    /// Line-aligned address reconstructed from the stored tag — corrupted
+    /// tags send the data to the wrong place, exactly as in hardware.
+    pub addr: u64,
+    /// The line contents.
+    pub data: Vec<u8>,
+}
+
+/// One set-associative write-back cache.
+#[derive(Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    off_bits: u32,
+    set_bits: u32,
+    tag_bits: u32,
+    tags: BitPlane,
+    data: Vec<u8>,
+    valid: BitPlane,
+    dirty: Vec<bool>,
+    lru: Vec<u64>,
+    tick: u64,
+    /// Fault hook of the tag array.
+    pub tag_hook: FaultHook,
+    /// Fault hook of the data array.
+    pub data_hook: FaultHook,
+    /// Fault hook of the valid bits.
+    pub valid_hook: FaultHook,
+    /// Access statistics.
+    pub stats: CacheStats,
+}
+
+impl Cache {
+    /// Builds an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `sets`, `ways` and `line` are nonzero and `sets`/`line`
+    /// are powers of two.
+    pub fn new(cfg: CacheConfig) -> Cache {
+        assert!(cfg.sets.is_power_of_two() && cfg.line.is_power_of_two());
+        assert!(cfg.ways > 0);
+        let lines = cfg.sets * cfg.ways;
+        let off_bits = cfg.line.trailing_zeros();
+        let set_bits = cfg.sets.trailing_zeros();
+        // 32-bit physical address space bounds the tag width.
+        let tag_bits = 32 - off_bits - set_bits;
+        Cache {
+            cfg,
+            off_bits,
+            set_bits,
+            tag_bits,
+            tags: BitPlane::new(lines, tag_bits as usize),
+            data: vec![0; lines * cfg.line],
+            valid: BitPlane::new(lines, 1),
+            dirty: vec![false; lines],
+            lru: vec![0; lines],
+            tick: 0,
+            tag_hook: FaultHook::new(),
+            data_hook: FaultHook::new(),
+            valid_hook: FaultHook::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    /// Number of lines (`sets * ways`).
+    pub fn lines(&self) -> usize {
+        self.cfg.sets * self.cfg.ways
+    }
+
+    /// Bits per line in the data array.
+    pub fn data_bits_per_line(&self) -> u64 {
+        self.cfg.line as u64 * 8
+    }
+
+    /// Bits per tag entry.
+    pub fn tag_bits(&self) -> u32 {
+        self.tag_bits
+    }
+
+    #[inline]
+    fn set_of(&self, addr: u64) -> usize {
+        ((addr >> self.off_bits) as usize) & (self.cfg.sets - 1)
+    }
+
+    #[inline]
+    fn tag_of(&self, addr: u64) -> u64 {
+        (addr >> (self.off_bits + self.set_bits)) & ((1u64 << self.tag_bits) - 1)
+    }
+
+    #[inline]
+    fn line_index(&self, set: usize, way: usize) -> usize {
+        set * self.cfg.ways + way
+    }
+
+    /// Reconstructs a line's base address from its *stored* tag (faults
+    /// included) — the address a writeback of this line will target.
+    pub fn line_addr(&mut self, line: usize) -> u64 {
+        let set = (line / self.cfg.ways) as u64;
+        self.tag_hook.note_read(line as u64, 0, self.tag_bits);
+        let tag = self.tags.get_field(line, 0, self.tag_bits as usize);
+        (tag << (self.off_bits + self.set_bits)) | (set << self.off_bits)
+    }
+
+    /// Probes the cache for the line containing `addr`. Touches the tag and
+    /// valid planes of every way in the set (which is what makes tag/valid
+    /// faults observable). Does not update statistics — callers know whether
+    /// the probe was a read or a write.
+    pub fn lookup(&mut self, addr: u64) -> Option<usize> {
+        let set = self.set_of(addr);
+        let want = self.tag_of(addr);
+        let mut found = None;
+        for way in 0..self.cfg.ways {
+            let line = self.line_index(set, way);
+            self.valid_hook.note_read(line as u64, 0, 1);
+            if !self.valid.get(line, 0) {
+                continue;
+            }
+            self.tag_hook.note_read(line as u64, 0, self.tag_bits);
+            let tag = self.tags.get_field(line, 0, self.tag_bits as usize);
+            if tag == want {
+                found = Some(line);
+                // Keep scanning: remaining ways' valid bits were probed by
+                // the parallel comparators anyway; tags of invalid ways are
+                // not driven.
+            }
+        }
+        if let Some(line) = found {
+            self.tick += 1;
+            self.lru[line] = self.tick;
+        }
+        found
+    }
+
+    /// Reads `buf.len()` bytes at `off` within `line` through the data
+    /// plane's fault hook.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the line.
+    pub fn read(&mut self, line: usize, off: usize, buf: &mut [u8]) {
+        assert!(off + buf.len() <= self.cfg.line);
+        self.data_hook
+            .note_read(line as u64, (off * 8) as u32, (buf.len() * 8) as u32);
+        let base = line * self.cfg.line + off;
+        buf.copy_from_slice(&self.data[base..base + buf.len()]);
+    }
+
+    /// Writes `bytes` at `off` within `line`, marks the line dirty, and
+    /// re-asserts any stuck-at bits overlapping the write.
+    pub fn write(&mut self, line: usize, off: usize, bytes: &[u8]) {
+        assert!(off + bytes.len() <= self.cfg.line);
+        let needs_fixup =
+            self.data_hook
+                .note_write(line as u64, (off * 8) as u32, (bytes.len() * 8) as u32);
+        let base = line * self.cfg.line + off;
+        self.data[base..base + bytes.len()].copy_from_slice(bytes);
+        if needs_fixup {
+            self.apply_data_stuck(line);
+        }
+        self.dirty[line] = true;
+    }
+
+    fn apply_data_stuck(&mut self, line: usize) {
+        let base = line * self.cfg.line;
+        let line_len = self.cfg.line;
+        // Collect first to avoid holding a borrow of the hook.
+        let fixes: Vec<(u32, bool)> = self.data_hook.stuck_fixups(line as u64).collect();
+        for (bit, v) in fixes {
+            bits::set_bit_in_bytes(&mut self.data[base..base + line_len], bit as u64, v);
+        }
+    }
+
+    /// Installs the line containing `addr` (full `line`-sized `data`),
+    /// evicting a victim if necessary. Returns the dirty victim as a
+    /// [`Writeback`] when one must be propagated down the hierarchy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not exactly one line.
+    pub fn fill(&mut self, addr: u64, data: &[u8]) -> Option<Writeback> {
+        assert_eq!(data.len(), self.cfg.line);
+        let set = self.set_of(addr);
+        // Victim selection: first invalid way, else LRU.
+        let mut victim = None;
+        for way in 0..self.cfg.ways {
+            let line = self.line_index(set, way);
+            self.valid_hook.note_read(line as u64, 0, 1);
+            if !self.valid.get(line, 0) {
+                victim = Some(line);
+                break;
+            }
+        }
+        let line = victim.unwrap_or_else(|| {
+            (0..self.cfg.ways)
+                .map(|w| self.line_index(set, w))
+                .min_by_key(|&l| self.lru[l])
+                .expect("ways > 0")
+        });
+
+        let mut wb = None;
+        if self.valid.get(line, 0) {
+            self.stats.replacements += 1;
+            if self.dirty[line] {
+                self.stats.writebacks += 1;
+                let victim_addr = self.line_addr(line);
+                let mut victim_data = vec![0u8; self.cfg.line];
+                self.read(line, 0, &mut victim_data);
+                wb = Some(Writeback {
+                    addr: victim_addr,
+                    data: victim_data,
+                });
+            }
+        }
+
+        // Install tag.
+        let tag = self.tag_of(addr);
+        let tag_fix = self.tag_hook.note_write(line as u64, 0, self.tag_bits);
+        self.tags.set_field(line, 0, self.tag_bits as usize, tag);
+        if tag_fix {
+            let fixes: Vec<(u32, bool)> = self.tag_hook.stuck_fixups(line as u64).collect();
+            for (bit, v) in fixes {
+                self.tags.set(line, bit as usize, v);
+            }
+        }
+        // Install data (fill does not dirty the line).
+        let data_fix = self
+            .data_hook
+            .note_write(line as u64, 0, (self.cfg.line * 8) as u32);
+        let base = line * self.cfg.line;
+        self.data[base..base + self.cfg.line].copy_from_slice(data);
+        if data_fix {
+            self.apply_data_stuck(line);
+        }
+        self.dirty[line] = false;
+        // Set valid.
+        let valid_fix = self.valid_hook.note_write(line as u64, 0, 1);
+        self.valid.set(line, 0, true);
+        if valid_fix {
+            let fixes: Vec<(u32, bool)> = self.valid_hook.stuck_fixups(line as u64).collect();
+            for (bit, v) in fixes {
+                self.valid.set(line, bit as usize, v);
+            }
+        }
+        self.tick += 1;
+        self.lru[line] = self.tick;
+        wb
+    }
+
+    /// Peeks at a line's valid bit without touching fault hooks (used by the
+    /// injector's unused-entry check, not by the simulated machine).
+    pub fn peek_valid(&self, line: usize) -> bool {
+        self.valid.get(line, 0)
+    }
+
+    /// Peeks at a line's dirty flag.
+    pub fn peek_dirty(&self, line: usize) -> bool {
+        self.dirty[line]
+    }
+
+    /// Flips one bit of the **data** array and arms its liveness watch.
+    pub fn inject_data_flip(&mut self, line: u64, bit: u32) {
+        let base = line as usize * self.cfg.line;
+        let line_len = self.cfg.line;
+        bits::flip_bit_in_bytes(&mut self.data[base..base + line_len], bit as u64);
+        self.data_hook.arm_flip(line, bit);
+    }
+
+    /// Forces one bit of the data array stuck at `value`.
+    pub fn inject_data_stuck(&mut self, line: u64, bit: u32, value: bool) {
+        let base = line as usize * self.cfg.line;
+        let line_len = self.cfg.line;
+        bits::set_bit_in_bytes(&mut self.data[base..base + line_len], bit as u64, value);
+        self.data_hook.arm_stuck(line, bit, value);
+    }
+
+    /// Flips one bit of the **tag** array.
+    pub fn inject_tag_flip(&mut self, line: u64, bit: u32) {
+        self.tags.flip(line as usize, bit as usize);
+        self.tag_hook.arm_flip(line, bit);
+    }
+
+    /// Forces one tag bit stuck at `value`.
+    pub fn inject_tag_stuck(&mut self, line: u64, bit: u32, value: bool) {
+        self.tags.set(line as usize, bit as usize, value);
+        self.tag_hook.arm_stuck(line, bit, value);
+    }
+
+    /// Flips a line's **valid** bit.
+    pub fn inject_valid_flip(&mut self, line: u64) {
+        self.valid.flip(line as usize, 0);
+        self.valid_hook.arm_flip(line, 0);
+    }
+
+    /// Forces a line's valid bit stuck at `value`.
+    pub fn inject_valid_stuck(&mut self, line: u64, value: bool) {
+        self.valid.set(line as usize, 0, value);
+        self.valid_hook.arm_stuck(line, 0, value);
+    }
+
+    /// True when every armed fault across all three planes is provably dead.
+    pub fn all_faults_dead(&self) -> bool {
+        self.tag_hook.all_faults_dead()
+            && self.data_hook.all_faults_dead()
+            && self.valid_hook.all_faults_dead()
+    }
+
+    /// True when any armed fault has been consumed.
+    pub fn any_fault_consumed(&self) -> bool {
+        self.tag_hook.any_fault_consumed()
+            || self.data_hook.any_fault_consumed()
+            || self.valid_hook.any_fault_consumed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets × 2 ways × 16-byte lines = 128 B.
+        Cache::new(CacheConfig {
+            sets: 4,
+            ways: 2,
+            line: 16,
+        })
+    }
+
+    fn line_of(addr: u64, val: u8) -> Vec<u8> {
+        let mut v = vec![val; 16];
+        v[0] = addr as u8;
+        v
+    }
+
+    #[test]
+    fn miss_then_hit_roundtrip() {
+        let mut c = tiny();
+        assert!(c.lookup(0x1000).is_none());
+        assert!(c.fill(0x1000, &line_of(0x1000, 7)).is_none());
+        let line = c.lookup(0x1000).expect("hit after fill");
+        let mut b = [0u8; 4];
+        c.read(line, 4, &mut b);
+        assert_eq!(b, [7, 7, 7, 7]);
+    }
+
+    #[test]
+    fn set_indexing_separates_addresses() {
+        let mut c = tiny();
+        // 0x00 and 0x10 differ in set bits.
+        c.fill(0x00, &line_of(0, 1));
+        c.fill(0x10, &line_of(0x10, 2));
+        assert!(c.lookup(0x00).is_some());
+        assert!(c.lookup(0x10).is_some());
+        assert_ne!(c.lookup(0x00), c.lookup(0x10));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent_way() {
+        let mut c = tiny();
+        // Three addresses mapping to set 0 (set stride = 16 * 4 = 64).
+        c.fill(0x000, &line_of(0, 1));
+        c.fill(0x040, &line_of(0x40, 2));
+        // Touch 0x000 so 0x040 is LRU.
+        assert!(c.lookup(0x000).is_some());
+        c.fill(0x080, &line_of(0x80, 3));
+        assert!(c.lookup(0x000).is_some(), "recently used line survives");
+        assert!(c.lookup(0x040).is_none(), "LRU line evicted");
+        assert_eq!(c.stats.replacements, 1);
+    }
+
+    #[test]
+    fn dirty_eviction_produces_writeback_with_correct_address() {
+        let mut c = tiny();
+        c.fill(0x000, &line_of(0, 1));
+        let l = c.lookup(0x000).unwrap();
+        c.write(l, 0, &[0xAA; 16]);
+        c.fill(0x040, &line_of(0x40, 2));
+        let wb = c.fill(0x080, &line_of(0x80, 3));
+        // 0x000 was LRU (0x040 filled later): dirty → writeback.
+        let wb = wb.expect("dirty line must write back");
+        assert_eq!(wb.addr, 0x000);
+        assert_eq!(wb.data, vec![0xAA; 16]);
+        assert_eq!(c.stats.writebacks, 1);
+    }
+
+    #[test]
+    fn clean_eviction_produces_no_writeback() {
+        let mut c = tiny();
+        c.fill(0x000, &line_of(0, 1));
+        c.fill(0x040, &line_of(0x40, 2));
+        assert!(c.lookup(0x040).is_some()); // make 0x000 LRU
+        assert!(c.fill(0x080, &line_of(0x80, 3)).is_none());
+    }
+
+    #[test]
+    fn data_fault_flips_loaded_value_and_is_consumed() {
+        let mut c = tiny();
+        c.fill(0x000, &line_of(0, 0));
+        let l = c.lookup(0x000).unwrap();
+        c.inject_data_flip(l as u64, 8 * 5 + 1); // bit 1 of byte 5
+        let mut b = [0u8; 1];
+        c.read(l, 5, &mut b);
+        assert_eq!(b[0], 0b10);
+        assert!(c.any_fault_consumed());
+        assert!(!c.all_faults_dead());
+    }
+
+    #[test]
+    fn data_fault_overwritten_before_read_is_dead() {
+        let mut c = tiny();
+        c.fill(0x000, &line_of(0, 0));
+        let l = c.lookup(0x000).unwrap();
+        c.inject_data_flip(l as u64, 8 * 5);
+        c.write(l, 4, &[9, 9]); // covers byte 5
+        assert!(c.all_faults_dead());
+        let mut b = [0u8; 1];
+        c.read(l, 5, &mut b);
+        assert_eq!(b[0], 9);
+    }
+
+    #[test]
+    fn refill_overwrites_data_fault() {
+        let mut c = tiny();
+        c.fill(0x000, &line_of(0, 0));
+        let l = c.lookup(0x000).unwrap();
+        c.inject_data_flip(l as u64, 3);
+        // Fill the same set twice more so line l is replaced.
+        c.fill(0x040, &line_of(0x40, 1));
+        c.fill(0x080, &line_of(0x80, 2));
+        assert!(c.all_faults_dead(), "refill rewrote the whole line");
+    }
+
+    #[test]
+    fn tag_fault_causes_miss_and_misdirected_writeback() {
+        let mut c = tiny();
+        c.fill(0x000, &line_of(0, 1));
+        let l = c.lookup(0x000).unwrap();
+        c.write(l, 0, &[0x55; 16]);
+        c.inject_tag_flip(l as u64, 0); // flip tag bit 0
+        assert!(c.lookup(0x000).is_none(), "corrupted tag no longer matches");
+        assert!(c.any_fault_consumed(), "probe read the corrupted tag");
+        // Force eviction of the dirty line; its writeback address is wrong.
+        c.fill(0x040, &line_of(0x40, 2));
+        let wb = c.fill(0x080, &line_of(0x80, 3)).expect("dirty writeback");
+        // Tag bit 0 is address bit 6 (4 offset bits + 2 set bits): 0x000 ^ 0x40.
+        assert_eq!(wb.addr, 0x40);
+    }
+
+    #[test]
+    fn valid_fault_invalidates_line_silently_losing_data() {
+        let mut c = tiny();
+        c.fill(0x000, &line_of(0, 1));
+        let l = c.lookup(0x000).unwrap();
+        c.inject_valid_flip(l as u64);
+        assert!(!c.peek_valid(l));
+        assert!(c.lookup(0x000).is_none(), "line vanished");
+    }
+
+    #[test]
+    fn stuck_data_bit_survives_writes() {
+        let mut c = tiny();
+        c.fill(0x000, &line_of(0, 0));
+        let l = c.lookup(0x000).unwrap();
+        c.inject_data_stuck(l as u64, 0, true);
+        c.write(l, 0, &[0u8; 16]);
+        let mut b = [0u8; 1];
+        c.read(l, 0, &mut b);
+        assert_eq!(b[0], 1, "stuck-at-1 re-asserted after the write");
+        assert!(!c.all_faults_dead());
+    }
+
+    #[test]
+    fn paper_configs_have_expected_geometry() {
+        let l1 = Cache::new(CacheConfig::L1);
+        assert_eq!(l1.config().capacity(), 32 * 1024);
+        assert_eq!(l1.lines(), 512);
+        assert_eq!(l1.data_bits_per_line(), 512);
+        let l2 = Cache::new(CacheConfig::L2);
+        assert_eq!(l2.config().capacity(), 1024 * 1024);
+        assert_eq!(l2.lines(), 16384);
+    }
+
+    #[test]
+    fn peek_does_not_consume_faults() {
+        let mut c = tiny();
+        c.fill(0x000, &line_of(0, 1));
+        let l = c.lookup(0x000).unwrap();
+        c.inject_valid_flip(l as u64);
+        let _ = c.peek_valid(l);
+        let _ = c.peek_dirty(l);
+        assert!(!c.any_fault_consumed());
+    }
+}

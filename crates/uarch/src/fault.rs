@@ -1,0 +1,440 @@
+//! Fault targeting: structure identifiers, geometries, and the per-structure
+//! [`FaultHook`] that applies stuck-at faults and tracks fault liveness.
+//!
+//! Table IV of the paper lists the structures MaFIN and GeFIN can inject
+//! into; [`StructureId`] reproduces that list. Each injectable storage array
+//! owns a [`FaultHook`]; the simulator routes every read and write of the
+//! array through the hook so that:
+//!
+//! * **stuck-at** bits (intermittent/permanent models) are re-asserted after
+//!   every write that touches them;
+//! * the campaign controller can ask whether every injected fault is
+//!   provably **dead** — overwritten before ever being read — which licenses
+//!   the paper's early-stop optimization (§III.B.2, item ii);
+//! * a fault that has been **consumed** (read after injection) is flagged,
+//!   since such runs must execute to completion for an accurate verdict.
+
+/// Identifies one injectable hardware structure.
+///
+/// The names follow Table IV of the paper. The same identifier maps to
+/// different geometries per simulator (e.g. `LsqData` is a 32×64-bit unified
+/// queue in MaFIN but the 16×64-bit store queue in GeFIN).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StructureId {
+    /// Integer physical register file (data bits).
+    IntRegFile,
+    /// Floating-point physical register file (data bits).
+    FpRegFile,
+    /// Issue-queue entry payloads.
+    IssueQueue,
+    /// Load/store queue data field (Fig. 6's target).
+    LsqData,
+    /// L1 data cache — data arrays (Fig. 3's target).
+    L1dData,
+    /// L1 data cache — tag array.
+    L1dTag,
+    /// L1 data cache — valid bits.
+    L1dValid,
+    /// L1 instruction cache — instruction arrays (Fig. 4's target).
+    L1iData,
+    /// L1 instruction cache — tag array.
+    L1iTag,
+    /// L1 instruction cache — valid bits.
+    L1iValid,
+    /// Unified L2 cache — data arrays (Fig. 5's target).
+    L2Data,
+    /// Unified L2 cache — tag array.
+    L2Tag,
+    /// Unified L2 cache — valid bits.
+    L2Valid,
+    /// Data TLB — tag (VPN) and translation (PPN) bits.
+    DtlbEntry,
+    /// Data TLB — valid bits.
+    DtlbValid,
+    /// Instruction TLB — tag and translation bits.
+    ItlbEntry,
+    /// Instruction TLB — valid bits.
+    ItlbValid,
+    /// Branch target buffer entries (valid + tag + target).
+    Btb,
+    /// Return address stack entries.
+    Ras,
+}
+
+impl StructureId {
+    /// All structure identifiers, in a stable report order.
+    pub const ALL: [StructureId; 19] = [
+        StructureId::IntRegFile,
+        StructureId::FpRegFile,
+        StructureId::IssueQueue,
+        StructureId::LsqData,
+        StructureId::L1dData,
+        StructureId::L1dTag,
+        StructureId::L1dValid,
+        StructureId::L1iData,
+        StructureId::L1iTag,
+        StructureId::L1iValid,
+        StructureId::L2Data,
+        StructureId::L2Tag,
+        StructureId::L2Valid,
+        StructureId::DtlbEntry,
+        StructureId::DtlbValid,
+        StructureId::ItlbEntry,
+        StructureId::ItlbValid,
+        StructureId::Btb,
+        StructureId::Ras,
+    ];
+
+    /// Short stable name used in logs and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            StructureId::IntRegFile => "int_prf",
+            StructureId::FpRegFile => "fp_prf",
+            StructureId::IssueQueue => "issue_queue",
+            StructureId::LsqData => "lsq_data",
+            StructureId::L1dData => "l1d_data",
+            StructureId::L1dTag => "l1d_tag",
+            StructureId::L1dValid => "l1d_valid",
+            StructureId::L1iData => "l1i_data",
+            StructureId::L1iTag => "l1i_tag",
+            StructureId::L1iValid => "l1i_valid",
+            StructureId::L2Data => "l2_data",
+            StructureId::L2Tag => "l2_tag",
+            StructureId::L2Valid => "l2_valid",
+            StructureId::DtlbEntry => "dtlb_entry",
+            StructureId::DtlbValid => "dtlb_valid",
+            StructureId::ItlbEntry => "itlb_entry",
+            StructureId::ItlbValid => "itlb_valid",
+            StructureId::Btb => "btb",
+            StructureId::Ras => "ras",
+        }
+    }
+
+    /// Parses a [`StructureId::name`] back into an identifier.
+    pub fn from_name(s: &str) -> Option<StructureId> {
+        StructureId::ALL.into_iter().find(|id| id.name() == s)
+    }
+
+    /// True when a fault injected into an *unused* entry of this structure
+    /// is provably masked (every allocation writes the data before any read)
+    /// — the paper's early-stop optimization (§III.B.2, item i). Holds for
+    /// data planes; control planes (tags, valid bits) have live effects even
+    /// on invalid entries.
+    pub fn dead_entry_stop_safe(self) -> bool {
+        matches!(
+            self,
+            StructureId::IntRegFile
+                | StructureId::FpRegFile
+                | StructureId::IssueQueue
+                | StructureId::LsqData
+                | StructureId::L1dData
+                | StructureId::L1iData
+                | StructureId::L2Data
+        )
+    }
+}
+
+impl std::fmt::Display for StructureId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Geometry of one injectable structure: `entries` rows of `bits` bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StructureDesc {
+    /// Which structure.
+    pub id: StructureId,
+    /// Number of entries (rows).
+    pub entries: u64,
+    /// Bits per entry.
+    pub bits: u64,
+}
+
+impl StructureDesc {
+    /// Total storage bits.
+    pub fn total_bits(&self) -> u64 {
+        self.entries * self.bits
+    }
+}
+
+/// The fault model of a single bit-level fault (Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Transient: the stored bit is flipped once at the injection time.
+    Flip,
+    /// Stuck-at-zero for the fault's duration (intermittent or permanent).
+    Stuck0,
+    /// Stuck-at-one for the fault's duration.
+    Stuck1,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct StuckBit {
+    entry: u64,
+    bit: u32,
+    value: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Watch {
+    entry: u64,
+    bit: u32,
+    read_after: bool,
+    overwritten: bool,
+    /// Stuck faults stay live while active; flips die on overwrite.
+    sticky: bool,
+}
+
+/// Per-structure fault state: active stuck-at bits plus liveness watches for
+/// every injected fault.
+///
+/// Structures call [`FaultHook::note_read`] / [`FaultHook::note_write`] with
+/// the bit range each operation touches. The hook is deliberately cheap when
+/// no faults are active (the overwhelmingly common case): both lists are
+/// empty `Vec`s and the notifications reduce to an `is_empty` check.
+#[derive(Debug, Default)]
+pub struct FaultHook {
+    stuck: Vec<StuckBit>,
+    watches: Vec<Watch>,
+}
+
+impl FaultHook {
+    /// Creates an empty hook.
+    pub fn new() -> FaultHook {
+        FaultHook::default()
+    }
+
+    /// True if no faults were ever registered (fast path).
+    #[inline]
+    pub fn is_idle(&self) -> bool {
+        self.stuck.is_empty() && self.watches.is_empty()
+    }
+
+    /// Registers a transient flip at `(entry, bit)`. The caller must flip the
+    /// stored bit itself (storage layouts differ per structure).
+    pub fn arm_flip(&mut self, entry: u64, bit: u32) {
+        self.watches.push(Watch {
+            entry,
+            bit,
+            read_after: false,
+            overwritten: false,
+            sticky: false,
+        });
+    }
+
+    /// Registers a stuck-at fault. The caller must also force the stored bit
+    /// now; the hook re-asserts it after each overlapping write via
+    /// [`FaultHook::stuck_fixups`].
+    pub fn arm_stuck(&mut self, entry: u64, bit: u32, value: bool) {
+        self.stuck.push(StuckBit { entry, bit, value });
+        self.watches.push(Watch {
+            entry,
+            bit,
+            read_after: false,
+            overwritten: false,
+            sticky: true,
+        });
+    }
+
+    /// Removes a stuck-at fault (end of an intermittent window). The stored
+    /// bit keeps its last forced value, as real intermittents do.
+    pub fn disarm_stuck(&mut self, entry: u64, bit: u32) {
+        self.stuck.retain(|s| !(s.entry == entry && s.bit == bit));
+        for w in &mut self.watches {
+            if w.entry == entry && w.bit == bit {
+                w.sticky = false;
+            }
+        }
+    }
+
+    /// Notes a read of `len` bits starting at `bit_lo` within `entry`.
+    #[inline]
+    pub fn note_read(&mut self, entry: u64, bit_lo: u32, len: u32) {
+        if self.watches.is_empty() {
+            return;
+        }
+        for w in &mut self.watches {
+            if w.entry == entry && !w.overwritten && w.bit >= bit_lo && w.bit < bit_lo + len {
+                w.read_after = true;
+            }
+        }
+    }
+
+    /// Notes a write covering `len` bits starting at `bit_lo` within `entry`.
+    /// Returns `true` if any stuck bit overlaps the range (the caller must
+    /// then apply [`FaultHook::stuck_fixups`] to the stored data).
+    #[inline]
+    pub fn note_write(&mut self, entry: u64, bit_lo: u32, len: u32) -> bool {
+        if self.is_idle() {
+            return false;
+        }
+        for w in &mut self.watches {
+            if w.entry == entry
+                && !w.sticky
+                && !w.read_after
+                && !w.overwritten
+                && w.bit >= bit_lo
+                && w.bit < bit_lo + len
+            {
+                w.overwritten = true;
+            }
+        }
+        self.stuck
+            .iter()
+            .any(|s| s.entry == entry && s.bit >= bit_lo && s.bit < bit_lo + len)
+    }
+
+    /// The stuck bits overlapping `entry` — callers force these values back
+    /// into storage after a write that [`FaultHook::note_write`] flagged.
+    pub fn stuck_fixups(&self, entry: u64) -> impl Iterator<Item = (u32, bool)> + '_ {
+        self.stuck
+            .iter()
+            .filter(move |s| s.entry == entry)
+            .map(|s| (s.bit, s.value))
+    }
+
+    /// True when *every* registered fault is provably dead: flips overwritten
+    /// before being read, and no stuck faults remain active. A campaign may
+    /// then stop the run and classify it Masked.
+    pub fn all_faults_dead(&self) -> bool {
+        self.stuck.is_empty()
+            && self
+                .watches
+                .iter()
+                .all(|w| w.overwritten && !w.read_after)
+    }
+
+    /// True when any fault has been read after injection (the run must then
+    /// execute to completion for an accurate classification).
+    pub fn any_fault_consumed(&self) -> bool {
+        self.watches.iter().any(|w| w.read_after)
+    }
+
+    /// Number of faults registered on this hook.
+    pub fn armed_count(&self) -> usize {
+        self.watches.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for id in StructureId::ALL {
+            assert_eq!(StructureId::from_name(id.name()), Some(id));
+        }
+        assert_eq!(StructureId::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(StructureId::L1dData.to_string(), "l1d_data");
+    }
+
+    #[test]
+    fn dead_entry_stop_only_for_data_planes() {
+        assert!(StructureId::L1dData.dead_entry_stop_safe());
+        assert!(StructureId::IntRegFile.dead_entry_stop_safe());
+        assert!(!StructureId::L1dTag.dead_entry_stop_safe());
+        assert!(!StructureId::L1dValid.dead_entry_stop_safe());
+        assert!(!StructureId::Btb.dead_entry_stop_safe());
+    }
+
+    #[test]
+    fn desc_total_bits() {
+        let d = StructureDesc {
+            id: StructureId::IntRegFile,
+            entries: 256,
+            bits: 64,
+        };
+        assert_eq!(d.total_bits(), 16384);
+    }
+
+    #[test]
+    fn flip_overwritten_before_read_is_dead() {
+        let mut h = FaultHook::new();
+        h.arm_flip(5, 12);
+        assert!(!h.all_faults_dead());
+        h.note_write(5, 0, 64);
+        assert!(h.all_faults_dead());
+        assert!(!h.any_fault_consumed());
+        // A later read of the (now clean) entry does not resurrect it.
+        h.note_read(5, 0, 64);
+        assert!(h.all_faults_dead());
+    }
+
+    #[test]
+    fn flip_read_first_is_consumed() {
+        let mut h = FaultHook::new();
+        h.arm_flip(5, 12);
+        h.note_read(5, 0, 64);
+        assert!(h.any_fault_consumed());
+        h.note_write(5, 0, 64);
+        assert!(!h.all_faults_dead(), "consumed faults are never dead");
+    }
+
+    #[test]
+    fn range_granularity_is_respected() {
+        let mut h = FaultHook::new();
+        h.arm_flip(3, 40);
+        // Read of bits 0..32 does not touch bit 40.
+        h.note_read(3, 0, 32);
+        assert!(!h.any_fault_consumed());
+        // Write of bits 0..32 does not kill it either.
+        h.note_write(3, 0, 32);
+        assert!(!h.all_faults_dead());
+        // Write covering bit 40 kills it.
+        h.note_write(3, 32, 32);
+        assert!(h.all_faults_dead());
+    }
+
+    #[test]
+    fn different_entries_do_not_interact() {
+        let mut h = FaultHook::new();
+        h.arm_flip(1, 0);
+        h.note_write(2, 0, 64);
+        h.note_read(2, 0, 64);
+        assert!(!h.all_faults_dead());
+        assert!(!h.any_fault_consumed());
+    }
+
+    #[test]
+    fn stuck_faults_require_fixups_and_stay_live() {
+        let mut h = FaultHook::new();
+        h.arm_stuck(7, 3, true);
+        assert!(h.note_write(7, 0, 8), "write overlapping stuck bit flagged");
+        let fix: Vec<_> = h.stuck_fixups(7).collect();
+        assert_eq!(fix, vec![(3, true)]);
+        assert!(!h.all_faults_dead(), "active stuck faults are never dead");
+        h.disarm_stuck(7, 3);
+        // After disarm the (non-sticky now) watch still isn't overwritten.
+        assert!(!h.all_faults_dead());
+        h.note_write(7, 0, 8);
+        assert!(h.all_faults_dead());
+    }
+
+    #[test]
+    fn multiple_faults_all_must_die() {
+        let mut h = FaultHook::new();
+        h.arm_flip(1, 1);
+        h.arm_flip(2, 2);
+        h.note_write(1, 0, 8);
+        assert!(!h.all_faults_dead());
+        h.note_write(2, 0, 8);
+        assert!(h.all_faults_dead());
+        assert_eq!(h.armed_count(), 2);
+    }
+
+    #[test]
+    fn idle_hook_is_cheap_and_inert() {
+        let mut h = FaultHook::new();
+        assert!(h.is_idle());
+        assert!(!h.note_write(0, 0, 64));
+        h.note_read(0, 0, 64);
+        assert!(h.all_faults_dead(), "vacuously dead when nothing armed");
+        assert!(!h.any_fault_consumed());
+    }
+}

@@ -1,0 +1,48 @@
+//! # difi-uarch
+//!
+//! Fault-injectable microarchitectural components shared by the two detailed
+//! simulators (MarsSim in `difi-mars`, GemSim in `difi-gem`).
+//!
+//! The paper's injectors target *storage arrays*: "on-chip caches, register
+//! files, buffers, queues … occupy the majority of a chip's area and thus
+//! largely determine vulnerability to faults". Every component here therefore
+//! keeps its architectural payload in real bit-accurate storage
+//! ([`difi_util::bits::BitPlane`] or byte arrays) equipped with a
+//! [`fault::FaultHook`]:
+//!
+//! * transient faults **flip** stored bits;
+//! * intermittent/permanent faults hold bits **stuck** at 0/1 across writes;
+//! * every read/write is tracked at bit-range granularity so a campaign can
+//!   prove a fault *dead* (overwritten before ever read) and stop the run
+//!   early — the paper's §III.B.2 optimization worth 30–70% per-run time.
+//!
+//! Components:
+//!
+//! * [`fault`] — structure identifiers, geometries, hooks, liveness.
+//! * [`cache`] — set-associative write-back caches with separate tag, data
+//!   and valid-bit planes and LRU replacement.
+//! * [`mem`] — main memory plus the two-level [`mem::MemSystem`] hierarchy
+//!   with the policy switches that differentiate MARSS-like from gem5-like
+//!   memory behaviour.
+//! * [`tlb`] — instruction/data TLBs with injectable tag/valid planes.
+//! * [`predictor`] — tournament branch predictors with the two
+//!   chooser-indexing schemes (branch-address vs global-history), both BTB
+//!   organizations of Table II, and the return-address stack.
+//! * [`regfile`] — physical register files, the rename map and free list.
+//! * [`queues`] — the issue queue with its packed payload codec, the unified
+//!   LSQ (MARSS) and split load/store queues (gem5), and the reorder buffer.
+//! * [`stats`] — runtime statistics used for the paper's Remark analyses.
+
+pub mod cache;
+pub mod fault;
+pub mod mem;
+pub mod pipeline;
+pub mod predictor;
+pub mod queues;
+pub mod regfile;
+pub mod stats;
+pub mod tlb;
+
+pub use fault::{FaultHook, FaultKind, StructureDesc, StructureId};
+pub use pipeline::engine::{EarlyWhy, EngineFault, EngineLimits};
+pub use pipeline::{CoreConfig, CorePolicy, OoOCore, SimExit, SimRun};

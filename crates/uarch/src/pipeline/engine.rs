@@ -1,0 +1,1626 @@
+//! Cycle-driven execution engine of [`OoOCore`].
+
+use super::*;
+use crate::fault::FaultKind;
+use difi_isa::emu::{eval_fp_op, eval_fp_predicate, eval_int_op, extend};
+use difi_isa::kernel::{self, KernelMem, KernelOutcome};
+use difi_isa::uop::{BranchKind, FpOp, Uop, UopKind};
+use difi_isa::MAX_INST_LEN;
+
+/// One fault in engine coordinates (dispatchers translate the campaign's
+/// serializable records into this form).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineFault {
+    /// Target structure.
+    pub structure: StructureId,
+    /// Entry within the structure.
+    pub entry: u64,
+    /// Bit within the entry.
+    pub bit: u32,
+    /// Flip or stuck polarity.
+    pub kind: FaultKind,
+    /// Injection cycle (`None` = use `at_instruction`).
+    pub at_cycle: Option<u64>,
+    /// Injection at the Nth committed instruction.
+    pub at_instruction: Option<u64>,
+    /// Stuck window length in cycles (`None` = permanent for stuck kinds).
+    pub duration_cycles: Option<u64>,
+}
+
+/// Engine-level run limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineLimits {
+    /// Hard cycle ceiling.
+    pub max_cycles: u64,
+    /// Enable the §III.B.2 early-stop optimizations.
+    pub early_stop: bool,
+    /// Cycles without a commit before declaring deadlock.
+    pub deadlock_window: u64,
+}
+
+/// Why an early-masked stop fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EarlyWhy {
+    /// Fault landed in an invalid/unused entry of a data plane.
+    DeadEntry,
+    /// Every faulty bit was overwritten before being read.
+    Overwritten,
+}
+
+const ITLB_MISS_PENALTY: u64 = 5;
+const FETCH_QUEUE_CAP: usize = 12;
+
+impl OoOCore {
+    /// Runs the core to a terminal state, injecting `faults` on schedule.
+    pub fn run(&mut self, faults: &[EngineFault], limits: &EngineLimits) -> SimRun {
+        let mut pending: Vec<EngineFault> = faults.to_vec();
+        let mut dead_entry_all = !pending.is_empty();
+        let mut applied_any = false;
+
+        while self.exit.is_none() {
+            if self.cycle >= limits.max_cycles {
+                self.exit = Some(SimExit::Timeout);
+                break;
+            }
+            if self.cycle.saturating_sub(self.last_commit_cycle) > limits.deadlock_window {
+                self.exit = Some(SimExit::Timeout);
+                break;
+            }
+            // Apply cycle-scheduled faults.
+            let mut i = 0;
+            while i < pending.len() {
+                if pending[i].at_cycle == Some(self.cycle) {
+                    let f = pending.remove(i);
+                    let unused = self.apply_engine_fault(&f);
+                    dead_entry_all &= unused;
+                    applied_any = true;
+                } else {
+                    i += 1;
+                }
+            }
+            if applied_any && pending.is_empty() && limits.early_stop {
+                if dead_entry_all || (self.faults_dead() && !self.faults_consumed()) {
+                    self.exit = Some(SimExit::EarlyMasked);
+                    break;
+                }
+            }
+
+            let committed_before = self.stats.committed_instructions;
+            self.commit_stage();
+            // Instruction-scheduled faults fire when the commit counter
+            // crosses their threshold.
+            if self.stats.committed_instructions > committed_before {
+                let now = self.stats.committed_instructions;
+                let mut i = 0;
+                while i < pending.len() {
+                    if pending[i].at_instruction.is_some_and(|n| n <= now) {
+                        let f = pending.remove(i);
+                        let unused = self.apply_engine_fault(&f);
+                        dead_entry_all &= unused;
+                        applied_any = true;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            if self.exit.is_some() {
+                break;
+            }
+            self.fire_events();
+            if self.exit.is_some() {
+                break;
+            }
+            self.issue_stage();
+            if self.exit.is_some() {
+                break;
+            }
+            self.rename_stage();
+            self.fetch_stage();
+            self.cycle += 1;
+        }
+
+        self.stats.cycles = self.cycle;
+        self.stats.predictor = self.pred.stats;
+        self.stats.l1i = self.sys.l1i.stats;
+        self.stats.l1d = self.sys.l1d.stats;
+        self.stats.l2 = self.sys.l2.stats;
+        self.stats.itlb = self.itlb.stats;
+        self.stats.dtlb = self.dtlb.stats;
+        let exit = self.exit.clone().unwrap_or(SimExit::Timeout);
+        SimRun {
+            exit,
+            output: std::mem::take(&mut self.output),
+            exceptions: self.stats.exceptions,
+            stats: self.stats,
+            fault_consumed: self.faults_consumed(),
+        }
+    }
+
+    /// Why the most recent [`SimExit::EarlyMasked`] fired. Valid right after
+    /// `run` returns that exit; derived from the hooks.
+    pub fn early_reason(&self) -> EarlyWhy {
+        if self.faults_dead() {
+            EarlyWhy::Overwritten
+        } else {
+            EarlyWhy::DeadEntry
+        }
+    }
+
+    // ----------------------------------------------------------------- faults
+
+    /// Applies one fault now. Returns `true` when it landed in a provably
+    /// unused entry of a dead-entry-safe data plane (early-stop rule i).
+    pub fn apply_engine_fault(&mut self, f: &EngineFault) -> bool {
+        if !self.injected.contains(&f.structure) {
+            self.injected.push(f.structure);
+        }
+        let unused = f.structure.dead_entry_stop_safe() && self.entry_unused(f.structure, f.entry);
+        match f.kind {
+            FaultKind::Flip => self.route_flip(f.structure, f.entry, f.bit),
+            FaultKind::Stuck0 | FaultKind::Stuck1 => {
+                let v = f.kind == FaultKind::Stuck1;
+                self.route_stuck(f.structure, f.entry, f.bit, v);
+                if let Some(d) = f.duration_cycles {
+                    self.events.push(Event {
+                        at: self.cycle + d,
+                        rob: usize::MAX,
+                        seq: u64::MAX,
+                        kind: EventKind::DisarmStuck {
+                            structure: f.structure,
+                            entry: f.entry,
+                            bit: f.bit,
+                        },
+                    });
+                }
+            }
+        }
+        unused
+    }
+
+    fn route_flip(&mut self, s: StructureId, e: u64, b: u32) {
+        match s {
+            StructureId::IntRegFile => self.iprf.inject_flip(e, b),
+            StructureId::FpRegFile => self.fprf.inject_flip(e, b),
+            StructureId::IssueQueue => self.iq.inject_flip(e, b),
+            StructureId::LsqData => self.lsq_data.inject_flip(e, b),
+            StructureId::L1dData => self.sys.l1d.inject_data_flip(e, b),
+            StructureId::L1dTag => self.sys.l1d.inject_tag_flip(e, b),
+            StructureId::L1dValid => self.sys.l1d.inject_valid_flip(e),
+            StructureId::L1iData => self.sys.l1i.inject_data_flip(e, b),
+            StructureId::L1iTag => self.sys.l1i.inject_tag_flip(e, b),
+            StructureId::L1iValid => self.sys.l1i.inject_valid_flip(e),
+            StructureId::L2Data => self.sys.l2.inject_data_flip(e, b),
+            StructureId::L2Tag => self.sys.l2.inject_tag_flip(e, b),
+            StructureId::L2Valid => self.sys.l2.inject_valid_flip(e),
+            StructureId::DtlbEntry => self.dtlb.inject_entry_flip(e, b),
+            StructureId::DtlbValid => self.dtlb.inject_valid_flip(e),
+            StructureId::ItlbEntry => self.itlb.inject_entry_flip(e, b),
+            StructureId::ItlbValid => self.itlb.inject_valid_flip(e),
+            StructureId::Btb => self.btb.inject_flip(e, b),
+            StructureId::Ras => self.ras.inject_flip(e, b),
+        }
+    }
+
+    fn route_stuck(&mut self, s: StructureId, e: u64, b: u32, v: bool) {
+        match s {
+            StructureId::IntRegFile => self.iprf.inject_stuck(e, b, v),
+            StructureId::FpRegFile => self.fprf.inject_stuck(e, b, v),
+            StructureId::IssueQueue => self.iq.inject_stuck(e, b, v),
+            StructureId::LsqData => self.lsq_data.inject_stuck(e, b, v),
+            StructureId::L1dData => self.sys.l1d.inject_data_stuck(e, b, v),
+            StructureId::L1dTag => self.sys.l1d.inject_tag_stuck(e, b, v),
+            StructureId::L1dValid => self.sys.l1d.inject_valid_stuck(e, v),
+            StructureId::L1iData => self.sys.l1i.inject_data_stuck(e, b, v),
+            StructureId::L1iTag => self.sys.l1i.inject_tag_stuck(e, b, v),
+            StructureId::L1iValid => self.sys.l1i.inject_valid_stuck(e, v),
+            StructureId::L2Data => self.sys.l2.inject_data_stuck(e, b, v),
+            StructureId::L2Tag => self.sys.l2.inject_tag_stuck(e, b, v),
+            StructureId::L2Valid => self.sys.l2.inject_valid_stuck(e, v),
+            StructureId::DtlbEntry => self.dtlb.inject_entry_stuck(e, b, v),
+            StructureId::DtlbValid => self.dtlb.inject_valid_stuck(e, v),
+            StructureId::ItlbEntry => self.itlb.inject_entry_stuck(e, b, v),
+            StructureId::ItlbValid => self.itlb.inject_valid_stuck(e, v),
+            StructureId::Btb => self.btb.inject_stuck(e, b, v),
+            StructureId::Ras => self.ras.inject_stuck(e, b, v),
+        }
+    }
+
+    fn disarm_stuck(&mut self, s: StructureId, e: u64, b: u32) {
+        match s {
+            StructureId::IntRegFile => self.iprf.hook.disarm_stuck(e, b),
+            StructureId::FpRegFile => self.fprf.hook.disarm_stuck(e, b),
+            StructureId::IssueQueue => self.iq.hook.disarm_stuck(e, b),
+            StructureId::LsqData => self.lsq_data.hook.disarm_stuck(e, b),
+            StructureId::L1dData => self.sys.l1d.data_hook.disarm_stuck(e, b),
+            StructureId::L1dTag => self.sys.l1d.tag_hook.disarm_stuck(e, b),
+            StructureId::L1dValid => self.sys.l1d.valid_hook.disarm_stuck(e, b),
+            StructureId::L1iData => self.sys.l1i.data_hook.disarm_stuck(e, b),
+            StructureId::L1iTag => self.sys.l1i.tag_hook.disarm_stuck(e, b),
+            StructureId::L1iValid => self.sys.l1i.valid_hook.disarm_stuck(e, b),
+            StructureId::L2Data => self.sys.l2.data_hook.disarm_stuck(e, b),
+            StructureId::L2Tag => self.sys.l2.tag_hook.disarm_stuck(e, b),
+            StructureId::L2Valid => self.sys.l2.valid_hook.disarm_stuck(e, b),
+            StructureId::DtlbEntry => self.dtlb.entry_hook.disarm_stuck(e, b),
+            StructureId::DtlbValid => self.dtlb.valid_hook.disarm_stuck(e, b),
+            StructureId::ItlbEntry => self.itlb.entry_hook.disarm_stuck(e, b),
+            StructureId::ItlbValid => self.itlb.valid_hook.disarm_stuck(e, b),
+            StructureId::Btb => {
+                self.btb.direct.hook.disarm_stuck(e, b);
+                if let Some(i) = &mut self.btb.indirect {
+                    i.hook.disarm_stuck(e, b);
+                }
+            }
+            StructureId::Ras => self.ras.hook.disarm_stuck(e, b),
+        }
+    }
+
+    /// True when `entry` of `structure` is currently unused (early-stop
+    /// rule i applies only to data planes; see
+    /// [`StructureId::dead_entry_stop_safe`]).
+    pub fn entry_unused(&self, s: StructureId, e: u64) -> bool {
+        match s {
+            StructureId::IntRegFile => self.ifree.contains(e as u16),
+            StructureId::FpRegFile => self.ffree.contains(e as u16),
+            StructureId::IssueQueue => self.iq.peek_unused(e as usize),
+            StructureId::LsqData => {
+                let idx = match self.cfg.lsq {
+                    LsqOrg::Unified { .. } => e as usize,
+                    LsqOrg::Split { loads, .. } => loads + e as usize,
+                };
+                !self.lsq_meta[idx].valid
+            }
+            StructureId::L1dData => !self.sys.l1d.peek_valid(e as usize),
+            StructureId::L1iData => !self.sys.l1i.peek_valid(e as usize),
+            StructureId::L2Data => !self.sys.l2.peek_valid(e as usize),
+            _ => false,
+        }
+    }
+
+    fn faults_dead(&self) -> bool {
+        self.injected.iter().all(|s| match s {
+            StructureId::IntRegFile => self.iprf.hook.all_faults_dead(),
+            StructureId::FpRegFile => self.fprf.hook.all_faults_dead(),
+            StructureId::IssueQueue => self.iq.hook.all_faults_dead(),
+            StructureId::LsqData => self.lsq_data.hook.all_faults_dead(),
+            StructureId::L1dData | StructureId::L1dTag | StructureId::L1dValid => {
+                self.sys.l1d.all_faults_dead()
+            }
+            StructureId::L1iData | StructureId::L1iTag | StructureId::L1iValid => {
+                self.sys.l1i.all_faults_dead()
+            }
+            StructureId::L2Data | StructureId::L2Tag | StructureId::L2Valid => {
+                self.sys.l2.all_faults_dead()
+            }
+            StructureId::DtlbEntry | StructureId::DtlbValid => self.dtlb.all_faults_dead(),
+            StructureId::ItlbEntry | StructureId::ItlbValid => self.itlb.all_faults_dead(),
+            StructureId::Btb => self.btb.all_faults_dead(),
+            StructureId::Ras => self.ras.hook.all_faults_dead(),
+        })
+    }
+
+    fn faults_consumed(&self) -> bool {
+        self.injected.iter().any(|s| match s {
+            StructureId::IntRegFile => self.iprf.hook.any_fault_consumed(),
+            StructureId::FpRegFile => self.fprf.hook.any_fault_consumed(),
+            StructureId::IssueQueue => self.iq.hook.any_fault_consumed(),
+            StructureId::LsqData => self.lsq_data.hook.any_fault_consumed(),
+            StructureId::L1dData | StructureId::L1dTag | StructureId::L1dValid => {
+                self.sys.l1d.any_fault_consumed()
+            }
+            StructureId::L1iData | StructureId::L1iTag | StructureId::L1iValid => {
+                self.sys.l1i.any_fault_consumed()
+            }
+            StructureId::L2Data | StructureId::L2Tag | StructureId::L2Valid => {
+                self.sys.l2.any_fault_consumed()
+            }
+            StructureId::DtlbEntry | StructureId::DtlbValid => self.dtlb.any_fault_consumed(),
+            StructureId::ItlbEntry | StructureId::ItlbValid => self.itlb.any_fault_consumed(),
+            StructureId::Btb => self.btb.any_fault_consumed(),
+            StructureId::Ras => self.ras.hook.any_fault_consumed(),
+        })
+    }
+
+    // --------------------------------------------------------------- asserts
+
+    /// Checks an internal invariant. Under the MARSS-style `rich_asserts`
+    /// policy a violation raises a simulator assertion; under the gem5-style
+    /// policy it surfaces as a simulator crash (Remark 8).
+    fn massert(&mut self, cond: bool, msg: &str) -> bool {
+        if !cond && self.exit.is_none() {
+            self.exit = Some(if self.cfg.policy.rich_asserts {
+                SimExit::SimAssert(msg.to_string())
+            } else {
+                SimExit::SimCrash(msg.to_string())
+            });
+        }
+        cond
+    }
+
+    // ------------------------------------------------------------------- rob
+
+    #[inline]
+    fn rob_next(&self, i: usize) -> usize {
+        (i + 1) % self.rob.len()
+    }
+
+    #[inline]
+    fn rob_prev(&self, i: usize) -> usize {
+        (i + self.rob.len() - 1) % self.rob.len()
+    }
+
+    fn rob_free(&self) -> usize {
+        self.rob.len() - self.rob_count
+    }
+
+    // ---------------------------------------------------------------- kernel
+
+    fn kernel_call<R>(
+        &mut self,
+        f: impl FnOnce(&mut dyn KernelMem, &MemoryMap) -> R,
+    ) -> R {
+        let map = self.map;
+        if self.cfg.policy.hypervisor_kernel {
+            self.stats.hypervisor_calls += 1;
+            let mut adapter = BypassKernelMem { sys: &mut self.sys, map };
+            f(&mut adapter, &map)
+        } else {
+            let mut adapter = CachedKernelMem { sys: &mut self.sys, map };
+            f(&mut adapter, &map)
+        }
+    }
+
+    // ---------------------------------------------------------------- commit
+
+    fn commit_stage(&mut self) {
+        let mut budget = self.cfg.width;
+        while budget > 0 && self.rob_count > 0 && self.exit.is_none() {
+            let head = self.rob_head;
+            let Some(slot) = self.rob[head].as_ref() else {
+                self.massert(false, "rob head empty while count nonzero");
+                return;
+            };
+            if !slot.completed {
+                break;
+            }
+            let slot = self.rob[head].clone().expect("checked above");
+            // Deferred ISA fault reaching commit (architecturally real).
+            if let Some(f) = slot.fault {
+                self.exit = Some(if slot.from_decoder && self.cfg.policy.decode_fault_asserts {
+                    // MARSS-style: the model cannot represent the corrupted
+                    // instruction and stops with an assertion (Remark 8).
+                    SimExit::SimAssert(format!(
+                        "decoder: cannot decode instruction at {:#x} ({f})",
+                        slot.pc
+                    ))
+                } else {
+                    // gem5-style: surface the ISA fault to the guest.
+                    SimExit::ProcessCrash(f)
+                });
+                return;
+            }
+            // Alignment fixups are handled + logged by the kernel.
+            if slot.alignment_exc {
+                let out = self.kernel_call(|m, map| kernel::log_exception(m, map));
+                match out {
+                    Ok(()) => self.stats.exceptions += 1,
+                    Err(KernelOutcome::Panic(msg)) => {
+                        self.exit = Some(SimExit::SystemCrash(msg));
+                        return;
+                    }
+                    Err(_) => {}
+                }
+            }
+            match slot.uop.kind {
+                UopKind::Store => {
+                    if self.commit_store(&slot).is_err() {
+                        return;
+                    }
+                }
+                UopKind::Syscall => {
+                    self.syscalls_in_rob = self.syscalls_in_rob.saturating_sub(1);
+                    if self.commit_syscall().is_err() {
+                        return;
+                    }
+                }
+                UopKind::Hint => {
+                    let out = self.kernel_call(|m, map| kernel::log_exception(m, map));
+                    match out {
+                        Ok(()) => self.stats.exceptions += 1,
+                        Err(KernelOutcome::Panic(msg)) => {
+                            self.exit = Some(SimExit::SystemCrash(msg));
+                            return;
+                        }
+                        Err(_) => {}
+                    }
+                }
+                UopKind::Branch => {
+                    if slot.uop.branch == BranchKind::CondDirect {
+                        self.pred.update(slot.pc, slot.taken);
+                        if slot.taken {
+                            self.btb.update_direct(slot.pc, slot.uop.target);
+                        }
+                    } else if slot.uop.branch == BranchKind::JumpInd {
+                        self.btb.update_indirect(slot.pc, slot.actual_next);
+                    }
+                }
+                UopKind::Load => self.stats.committed_loads += 1,
+                _ => {}
+            }
+            if matches!(self.exit, Some(SimExit::SystemCrash(_) | SimExit::ProcessCrash(_))) {
+                return;
+            }
+            // Release the previous mapping of the destination.
+            if let Some(dest) = slot.dest_arch {
+                let keep = slot.prev_preg;
+                if dest.is_fp() {
+                    self.ffree.release(keep);
+                    self.fprf.set_ready(keep, true);
+                } else {
+                    self.ifree.release(keep);
+                    self.iprf.set_ready(keep, true);
+                }
+            }
+            // Free the LSQ entry (commit order must match allocation order).
+            if let Some(l) = slot.lsq_slot {
+                let ok = self.lsq_order.first() == Some(&l);
+                if !self.massert(ok, "lsq commit order violated") {
+                    return;
+                }
+                self.lsq_order.remove(0);
+                self.lsq_meta[l as usize] = LsqMeta::empty();
+            }
+            if slot.uop.kind == UopKind::Store {
+                self.stats.committed_stores += 1;
+            }
+            self.rob[head] = None;
+            self.rob_head = self.rob_next(head);
+            self.rob_count -= 1;
+            self.stats.committed_uops += 1;
+            if slot.inst_end {
+                self.stats.committed_instructions += 1;
+            }
+            self.last_commit_cycle = self.cycle;
+            budget -= 1;
+        }
+    }
+
+    fn commit_store(&mut self, slot: &RobSlot) -> Result<(), ()> {
+        let Some(l) = slot.lsq_slot else {
+            self.massert(false, "store commit without lsq slot");
+            return Err(());
+        };
+        let meta = self.lsq_meta[l as usize];
+        let Some(addr) = meta.addr else {
+            self.massert(false, "store commit without resolved address");
+            return Err(());
+        };
+        let value = self.lsq_data.read(meta.data_slot);
+        let w = meta.width.bytes() as usize;
+        let bytes = value.to_le_bytes();
+        self.sys.write_data(addr, &bytes[..w]);
+        Ok(())
+    }
+
+    fn commit_syscall(&mut self) -> Result<(), ()> {
+        let r0 = self.read_arch_int(0);
+        let r1 = self.read_arch_int(1);
+        let r2 = self.read_arch_int(2);
+        let out = self.kernel_call(|m, map| kernel::handle_syscall(m, map, r0, r1, r2));
+        match out {
+            KernelOutcome::Continue(bytes) => {
+                // Unknown syscall numbers are the ENOSYS path: the kernel
+                // logged an exception before resuming the process.
+                if !matches!(r0, kernel::sys::EXIT | kernel::sys::WRITE | kernel::sys::WRITE_INT) {
+                    self.stats.exceptions += 1;
+                }
+                self.output.extend_from_slice(&bytes);
+                Ok(())
+            }
+            KernelOutcome::Exit(code) => {
+                // Let the syscall instruction finish its commit accounting;
+                // the run loop observes `exit` afterwards.
+                self.exit = Some(SimExit::Exited(code));
+                Ok(())
+            }
+            KernelOutcome::Panic(msg) => {
+                self.exit = Some(SimExit::SystemCrash(msg));
+                Err(())
+            }
+            KernelOutcome::Kill(f) => {
+                self.exit = Some(SimExit::ProcessCrash(f));
+                Err(())
+            }
+        }
+    }
+
+    /// Architectural read of an integer register through the current rename
+    /// map (used by syscall commit; notes PRF reads like real operand reads).
+    fn read_arch_int(&mut self, arch: usize) -> u64 {
+        let p = self.imap.get(arch);
+        self.iprf.read(p)
+    }
+
+    // ---------------------------------------------------------------- events
+
+    fn fire_events(&mut self) {
+        let now = self.cycle;
+        let due: Vec<Event> = {
+            let mut due = Vec::new();
+            let mut i = 0;
+            while i < self.events.len() {
+                if self.events[i].at <= now {
+                    due.push(self.events.swap_remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+            due.sort_by_key(|e| e.seq);
+            due
+        };
+        for e in due {
+            if self.exit.is_some() {
+                return;
+            }
+            if let EventKind::DisarmStuck {
+                structure,
+                entry,
+                bit,
+            } = e.kind
+            {
+                self.disarm_stuck(structure, entry, bit);
+                continue;
+            }
+            // Squashed entries drop their events.
+            let valid = self.rob[e.rob]
+                .as_ref()
+                .is_some_and(|s| s.seq == e.seq && !s.completed);
+            if !valid {
+                continue;
+            }
+            match e.kind {
+                EventKind::WriteBack { preg, fp, value } => {
+                    self.write_preg(preg, fp, value);
+                    self.rob[e.rob].as_mut().expect("valid").completed = true;
+                }
+                EventKind::LoadWriteBack {
+                    preg,
+                    fp,
+                    lsq_data_slot,
+                    value,
+                    width,
+                    signed,
+                } => {
+                    let raw = match lsq_data_slot {
+                        // Unified LSQ: the staged value is read back from
+                        // the (injectable) data array at writeback time.
+                        Some(slot) => self.lsq_data.read(slot),
+                        None => value,
+                    };
+                    let v = extend(mask_width(raw, width), width, signed);
+                    self.write_preg(preg, fp, v);
+                    self.rob[e.rob].as_mut().expect("valid").completed = true;
+                }
+                EventKind::BranchResolve => {
+                    self.resolve_branch(e.rob);
+                }
+                EventKind::Complete => {
+                    self.rob[e.rob].as_mut().expect("valid").completed = true;
+                }
+                EventKind::DisarmStuck { .. } => unreachable!("handled above"),
+            }
+        }
+    }
+
+    fn write_preg(&mut self, preg: u16, fp: bool, value: u64) {
+        if fp {
+            self.fprf.write(preg, value);
+            self.fprf.set_ready(preg, true);
+        } else {
+            self.iprf.write(preg, value);
+            self.iprf.set_ready(preg, true);
+        }
+    }
+
+    fn resolve_branch(&mut self, rob_idx: usize) {
+        let slot = self.rob[rob_idx].as_ref().expect("validated by caller");
+        let pred_next = slot.pred_next;
+        let actual_next = slot.actual_next;
+        let inst_seq = slot.seq;
+        self.rob[rob_idx].as_mut().expect("valid").completed = true;
+        if actual_next != pred_next {
+            self.squash_younger(inst_seq, actual_next);
+        }
+    }
+
+    // ---------------------------------------------------------------- squash
+
+    /// Squashes every ROB entry with `seq > bound` (strictly younger),
+    /// restores the rename maps, frees resources, and redirects fetch.
+    fn squash_younger(&mut self, bound: u64, new_pc: u64) {
+        while self.rob_count > 0 {
+            let idx = self.rob_prev(self.rob_tail);
+            let Some(slot) = self.rob[idx].as_ref() else {
+                self.massert(false, "rob tail empty during squash");
+                return;
+            };
+            if slot.seq <= bound {
+                break;
+            }
+            let slot = self.rob[idx].take().expect("checked above");
+            self.rob_tail = idx;
+            self.rob_count -= 1;
+            if slot.uop.kind == UopKind::Syscall {
+                self.syscalls_in_rob = self.syscalls_in_rob.saturating_sub(1);
+            }
+            if let Some(dest) = slot.dest_arch {
+                let newp = if dest.is_fp() {
+                    let cur = self.fmap.get(dest.class_index());
+                    self.fmap.set(dest.class_index(), slot.prev_preg);
+                    cur
+                } else {
+                    let cur = self.imap.get(dest.class_index());
+                    self.imap.set(dest.class_index(), slot.prev_preg);
+                    cur
+                };
+                if self.cfg.policy.rich_asserts
+                    && !self.massert(
+                        Some((newp, dest.is_fp()))
+                            == slot.uop.pd.map(|(p, f)| (p, f)),
+                        "rename walk-back mismatch",
+                    )
+                {
+                    return;
+                }
+                if dest.is_fp() {
+                    self.ffree.release(newp);
+                    self.fprf.set_ready(newp, true);
+                } else {
+                    self.ifree.release(newp);
+                    self.iprf.set_ready(newp, true);
+                }
+            }
+            if let Some(iqs) = slot.iq_slot {
+                if self.iq.occupied(iqs) {
+                    self.iq.free(iqs);
+                }
+            }
+            if let Some(l) = slot.lsq_slot {
+                let ok = self.lsq_order.last() == Some(&l);
+                if !self.massert(ok, "lsq squash order violated") {
+                    return;
+                }
+                self.lsq_order.pop();
+                self.lsq_meta[l as usize] = LsqMeta::empty();
+            }
+        }
+        self.fetch_queue.clear();
+        self.fetch_wait = false;
+        self.fetch_pc = new_pc;
+        self.stats.flushes += 1;
+    }
+
+    // ----------------------------------------------------------------- issue
+
+    fn issue_stage(&mut self) {
+        // Gather ready candidates oldest-first.
+        let mut candidates: Vec<(u64, usize)> = Vec::new();
+        for slot in 0..self.iq.slots() {
+            if !self.iq.occupied(slot) {
+                continue;
+            }
+            let u = match self.iq.read(slot) {
+                Ok(u) => u,
+                Err(e) => {
+                    // Corrupted payload: impossible encoding reached the
+                    // scheduler (Remark 8 divergence).
+                    self.exit = Some(if self.cfg.policy.payload_error_asserts {
+                        SimExit::SimAssert(format!("issue queue payload: {e}"))
+                    } else {
+                        SimExit::SimCrash(format!("scheduler wedged: {e}"))
+                    });
+                    return;
+                }
+            };
+            let rob_idx = u.rob as usize;
+            let Some(r) = self.rob[rob_idx].as_ref() else {
+                // A fault retargeted the payload's ROB pointer at a hole.
+                self.exit = Some(if self.cfg.policy.payload_error_asserts {
+                    SimExit::SimAssert("iq entry references empty rob slot".into())
+                } else {
+                    SimExit::SimCrash("iq entry references empty rob slot".into())
+                });
+                return;
+            };
+            if r.retry_at > self.cycle {
+                continue;
+            }
+            if !self.operands_ready(&u) {
+                continue;
+            }
+            if u.kind == UopKind::Load && !self.cfg.policy.aggressive_loads {
+                // gem5 policy: wait until all older stores have addresses.
+                let seq = r.seq;
+                let blocked = self.lsq_order.iter().any(|&l| {
+                    let m = &self.lsq_meta[l as usize];
+                    m.valid && m.is_store && m.seq < seq && m.addr.is_none()
+                });
+                if blocked {
+                    continue;
+                }
+            }
+            candidates.push((r.seq, slot));
+        }
+        candidates.sort_unstable();
+
+        let mut int_budget = self.cfg.int_alus;
+        let mut muldiv_budget = self.cfg.mul_div_units;
+        let mut fp_budget = self.cfg.fp_units;
+        let mut mem_budget = self.cfg.mem_ports;
+        let mut issued = 0;
+        let flushes_before = self.stats.flushes;
+        for (_, slot) in candidates {
+            if issued >= self.cfg.width || self.exit.is_some() {
+                break;
+            }
+            // A mid-issue squash (alias replay) invalidates the candidate
+            // list: freed slots must not be touched again this cycle.
+            if self.stats.flushes != flushes_before {
+                break;
+            }
+            if !self.iq.occupied(slot) {
+                continue;
+            }
+            let u = match self.iq.read(slot) {
+                Ok(u) => u,
+                Err(_) => continue,
+            };
+            let ok = match u.kind {
+                UopKind::Alu if u.alu.is_div() || u.alu == difi_isa::uop::IntOp::Mul => {
+                    if muldiv_budget == 0 {
+                        false
+                    } else {
+                        muldiv_budget -= 1;
+                        true
+                    }
+                }
+                UopKind::Alu | UopKind::Branch => {
+                    if int_budget == 0 {
+                        false
+                    } else {
+                        int_budget -= 1;
+                        true
+                    }
+                }
+                UopKind::Fp => {
+                    if fp_budget == 0 {
+                        false
+                    } else {
+                        fp_budget -= 1;
+                        true
+                    }
+                }
+                UopKind::Load | UopKind::Store => {
+                    if mem_budget == 0 {
+                        false
+                    } else {
+                        mem_budget -= 1;
+                        true
+                    }
+                }
+                _ => true,
+            };
+            if !ok {
+                continue;
+            }
+            let keep_in_iq = self.execute_uop(&u);
+            if !keep_in_iq {
+                self.iq.free(slot);
+                if let Some(r) = self.rob[u.rob as usize].as_mut() {
+                    r.issued = true;
+                    r.iq_slot = None;
+                }
+            }
+            issued += 1;
+        }
+    }
+
+    fn operands_ready(&self, u: &RenamedUop) -> bool {
+        let ready = |r: Option<(u16, bool)>| match r {
+            None => true,
+            Some((p, true)) => self.fprf.is_ready(p),
+            Some((p, false)) => self.iprf.is_ready(p),
+        };
+        ready(u.pa) && ready(u.pb)
+    }
+
+    fn read_src(&mut self, r: Option<(u16, bool)>, imm: i64) -> u64 {
+        match r {
+            None => imm as u64,
+            Some((p, true)) => self.fprf.read(p),
+            Some((p, false)) => self.iprf.read(p),
+        }
+    }
+
+    /// Executes one µop. Returns `true` when the µop must stay in the issue
+    /// queue for a retry (blocked partial store overlap).
+    fn execute_uop(&mut self, u: &RenamedUop) -> bool {
+        let rob_idx = u.rob as usize;
+        match u.kind {
+            UopKind::Alu => {
+                let a = self.read_src(u.pa, u.imm);
+                let b = self.read_src(u.pb, u.imm);
+                let lat = if u.alu.is_div() {
+                    12
+                } else if u.alu == difi_isa::uop::IntOp::Mul {
+                    3
+                } else {
+                    1
+                };
+                let value = match eval_int_op(u.alu, u.width, a, b) {
+                    Ok(v) => v,
+                    Err(f) => {
+                        if let Some(r) = self.rob[rob_idx].as_mut() {
+                            r.fault = Some(f);
+                        }
+                        0
+                    }
+                };
+                let Some((preg, fp)) = u.pd else {
+                    // Only reachable through payload corruption: the encoded
+                    // destination-valid bit was cleared.
+                    self.massert(false, "alu uop without destination");
+                    return false;
+                };
+                self.push_event(rob_idx, lat, EventKind::WriteBack { preg, fp, value });
+                false
+            }
+            UopKind::Fp => {
+                let a = self.read_src(u.pa, 0);
+                let b = self.read_src(u.pb, 0);
+                let value = if u.fp == FpOp::CmpFlags && u.pd.is_some_and(|(_, fp)| !fp) && !self.flags_dest(u)
+                {
+                    eval_fp_predicate(u.imm, a, b)
+                } else {
+                    eval_fp_op(u.fp, a, b, u.imm)
+                };
+                let lat = if matches!(u.fp, FpOp::Div | FpOp::Sqrt) {
+                    12
+                } else {
+                    4
+                };
+                let Some((preg, fp)) = u.pd else {
+                    self.massert(false, "fp uop without destination");
+                    return false;
+                };
+                self.push_event(rob_idx, lat, EventKind::WriteBack { preg, fp, value });
+                false
+            }
+            UopKind::Load => self.execute_load(u),
+            UopKind::Store => {
+                self.execute_store(u);
+                false
+            }
+            UopKind::Branch => {
+                self.execute_branch(u);
+                false
+            }
+            // Nop/Syscall/Hint complete at dispatch and never reach here.
+            _ => {
+                self.massert(false, "non-executable uop issued");
+                false
+            }
+        }
+    }
+
+    /// The x86e FP compare writes the renamed FLAGS register (an integer
+    /// preg); the arme predicate form writes a plain integer register. They
+    /// are distinguished at decode by `cond_on_flags` being irrelevant —
+    /// here by the destination's *architectural* identity, recorded in the
+    /// ROB slot.
+    fn flags_dest(&self, u: &RenamedUop) -> bool {
+        self.rob[u.rob as usize]
+            .as_ref()
+            .and_then(|s| s.dest_arch)
+            == Some(difi_isa::uop::Reg::FLAGS)
+    }
+
+    fn push_event(&mut self, rob_idx: usize, lat: u64, kind: EventKind) {
+        let seq = self.rob[rob_idx].as_ref().map_or(0, |s| s.seq);
+        self.events.push(Event {
+            at: self.cycle + lat.max(1),
+            rob: rob_idx,
+            seq,
+            kind,
+        });
+    }
+
+    fn execute_load(&mut self, u: &RenamedUop) -> bool {
+        let rob_idx = u.rob as usize;
+        let base = self.read_src(u.pa, 0);
+        let vaddr = base.wrapping_add(u.imm as u64);
+        let (paddr, _hit) = self.dtlb.translate(vaddr);
+        let w = u.width.bytes();
+        let (Some((preg, fp)), Some(lsq_slot)) = (u.pd, u.lsq) else {
+            self.massert(false, "load uop with corrupted destination/lsq fields");
+            return false;
+        };
+        if (lsq_slot as usize) >= self.lsq_meta.len() {
+            self.massert(false, "load lsq index out of range");
+            return false;
+        }
+        self.stats.issued_loads += 1;
+
+        if !self.map.contains(paddr, w) {
+            if let Some(r) = self.rob[rob_idx].as_mut() {
+                r.fault = Some(difi_isa::uop::Fault::OutOfBounds(paddr));
+            }
+            self.push_event(
+                rob_idx,
+                1,
+                EventKind::LoadWriteBack {
+                    preg,
+                    fp,
+                    lsq_data_slot: None,
+                    value: 0,
+                    width: u.width,
+                    signed: u.signed,
+                },
+            );
+            return false;
+        }
+        if self.isa == difi_isa::program::Isa::Arme && paddr % w != 0 {
+            if let Some(r) = self.rob[rob_idx].as_mut() {
+                r.alignment_exc = true;
+            }
+        }
+
+        // Record the resolved address.
+        let seq;
+        {
+            let m = &mut self.lsq_meta[lsq_slot as usize];
+            m.addr = Some(paddr);
+            m.width = u.width;
+            seq = m.seq;
+        }
+
+        // Store scan: youngest older store overlapping this access.
+        let mut forward: Option<(u16, u64)> = None; // (data_slot, store_seq)
+        let mut partial_block = false;
+        for &l in &self.lsq_order {
+            let m = &self.lsq_meta[l as usize];
+            if !m.valid || !m.is_store || m.seq >= seq {
+                continue;
+            }
+            let Some(saddr) = m.addr else {
+                continue; // aggressive policy: unknown-address stores ignored
+            };
+            let sw = m.width.bytes();
+            let overlap = saddr < paddr + w && paddr < saddr + sw;
+            if !overlap {
+                continue;
+            }
+            if saddr == paddr && sw == w && m.data_ready {
+                match forward {
+                    Some((_, fseq)) if fseq > m.seq => {}
+                    _ => forward = Some((m.data_slot, m.seq)),
+                }
+            } else {
+                partial_block = true;
+            }
+        }
+        if partial_block {
+            // Retry once the conflicting store drains.
+            if let Some(r) = self.rob[rob_idx].as_mut() {
+                r.retry_at = self.cycle + 3;
+            }
+            return true;
+        }
+
+        let (raw, lat) = if let Some((dslot, fseq)) = forward {
+            let v = self.lsq_data.read(dslot);
+            self.lsq_meta[lsq_slot as usize].forwarded_from = Some(fseq);
+            (mask_width(v, u.width), 1u32)
+        } else {
+            let mut buf = [0u8; 8];
+            let lat = self.sys.read_data(paddr, &mut buf[..w as usize]);
+            (u64::from_le_bytes(buf), lat)
+        };
+
+        {
+            let m = &mut self.lsq_meta[lsq_slot as usize];
+            m.executed = true;
+            m.data_ready = true;
+        }
+
+        let staged = match self.cfg.lsq {
+            LsqOrg::Unified { .. } => {
+                // MARSS: the load stages its value in the unified queue's
+                // data field; writeback re-reads it (so LSQ faults can hit
+                // load data — Remark 1).
+                self.lsq_data.write(lsq_slot, raw);
+                Some(lsq_slot)
+            }
+            LsqOrg::Split { .. } => None,
+        };
+        self.push_event(
+            rob_idx,
+            lat as u64,
+            EventKind::LoadWriteBack {
+                preg,
+                fp,
+                lsq_data_slot: staged,
+                value: raw,
+                width: u.width,
+                signed: u.signed,
+            },
+        );
+        false
+    }
+
+    fn execute_store(&mut self, u: &RenamedUop) {
+        let rob_idx = u.rob as usize;
+        let base = self.read_src(u.pa, 0);
+        let vaddr = base.wrapping_add(u.imm as u64);
+        let (paddr, _hit) = self.dtlb.translate(vaddr);
+        let w = u.width.bytes();
+        let data = self.read_src(u.pb, 0);
+        let Some(lsq_slot) = u.lsq else {
+            self.massert(false, "store uop with corrupted lsq field");
+            return;
+        };
+        if (lsq_slot as usize) >= self.lsq_meta.len() {
+            self.massert(false, "store lsq index out of range");
+            return;
+        }
+
+        if !self.map.contains(paddr, w) {
+            if let Some(r) = self.rob[rob_idx].as_mut() {
+                r.fault = Some(difi_isa::uop::Fault::OutOfBounds(paddr));
+            }
+        } else if self.map.in_code(paddr, w) {
+            if let Some(r) = self.rob[rob_idx].as_mut() {
+                r.fault = Some(difi_isa::uop::Fault::CodeWrite(paddr));
+            }
+        } else if self.isa == difi_isa::program::Isa::Arme && paddr % w != 0 {
+            if let Some(r) = self.rob[rob_idx].as_mut() {
+                r.alignment_exc = true;
+            }
+        }
+
+        let seq;
+        {
+            let m = &mut self.lsq_meta[lsq_slot as usize];
+            m.addr = Some(paddr);
+            m.width = u.width;
+            m.data_ready = true;
+            m.executed = true;
+            seq = m.seq;
+        }
+        self.lsq_data
+            .write(self.lsq_meta[lsq_slot as usize].data_slot, data);
+        self.push_event(rob_idx, 1, EventKind::Complete);
+
+        // MARSS aggressive policy: detect younger loads that already ran
+        // past this store (memory-order violation) and replay them.
+        if self.cfg.policy.aggressive_loads {
+            let mut violator: Option<(u64, usize)> = None;
+            for &l in &self.lsq_order {
+                let m = &self.lsq_meta[l as usize];
+                if !m.valid || m.is_store || m.seq <= seq || !m.executed {
+                    continue;
+                }
+                let Some(laddr) = m.addr else { continue };
+                let lw = m.width.bytes();
+                let overlap = paddr < laddr + lw && laddr < paddr + w;
+                if overlap && m.forwarded_from != Some(seq) {
+                    match violator {
+                        Some((vseq, _)) if vseq < m.seq => {}
+                        _ => violator = Some((m.seq, m.rob as usize)),
+                    }
+                }
+            }
+            if let Some((_, load_rob)) = violator {
+                if let Some(load_slot) = self.rob[load_rob].as_ref() {
+                    let replay_pc = load_slot.pc;
+                    let bound = load_slot.seq;
+                    self.stats.load_replays += 1;
+                    // Squash the load and everything younger; the bound is
+                    // one below the load's own seq so the load itself goes.
+                    self.squash_younger(bound.saturating_sub(1), replay_pc);
+                }
+            }
+        }
+    }
+
+    fn execute_branch(&mut self, u: &RenamedUop) {
+        let rob_idx = u.rob as usize;
+        let Some(slot) = self.rob[rob_idx].as_ref() else {
+            return;
+        };
+        let fallthrough = slot.pc + slot.ilen as u64;
+        let (taken, actual_next) = match u.branch {
+            BranchKind::CondDirect => {
+                let taken = if u.cond_on_flags {
+                    let fl = self.read_src(u.pa, 0);
+                    u.cond.eval_flags(fl)
+                } else {
+                    let a = self.read_src(u.pa, 0);
+                    let b = u.pb.map_or(0, |_| self.read_src(u.pb, 0));
+                    u.cond.eval_regs(a, b)
+                };
+                (taken, if taken { u.target } else { fallthrough })
+            }
+            BranchKind::Jump | BranchKind::Call => {
+                if let Some((preg, fp)) = u.pd {
+                    // arme bl: write the link register.
+                    self.write_preg(preg, fp, u.imm as u64);
+                }
+                (true, u.target)
+            }
+            BranchKind::JumpInd | BranchKind::Ret => {
+                let t = self.read_src(u.pa, 0);
+                (true, t)
+            }
+        };
+        if let Some(r) = self.rob[rob_idx].as_mut() {
+            r.taken = taken;
+            r.actual_next = actual_next;
+        }
+        self.push_event(rob_idx, 1, EventKind::BranchResolve);
+    }
+
+    // ---------------------------------------------------------------- rename
+
+    fn requires_iq(kind: UopKind) -> bool {
+        !matches!(kind, UopKind::Nop | UopKind::Syscall | UopKind::Hint)
+    }
+
+    fn rename_stage(&mut self) {
+        let mut budget = self.cfg.width;
+        while budget > 0 && self.exit.is_none() {
+            // Serialize behind in-flight syscalls so their commit observes
+            // clean architectural register state.
+            if self.syscalls_in_rob > 0 {
+                break;
+            }
+            let Some(inst) = self.fetch_queue.front() else {
+                break;
+            };
+            let n = inst.uops.len().max(1);
+            if n > budget && budget < self.cfg.width {
+                break; // let the instruction start a fresh cycle
+            }
+            // Resource check across the whole instruction.
+            if self.rob_free() < n {
+                break;
+            }
+            let iq_needed = inst
+                .uops
+                .iter()
+                .filter(|u| Self::requires_iq(u.kind))
+                .count();
+            let mut iq_free = (0..self.iq.slots())
+                .filter(|&s| !self.iq.occupied(s))
+                .count();
+            if iq_free < iq_needed {
+                break;
+            }
+            let int_dests = inst
+                .uops
+                .iter()
+                .filter(|u| u.rd.is_some_and(|r| !r.is_fp()))
+                .count();
+            let fp_dests = inst
+                .uops
+                .iter()
+                .filter(|u| u.rd.is_some_and(|r| r.is_fp()))
+                .count();
+            if self.ifree.available() < int_dests || self.ffree.available() < fp_dests {
+                break;
+            }
+            let loads = inst
+                .uops
+                .iter()
+                .filter(|u| u.kind == UopKind::Load)
+                .count();
+            let stores = inst
+                .uops
+                .iter()
+                .filter(|u| u.kind == UopKind::Store)
+                .count();
+            if !self.lsq_has_room(loads, stores) {
+                break;
+            }
+
+            let inst = self.fetch_queue.pop_front().expect("checked above");
+            if let Some(f) = inst.decode_fault {
+                // gem5 policy: a pseudo-entry carries the decode fault to
+                // commit (squashed if wrong-path).
+                let seq = self.alloc_seq();
+                let idx = self.rob_tail;
+                self.rob[idx] = Some(RobSlot {
+                    seq,
+                    pc: inst.pc,
+                    ilen: inst.len,
+                    uop: RenamedUop::nop(),
+                    dest_arch: None,
+                    prev_preg: 0,
+                    completed: true,
+                    issued: true,
+                    fault: Some(f),
+                    from_decoder: true,
+                    alignment_exc: false,
+                    taken: false,
+                    actual_next: 0,
+                    pred_next: inst.pred_next,
+                    iq_slot: None,
+                    lsq_slot: None,
+                    inst_end: true,
+                    retry_at: 0,
+                });
+                self.rob_tail = self.rob_next(idx);
+                self.rob_count += 1;
+                budget -= 1;
+                continue;
+            }
+
+            let last = inst.uops.len().saturating_sub(1);
+            for (i, uop) in inst.uops.iter().enumerate() {
+                self.dispatch_uop(&inst, uop, i == last);
+                iq_free = iq_free.saturating_sub(1);
+                budget = budget.saturating_sub(1);
+                if self.exit.is_some() {
+                    return;
+                }
+            }
+            if inst.uops.is_empty() {
+                // A bare NOP-only instruction still retires.
+                let nop = Uop::nop();
+                self.dispatch_uop(&inst, &nop, true);
+                budget = budget.saturating_sub(1);
+            }
+        }
+    }
+
+    fn alloc_seq(&mut self) -> u64 {
+        self.seq_counter += 1;
+        self.seq_counter
+    }
+
+    fn dispatch_uop(&mut self, inst: &PendingInst, uop: &Uop, is_last: bool) {
+        let seq = self.alloc_seq();
+        let idx = self.rob_tail;
+
+        let rename_src = |core: &OoOCore, r: Option<difi_isa::uop::Reg>| -> Option<(u16, bool)> {
+            r.map(|reg| {
+                if reg.is_fp() {
+                    (core.fmap.get(reg.class_index()), true)
+                } else {
+                    (core.imap.get(reg.class_index()), false)
+                }
+            })
+        };
+        let pa = rename_src(self, uop.ra);
+        let pb = rename_src(self, uop.rb);
+
+        // Destination rename.
+        let (pd, dest_arch, prev_preg) = if let Some(rd) = uop.rd {
+            if rd.is_fp() {
+                let Some(newp) = self.ffree.alloc() else {
+                    self.massert(false, "fp free list exhausted at dispatch");
+                    return;
+                };
+                let prev = self.fmap.set(rd.class_index(), newp);
+                self.fprf.set_ready(newp, false);
+                (Some((newp, true)), Some(rd), prev)
+            } else {
+                let Some(newp) = self.ifree.alloc() else {
+                    self.massert(false, "int free list exhausted at dispatch");
+                    return;
+                };
+                let prev = self.imap.set(rd.class_index(), newp);
+                self.iprf.set_ready(newp, false);
+                (Some((newp, false)), Some(rd), prev)
+            }
+        } else {
+            (None, None, 0)
+        };
+
+        // LSQ allocation.
+        let lsq_slot = match uop.kind {
+            UopKind::Load => self.lsq_alloc(false, seq, idx as u16),
+            UopKind::Store => self.lsq_alloc(true, seq, idx as u16),
+            _ => None,
+        };
+
+        let renamed = RenamedUop {
+            kind: uop.kind,
+            alu: uop.alu,
+            fp: uop.fp,
+            width: uop.width,
+            signed: uop.signed,
+            cond: uop.cond,
+            cond_on_flags: uop.cond_on_flags,
+            branch: uop.branch,
+            pd,
+            pa,
+            pb,
+            imm: uop.imm,
+            target: uop.target,
+            rob: idx as u16,
+            lsq: lsq_slot,
+        };
+
+        let needs_iq = Self::requires_iq(uop.kind);
+        let iq_slot = if needs_iq {
+            let Some(s) = self.iq.find_free() else {
+                self.massert(false, "issue queue full at dispatch");
+                return;
+            };
+            self.iq.insert(s, renamed);
+            Some(s)
+        } else {
+            None
+        };
+
+        self.rob[idx] = Some(RobSlot {
+            seq,
+            pc: inst.pc,
+            ilen: inst.len,
+            uop: renamed,
+            dest_arch,
+            prev_preg,
+            completed: !needs_iq,
+            issued: !needs_iq,
+            fault: None,
+            from_decoder: false,
+            alignment_exc: false,
+            taken: false,
+            actual_next: 0,
+            pred_next: inst.pred_next,
+            iq_slot,
+            lsq_slot,
+            inst_end: is_last,
+            retry_at: 0,
+        });
+        self.rob_tail = self.rob_next(idx);
+        self.rob_count += 1;
+        if uop.kind == UopKind::Syscall {
+            self.syscalls_in_rob += 1;
+        }
+    }
+
+    fn lsq_has_room(&self, loads: usize, stores: usize) -> bool {
+        match self.cfg.lsq {
+            LsqOrg::Unified { entries } => {
+                let used = self.lsq_order.len();
+                entries - used >= loads + stores
+            }
+            LsqOrg::Split {
+                loads: lq,
+                stores: sq,
+            } => {
+                let lq_used = self
+                    .lsq_order
+                    .iter()
+                    .filter(|&&l| (l as usize) < lq)
+                    .count();
+                let sq_used = self.lsq_order.len() - lq_used;
+                lq - lq_used >= loads && sq - sq_used >= stores
+            }
+        }
+    }
+
+    fn lsq_alloc(&mut self, is_store: bool, seq: u64, rob: u16) -> Option<u16> {
+        let slot = match self.cfg.lsq {
+            LsqOrg::Unified { entries } => {
+                (0..entries as u16).find(|&i| !self.lsq_meta[i as usize].valid)
+            }
+            LsqOrg::Split { loads, stores } => {
+                if is_store {
+                    (loads as u16..(loads + stores) as u16)
+                        .find(|&i| !self.lsq_meta[i as usize].valid)
+                } else {
+                    (0..loads as u16).find(|&i| !self.lsq_meta[i as usize].valid)
+                }
+            }
+        }?;
+        let data_slot = match self.cfg.lsq {
+            LsqOrg::Unified { .. } => slot,
+            LsqOrg::Split { loads, .. } => {
+                if is_store {
+                    slot - loads as u16
+                } else {
+                    0 // loads carry no data in the split organization
+                }
+            }
+        };
+        self.lsq_meta[slot as usize] = LsqMeta {
+            valid: true,
+            is_store,
+            addr: None,
+            width: Width::B8,
+            seq,
+            data_ready: false,
+            data_slot,
+            executed: false,
+            forwarded_from: None,
+            rob,
+        };
+        self.lsq_order.push(slot);
+        Some(slot)
+    }
+
+    // ----------------------------------------------------------------- fetch
+
+    fn fetch_stage(&mut self) {
+        if self.fetch_wait || self.cycle < self.fetch_stall_until || self.exit.is_some() {
+            return;
+        }
+        let mut budget = self.cfg.fetch_bytes as i64;
+        let mut fetched = 0usize;
+        while budget > 0
+            && fetched < self.cfg.width
+            && self.fetch_queue.len() < FETCH_QUEUE_CAP
+            && self.exit.is_none()
+        {
+            let pc = self.fetch_pc;
+            let (paddr, itlb_hit) = self.itlb.translate(pc);
+            if !itlb_hit {
+                self.fetch_stall_until = self.cycle + ITLB_MISS_PENALTY;
+            }
+            if !self.map.contains(paddr, 1) {
+                self.fetch_fault(pc, difi_isa::uop::Fault::OutOfBounds(paddr));
+                return;
+            }
+            let avail = (self.map.size - paddr).min(MAX_INST_LEN as u64) as usize;
+            let mut buf = [0u8; MAX_INST_LEN];
+            let lat = self.sys.fetch(paddr, &mut buf[..avail]);
+            if lat > self.sys.lat.l1_hit {
+                self.fetch_stall_until = self.cycle + (lat - self.sys.lat.l1_hit) as u64;
+            }
+            let d = difi_isa::decode(self.isa, &buf[..avail], pc);
+            if let Some(f) = d.fault {
+                self.fetch_fault(pc, f);
+                return;
+            }
+            budget -= d.len as i64;
+            let (pred_next, _pred_taken) = self.predict(pc, d.len, &d.uops);
+            self.fetch_queue.push_back(PendingInst {
+                pc,
+                len: d.len,
+                uops: d.uops,
+                pred_next,
+                decode_fault: None,
+            });
+            fetched += 1;
+            let fallthrough = pc + self.fetch_queue.back().expect("just pushed").len as u64;
+            self.fetch_pc = pred_next;
+            if pred_next != fallthrough {
+                break; // taken-branch fetch break
+            }
+        }
+    }
+
+    /// Handles an undecodable fetch: a pseudo-instruction carries the fault
+    /// to commit (squashed when the fetch was down the wrong path). The
+    /// Remark 8 divergence is decided at commit: MARSS-style models assert,
+    /// gem5-style models raise the ISA fault to the guest.
+    fn fetch_fault(&mut self, pc: u64, f: difi_isa::uop::Fault) {
+        self.fetch_queue.push_back(PendingInst {
+            pc,
+            len: 1,
+            uops: Vec::new(),
+            pred_next: pc + 1,
+            decode_fault: Some(f),
+        });
+        self.fetch_wait = true;
+    }
+
+    fn predict(&mut self, pc: u64, len: u8, uops: &[Uop]) -> (u64, bool) {
+        let fallthrough = pc + len as u64;
+        let Some(b) = uops.iter().find(|u| u.is_branch()) else {
+            return (fallthrough, false);
+        };
+        match b.branch {
+            BranchKind::CondDirect => {
+                let taken = self.pred.predict(pc);
+                if taken {
+                    let target = self.btb.lookup_direct(pc).unwrap_or(b.target);
+                    (target, true)
+                } else {
+                    (fallthrough, false)
+                }
+            }
+            BranchKind::Jump => (b.target, true),
+            BranchKind::Call => {
+                self.ras.push(fallthrough);
+                (b.target, true)
+            }
+            BranchKind::Ret => match self.ras.pop() {
+                Some(t) => (t, true),
+                None => (fallthrough, false),
+            },
+            BranchKind::JumpInd => match self.btb.lookup_indirect(pc) {
+                Some(t) => (t, true),
+                None => (fallthrough, false),
+            },
+        }
+    }
+}
+
+fn mask_width(v: u64, w: Width) -> u64 {
+    match w {
+        Width::B1 => v & 0xFF,
+        Width::B2 => v & 0xFFFF,
+        Width::B4 => v & 0xFFFF_FFFF,
+        Width::B8 => v,
+    }
+}
+
+/// Kernel memory adapter: hypervisor style — straight to main memory.
+struct BypassKernelMem<'a> {
+    sys: &'a mut MemSystem,
+    map: MemoryMap,
+}
+
+impl KernelMem for BypassKernelMem<'_> {
+    fn read_u64(&mut self, addr: u64) -> Result<u64, difi_isa::uop::Fault> {
+        if !self.map.contains(addr, 8) {
+            return Err(difi_isa::uop::Fault::OutOfBounds(addr));
+        }
+        let mut b = [0u8; 8];
+        self.sys.bypass_read(addr, &mut b);
+        Ok(u64::from_le_bytes(b))
+    }
+
+    fn write_u64(&mut self, addr: u64, value: u64) -> Result<(), difi_isa::uop::Fault> {
+        if !self.map.contains(addr, 8) {
+            return Err(difi_isa::uop::Fault::OutOfBounds(addr));
+        }
+        self.sys.bypass_write(addr, &value.to_le_bytes());
+        Ok(())
+    }
+
+    fn read_bytes(&mut self, addr: u64, buf: &mut [u8]) -> Result<(), difi_isa::uop::Fault> {
+        if !self.map.contains(addr, buf.len() as u64) {
+            return Err(difi_isa::uop::Fault::OutOfBounds(addr));
+        }
+        self.sys.bypass_read(addr, buf);
+        Ok(())
+    }
+}
+
+/// Kernel memory adapter: gem5 style — kernel accesses travel through the
+/// data cache like any other access (so cache faults reach kernel state).
+struct CachedKernelMem<'a> {
+    sys: &'a mut MemSystem,
+    map: MemoryMap,
+}
+
+impl KernelMem for CachedKernelMem<'_> {
+    fn read_u64(&mut self, addr: u64) -> Result<u64, difi_isa::uop::Fault> {
+        if !self.map.contains(addr, 8) {
+            return Err(difi_isa::uop::Fault::OutOfBounds(addr));
+        }
+        let mut b = [0u8; 8];
+        self.sys.read_data(addr, &mut b);
+        Ok(u64::from_le_bytes(b))
+    }
+
+    fn write_u64(&mut self, addr: u64, value: u64) -> Result<(), difi_isa::uop::Fault> {
+        if !self.map.contains(addr, 8) {
+            return Err(difi_isa::uop::Fault::OutOfBounds(addr));
+        }
+        self.sys.write_data(addr, &value.to_le_bytes());
+        Ok(())
+    }
+
+    fn read_bytes(&mut self, addr: u64, buf: &mut [u8]) -> Result<(), difi_isa::uop::Fault> {
+        if !self.map.contains(addr, buf.len() as u64) {
+            return Err(difi_isa::uop::Fault::OutOfBounds(addr));
+        }
+        self.sys.read_data(addr, buf);
+        Ok(())
+    }
+}

@@ -1,0 +1,644 @@
+//! The shared out-of-order core engine.
+//!
+//! One engine, two personalities: every policy switch in [`CorePolicy`]
+//! corresponds to a MARSS/gem5 difference the paper documents (§IV and
+//! Remarks 1–8). `difi-mars` instantiates the MARSS-flavoured configuration
+//! behind MaFIN; `difi-gem` the gem5-flavoured ones behind GeFIN. See
+//! DESIGN.md ("Engine-sharing note") for why the reproduction makes the
+//! divergences explicit knobs instead of duplicating the codebase.
+//!
+//! The pipeline models fetch (with tournament + BTB + RAS prediction and
+//! wrong-path execution), decode/crack, rename (physical register files,
+//! walk-back recovery via the ROB), dispatch into a packed-payload issue
+//! queue and a load/store queue, out-of-order issue with functional-unit
+//! limits, speculative load issue with alias replay (MARSS policy),
+//! store-to-load forwarding, branch resolution with full squash, and
+//! in-order commit that drains stores, raises deferred ISA faults, trains
+//! predictors, and calls into the nano-kernel.
+
+pub mod engine;
+
+use crate::cache::CacheConfig;
+use crate::fault::{StructureDesc, StructureId};
+use crate::mem::{MemPolicy, MemSystem};
+use crate::predictor::{Btb, BtbConfig, Ras, Tournament, TournamentConfig};
+use crate::queues::{IssueQueue, LsqDataArray, PayloadLimits, RenamedUop};
+use crate::regfile::{FreeList, PhysRegFile, RenameMap};
+use crate::stats::SimStats;
+use crate::tlb::{Tlb, TlbConfig};
+use difi_isa::program::{Isa, MemoryMap, Program};
+use difi_isa::uop::{Fault, Reg, Width};
+
+/// Branch-target-buffer organization (Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BtbOrg {
+    /// MARSS: a 4-way 1K-entry BTB for direct branches plus a 4-way
+    /// 512-entry BTB for indirect branches.
+    MarssSplit,
+    /// gem5: one direct-mapped 2K-entry BTB for all branches.
+    Gem5Unified,
+}
+
+/// Load/store queue organization (Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LsqOrg {
+    /// MARSS: one unified queue; loads *and* stores hold data.
+    Unified {
+        /// Total entries (32 in the paper's configuration).
+        entries: usize,
+    },
+    /// gem5: split queues; only the store queue holds data.
+    Split {
+        /// Load-queue entries (16).
+        loads: usize,
+        /// Store-queue entries (16).
+        stores: usize,
+    },
+}
+
+impl LsqOrg {
+    /// Entries carrying injectable data bits.
+    pub fn data_entries(&self) -> usize {
+        match *self {
+            LsqOrg::Unified { entries } => entries,
+            LsqOrg::Split { stores, .. } => stores,
+        }
+    }
+
+    /// Total queue capacity.
+    pub fn total_entries(&self) -> usize {
+        match *self {
+            LsqOrg::Unified { entries } => entries,
+            LsqOrg::Split { loads, stores } => loads + stores,
+        }
+    }
+}
+
+/// Behavioural switches — each one is a documented MARSS/gem5 difference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorePolicy {
+    /// MARSS issues loads before older store addresses are known and
+    /// replays on alias violations; gem5 waits (Remark 3).
+    pub aggressive_loads: bool,
+    /// Kernel services run through the QEMU-style hypervisor: memory
+    /// accesses bypass the caches (MARSS), vs. through the cache hierarchy
+    /// (gem5). Implies `store_through`.
+    pub hypervisor_kernel: bool,
+    /// Committed stores also update main memory (MARSS/QEMU coherence).
+    pub store_through: bool,
+    /// Undecodable instruction bytes raise a simulator assertion at decode
+    /// time, even on the wrong path (MARSS); otherwise they become deferred
+    /// ISA faults raised at commit (gem5) — Remark 8.
+    pub decode_fault_asserts: bool,
+    /// Corrupted issue-queue payloads raise assertions (MARSS) vs.
+    /// simulator crashes (gem5) — Remark 8.
+    pub payload_error_asserts: bool,
+    /// Dense internal consistency checking (MARSS's assert-rich style).
+    pub rich_asserts: bool,
+    /// Next-line prefetchers on the L1 caches (added to MARSS, Table IV).
+    pub prefetchers: bool,
+    /// Model the cache data arrays (MaFIN's §III.C extension). `false`
+    /// reproduces *original* MARSS performance mode: no cache-data fault
+    /// injection, ≈40% faster (the EXP-OVH comparison). Requires
+    /// `store_through`.
+    pub model_cache_data: bool,
+}
+
+/// Full core configuration (Table II parameters plus the policy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreConfig {
+    /// Integer physical registers.
+    pub int_prf: usize,
+    /// FP physical registers.
+    pub fp_prf: usize,
+    /// Issue-queue entries.
+    pub iq_entries: usize,
+    /// Reorder-buffer entries.
+    pub rob_entries: usize,
+    /// LSQ organization.
+    pub lsq: LsqOrg,
+    /// Fetch/rename/issue/commit width in µops.
+    pub width: usize,
+    /// Fetch bytes per cycle.
+    pub fetch_bytes: usize,
+    /// Simple integer ALUs.
+    pub int_alus: usize,
+    /// Multiply/divide units.
+    pub mul_div_units: usize,
+    /// FP units.
+    pub fp_units: usize,
+    /// Memory ports (AGUs).
+    pub mem_ports: usize,
+    /// Return-address stack depth.
+    pub ras_depth: usize,
+    /// Tournament predictor configuration.
+    pub predictor: TournamentConfig,
+    /// BTB organization.
+    pub btb: BtbOrg,
+    /// L1I geometry.
+    pub l1i: CacheConfig,
+    /// L1D geometry.
+    pub l1d: CacheConfig,
+    /// L2 geometry.
+    pub l2: CacheConfig,
+    /// Behaviour switches.
+    pub policy: CorePolicy,
+}
+
+impl CoreConfig {
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when a parameter combination is unusable (e.g. too
+    /// few physical registers to cover the architectural state).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.int_prf < Reg::NUM_INT + self.width {
+            return Err("integer PRF too small".into());
+        }
+        if self.fp_prf < Reg::NUM_FP + self.width {
+            return Err("fp PRF too small".into());
+        }
+        if self.rob_entries == 0 || self.rob_entries > 256 {
+            return Err("rob entries out of range (1..=256)".into());
+        }
+        if self.policy.hypervisor_kernel && !self.policy.store_through {
+            return Err("hypervisor kernel requires store-through coherence".into());
+        }
+        if !self.policy.model_cache_data && !self.policy.store_through {
+            return Err("performance mode (no data arrays) requires store-through".into());
+        }
+        if self.lsq.data_entries() > 128 {
+            return Err("lsq too large for payload encoding".into());
+        }
+        Ok(())
+    }
+}
+
+/// Terminal state of one detailed-simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimExit {
+    /// Workload exited with this code.
+    Exited(u64),
+    /// Unrecoverable ISA fault killed the process.
+    ProcessCrash(Fault),
+    /// Nano-kernel panic.
+    SystemCrash(&'static str),
+    /// Simulator assertion fired (message attached).
+    SimAssert(String),
+    /// Simulator reached an unhandled internal state.
+    SimCrash(String),
+    /// Cycle budget or commit watchdog expired.
+    Timeout,
+    /// Early stop: every injected fault proven masked.
+    EarlyMasked,
+}
+
+/// Result of a detailed run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimRun {
+    /// Terminal state.
+    pub exit: SimExit,
+    /// Console output.
+    pub output: Vec<u8>,
+    /// Handled (logged) ISA exceptions.
+    pub exceptions: u64,
+    /// Runtime statistics.
+    pub stats: SimStats,
+    /// True when any injected fault was read after injection.
+    pub fault_consumed: bool,
+}
+
+/// One reorder-buffer slot.
+#[derive(Debug, Clone)]
+pub(crate) struct RobSlot {
+    pub seq: u64,
+    pub pc: u64,
+    pub ilen: u8,
+    pub uop: RenamedUop,
+    /// Destination architectural register (for walk-back), with its class.
+    pub dest_arch: Option<Reg>,
+    pub prev_preg: u16,
+    pub completed: bool,
+    pub issued: bool,
+    /// Deferred ISA fault, surfaced at commit.
+    pub fault: Option<Fault>,
+    /// The fault came from the decoder (an undecodable instruction) — the
+    /// Remark 8 case where MARSS asserts and gem5 raises an ISA fault.
+    pub from_decoder: bool,
+    /// Misaligned access fixed up at execute; logged at commit (arme).
+    pub alignment_exc: bool,
+    /// Resolved branch outcome.
+    pub taken: bool,
+    pub actual_next: u64,
+    /// The fetch path taken after this instruction (prediction).
+    pub pred_next: u64,
+    pub iq_slot: Option<usize>,
+    pub lsq_slot: Option<u16>,
+    /// Last µop of its architectural instruction.
+    pub inst_end: bool,
+    /// Retry backoff for loads blocked on partial store overlaps.
+    pub retry_at: u64,
+}
+
+/// Load/store queue entry metadata (data bits live in [`LsqDataArray`]).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LsqMeta {
+    pub valid: bool,
+    pub is_store: bool,
+    pub addr: Option<u64>,
+    pub width: Width,
+    pub seq: u64,
+    /// Store data written / load value staged.
+    pub data_ready: bool,
+    /// For split organization: index into the data array (stores only).
+    pub data_slot: u16,
+    /// Load already performed its memory access.
+    pub executed: bool,
+    /// Load obtained its value by forwarding from this store seq.
+    pub forwarded_from: Option<u64>,
+    pub rob: u16,
+}
+
+impl LsqMeta {
+    pub(crate) fn empty() -> LsqMeta {
+        LsqMeta {
+            valid: false,
+            is_store: false,
+            addr: None,
+            width: Width::B8,
+            seq: 0,
+            data_ready: false,
+            data_slot: 0,
+            executed: false,
+            forwarded_from: None,
+            rob: 0,
+        }
+    }
+}
+
+/// Pending completion event.
+#[derive(Debug, Clone)]
+pub(crate) enum EventKind {
+    /// Write `value` to a physical register and wake dependents.
+    WriteBack { preg: u16, fp: bool, value: u64 },
+    /// Load writeback: read the staged value from the LSQ data array
+    /// (unified organization) or use the captured value (split).
+    LoadWriteBack {
+        preg: u16,
+        fp: bool,
+        lsq_data_slot: Option<u16>,
+        value: u64,
+        width: Width,
+        signed: bool,
+    },
+    /// Resolve a branch: compare against prediction, squash on mispredict.
+    BranchResolve,
+    /// Plain completion (stores, effect-free ops).
+    Complete,
+    /// Disarm an intermittent stuck fault.
+    DisarmStuck {
+        structure: StructureId,
+        entry: u64,
+        bit: u32,
+    },
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Event {
+    pub at: u64,
+    pub rob: usize,
+    pub seq: u64,
+    pub kind: EventKind,
+}
+
+/// Front-end BTB unit covering both Table II organizations.
+#[derive(Debug)]
+pub(crate) struct BtbUnit {
+    pub direct: Btb,
+    /// Present only in the MARSS split organization.
+    pub indirect: Option<Btb>,
+}
+
+impl BtbUnit {
+    pub(crate) fn new(org: BtbOrg) -> BtbUnit {
+        match org {
+            BtbOrg::MarssSplit => BtbUnit {
+                direct: Btb::new(BtbConfig::MARSS_DIRECT),
+                indirect: Some(Btb::new(BtbConfig::MARSS_INDIRECT)),
+            },
+            BtbOrg::Gem5Unified => BtbUnit {
+                direct: Btb::new(BtbConfig::GEM5),
+                indirect: None,
+            },
+        }
+    }
+
+    pub(crate) fn lookup_direct(&mut self, pc: u64) -> Option<u64> {
+        self.direct.lookup(pc)
+    }
+
+    pub(crate) fn lookup_indirect(&mut self, pc: u64) -> Option<u64> {
+        match &mut self.indirect {
+            Some(b) => b.lookup(pc),
+            None => self.direct.lookup(pc),
+        }
+    }
+
+    pub(crate) fn update_direct(&mut self, pc: u64, target: u64) {
+        self.direct.update(pc, target);
+    }
+
+    pub(crate) fn update_indirect(&mut self, pc: u64, target: u64) {
+        match &mut self.indirect {
+            Some(b) => b.update(pc, target),
+            None => self.direct.update(pc, target),
+        }
+    }
+
+    /// Total injectable entries across the unit.
+    pub(crate) fn entries(&self) -> usize {
+        self.direct.entries() + self.indirect.as_ref().map_or(0, |b| b.entries())
+    }
+
+    pub(crate) fn entry_bits(&self) -> u64 {
+        self.direct.entry_bits()
+    }
+
+    /// Routes an injection entry index to the right BTB.
+    pub(crate) fn inject_flip(&mut self, entry: u64, bit: u32) {
+        let d = self.direct.entries() as u64;
+        if entry < d {
+            self.direct.inject_flip(entry, bit);
+        } else if let Some(b) = &mut self.indirect {
+            b.inject_flip(entry - d, bit);
+        }
+    }
+
+    pub(crate) fn inject_stuck(&mut self, entry: u64, bit: u32, value: bool) {
+        let d = self.direct.entries() as u64;
+        if entry < d {
+            self.direct.inject_stuck(entry, bit, value);
+        } else if let Some(b) = &mut self.indirect {
+            b.inject_stuck(entry - d, bit, value);
+        }
+    }
+
+    pub(crate) fn all_faults_dead(&self) -> bool {
+        self.direct.hook.all_faults_dead()
+            && self
+                .indirect
+                .as_ref()
+                .is_none_or(|b| b.hook.all_faults_dead())
+    }
+
+    pub(crate) fn any_fault_consumed(&self) -> bool {
+        self.direct.hook.any_fault_consumed()
+            || self
+                .indirect
+                .as_ref()
+                .is_some_and(|b| b.hook.any_fault_consumed())
+    }
+}
+
+/// A decoded instruction waiting for rename.
+#[derive(Debug, Clone)]
+pub(crate) struct PendingInst {
+    pub pc: u64,
+    pub len: u8,
+    pub uops: Vec<difi_isa::uop::Uop>,
+    pub pred_next: u64,
+    /// Deferred decode fault (gem5 policy).
+    pub decode_fault: Option<Fault>,
+}
+
+/// The out-of-order core. Construct one per run via [`OoOCore::new`], apply
+/// faults with [`OoOCore::inject`] (or mid-run via the engine's schedule),
+/// and drive it with [`OoOCore::run`].
+#[derive(Debug)]
+pub struct OoOCore {
+    pub(crate) cfg: CoreConfig,
+    pub(crate) isa: Isa,
+    pub(crate) map: MemoryMap,
+    /// The memory system (public for diagnostics and injection glue).
+    pub sys: MemSystem,
+    pub(crate) itlb: Tlb,
+    pub(crate) dtlb: Tlb,
+    pub(crate) pred: Tournament,
+    pub(crate) btb: BtbUnit,
+    pub(crate) ras: Ras,
+    pub(crate) iprf: PhysRegFile,
+    pub(crate) fprf: PhysRegFile,
+    pub(crate) imap: RenameMap,
+    pub(crate) fmap: RenameMap,
+    pub(crate) ifree: FreeList,
+    pub(crate) ffree: FreeList,
+    pub(crate) iq: IssueQueue,
+    pub(crate) rob: Vec<Option<RobSlot>>,
+    pub(crate) rob_head: usize,
+    pub(crate) rob_tail: usize,
+    pub(crate) rob_count: usize,
+    pub(crate) lsq_meta: Vec<LsqMeta>,
+    pub(crate) lsq_order: Vec<u16>,
+    pub(crate) lsq_data: LsqDataArray,
+    pub(crate) events: Vec<Event>,
+    pub(crate) fetch_pc: u64,
+    pub(crate) fetch_queue: std::collections::VecDeque<PendingInst>,
+    pub(crate) fetch_wait: bool,
+    pub(crate) fetch_stall_until: u64,
+    /// Syscalls serialize the pipeline (x86 `syscall` semantics): rename
+    /// stalls while one is in flight so commit sees architectural state.
+    pub(crate) syscalls_in_rob: u32,
+    pub(crate) cycle: u64,
+    pub(crate) seq_counter: u64,
+    pub(crate) last_commit_cycle: u64,
+    pub(crate) output: Vec<u8>,
+    pub(crate) exit: Option<SimExit>,
+    /// Runtime statistics (public: dispatchers snapshot it).
+    pub stats: SimStats,
+    pub(crate) injected: Vec<StructureId>,
+}
+
+impl OoOCore {
+    /// Boots a core with `program` loaded and the nano-kernel installed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`CoreConfig::validate`] or the
+    /// program fails validation — both indicate caller bugs, not runtime
+    /// conditions.
+    pub fn new(cfg: CoreConfig, program: &Program) -> OoOCore {
+        cfg.validate().expect("invalid core configuration");
+        program.validate().expect("invalid program");
+        let mut image = program.initial_memory();
+        difi_isa::kernel::install(&mut image, &program.map);
+        let mem_policy = MemPolicy {
+            store_through_to_memory: cfg.policy.store_through,
+            l1d_prefetch: cfg.policy.prefetchers,
+            l1i_prefetch: cfg.policy.prefetchers,
+            model_data_arrays: cfg.policy.model_cache_data,
+        };
+        let sys = MemSystem::with_configs(image, mem_policy, cfg.l1i, cfg.l1d, cfg.l2);
+        let mut iprf = PhysRegFile::new(cfg.int_prf);
+        let fprf = PhysRegFile::new(cfg.fp_prf);
+        // Boot register state: arch reg i → phys i; SP initialized.
+        iprf.write(Reg::SP.0 as u16, program.map.stack_top);
+        let lsq_n = cfg.lsq.total_entries();
+        let payload_limits = PayloadLimits {
+            int_prf: cfg.int_prf as u16,
+            fp_prf: cfg.fp_prf as u16,
+            rob: cfg.rob_entries as u16,
+            lsq: lsq_n as u16,
+        };
+        OoOCore {
+            isa: program.isa,
+            map: program.map,
+            sys,
+            itlb: Tlb::new(TlbConfig::default()),
+            dtlb: Tlb::new(TlbConfig::default()),
+            pred: Tournament::new(cfg.predictor),
+            btb: BtbUnit::new(cfg.btb),
+            ras: Ras::new(cfg.ras_depth),
+            iprf,
+            fprf,
+            imap: RenameMap::identity(Reg::NUM_INT),
+            fmap: RenameMap::identity(Reg::NUM_FP),
+            ifree: FreeList::new(Reg::NUM_INT as u16, cfg.int_prf as u16),
+            ffree: FreeList::new(Reg::NUM_FP as u16, cfg.fp_prf as u16),
+            iq: IssueQueue::new(cfg.iq_entries, payload_limits),
+            rob: vec![None; cfg.rob_entries],
+            rob_head: 0,
+            rob_tail: 0,
+            rob_count: 0,
+            lsq_meta: vec![LsqMeta::empty(); lsq_n],
+            lsq_order: Vec::with_capacity(lsq_n),
+            lsq_data: LsqDataArray::new(cfg.lsq.data_entries()),
+            events: Vec::new(),
+            fetch_pc: program.entry,
+            fetch_queue: std::collections::VecDeque::new(),
+            fetch_wait: false,
+            fetch_stall_until: 0,
+            syscalls_in_rob: 0,
+            cycle: 0,
+            seq_counter: 0,
+            last_commit_cycle: 0,
+            output: Vec::new(),
+            exit: None,
+            stats: SimStats::default(),
+            injected: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// The injectable structures of this configuration (the per-simulator
+    /// realization of Table IV).
+    pub fn structures(cfg: &CoreConfig) -> Vec<StructureDesc> {
+        let l1_lines = (cfg.l1d.sets * cfg.l1d.ways) as u64;
+        let l1i_lines = (cfg.l1i.sets * cfg.l1i.ways) as u64;
+        let l2_lines = (cfg.l2.sets * cfg.l2.ways) as u64;
+        let line_bits = (cfg.l1d.line * 8) as u64;
+        // Tag widths per the cache's 32-bit physical space.
+        let tag_bits = |sets: usize, line: usize| {
+            (32 - sets.trailing_zeros() - line.trailing_zeros()) as u64
+        };
+        let tlb = Tlb::new(TlbConfig::default());
+        let btb_unit = BtbUnit::new(cfg.btb);
+        vec![
+            StructureDesc {
+                id: StructureId::IntRegFile,
+                entries: cfg.int_prf as u64,
+                bits: 64,
+            },
+            StructureDesc {
+                id: StructureId::FpRegFile,
+                entries: cfg.fp_prf as u64,
+                bits: 64,
+            },
+            StructureDesc {
+                id: StructureId::IssueQueue,
+                entries: cfg.iq_entries as u64,
+                bits: crate::queues::IQ_ENTRY_BITS as u64,
+            },
+            StructureDesc {
+                id: StructureId::LsqData,
+                entries: cfg.lsq.data_entries() as u64,
+                bits: 64,
+            },
+            StructureDesc {
+                id: StructureId::L1dData,
+                entries: l1_lines,
+                bits: line_bits,
+            },
+            StructureDesc {
+                id: StructureId::L1dTag,
+                entries: l1_lines,
+                bits: tag_bits(cfg.l1d.sets, cfg.l1d.line),
+            },
+            StructureDesc {
+                id: StructureId::L1dValid,
+                entries: l1_lines,
+                bits: 1,
+            },
+            StructureDesc {
+                id: StructureId::L1iData,
+                entries: l1i_lines,
+                bits: line_bits,
+            },
+            StructureDesc {
+                id: StructureId::L1iTag,
+                entries: l1i_lines,
+                bits: tag_bits(cfg.l1i.sets, cfg.l1i.line),
+            },
+            StructureDesc {
+                id: StructureId::L1iValid,
+                entries: l1i_lines,
+                bits: 1,
+            },
+            StructureDesc {
+                id: StructureId::L2Data,
+                entries: l2_lines,
+                bits: line_bits,
+            },
+            StructureDesc {
+                id: StructureId::L2Tag,
+                entries: l2_lines,
+                bits: tag_bits(cfg.l2.sets, cfg.l2.line),
+            },
+            StructureDesc {
+                id: StructureId::L2Valid,
+                entries: l2_lines,
+                bits: 1,
+            },
+            StructureDesc {
+                id: StructureId::DtlbEntry,
+                entries: tlb.entries() as u64,
+                bits: tlb.entry_bits() as u64,
+            },
+            StructureDesc {
+                id: StructureId::DtlbValid,
+                entries: tlb.entries() as u64,
+                bits: 1,
+            },
+            StructureDesc {
+                id: StructureId::ItlbEntry,
+                entries: tlb.entries() as u64,
+                bits: tlb.entry_bits() as u64,
+            },
+            StructureDesc {
+                id: StructureId::ItlbValid,
+                entries: tlb.entries() as u64,
+                bits: 1,
+            },
+            StructureDesc {
+                id: StructureId::Btb,
+                entries: btb_unit.entries() as u64,
+                bits: btb_unit.entry_bits(),
+            },
+            StructureDesc {
+                id: StructureId::Ras,
+                entries: cfg.ras_depth as u64,
+                bits: crate::predictor::RAS_ENTRY_BITS as u64,
+            },
+        ]
+    }
+}

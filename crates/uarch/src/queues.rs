@@ -1,0 +1,579 @@
+//! Issue-queue storage with a packed payload codec, and the load/store-queue
+//! data arrays.
+//!
+//! The issue queue's entries are stored as real packed bit-fields
+//! ([`IssueQueue`]), so an injected fault lands in an *encoded* µop — it can
+//! flip an opcode, retarget an operand to a different physical register, or
+//! corrupt an immediate, exactly the failure surface hardware has. Decoding
+//! a corrupted payload can also produce an *impossible* encoding
+//! ([`PayloadError`]); whether the simulator reacts with an assertion
+//! (MARSS's style) or stumbles on into a crash (gem5's style) is the
+//! Remark 8 divergence, decided by the pipelines, not here.
+//!
+//! The LSQ **data field** (Fig. 6's injection target) is a [`LsqDataArray`]:
+//! a unified 32×64-bit array in MaFIN, the 16×64-bit store queue in GeFIN.
+
+use crate::fault::FaultHook;
+use difi_isa::uop::{BranchKind, Cond, FpOp, IntOp, UopKind, Width};
+use difi_util::bits::BitPlane;
+
+/// A register-renamed µop — the payload the issue queue stores.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RenamedUop {
+    /// Functional class.
+    pub kind: UopKind,
+    /// Integer ALU operation.
+    pub alu: IntOp,
+    /// FP operation.
+    pub fp: FpOp,
+    /// Width.
+    pub width: Width,
+    /// Sign-extend loads.
+    pub signed: bool,
+    /// Branch condition.
+    pub cond: Cond,
+    /// Condition reads FLAGS (x86e) instead of registers.
+    pub cond_on_flags: bool,
+    /// Branch class.
+    pub branch: BranchKind,
+    /// Destination physical register and its class (`true` = FP file).
+    pub pd: Option<(u16, bool)>,
+    /// First source physical register.
+    pub pa: Option<(u16, bool)>,
+    /// Second source physical register.
+    pub pb: Option<(u16, bool)>,
+    /// Immediate / displacement.
+    pub imm: i64,
+    /// Direct branch target.
+    pub target: u64,
+    /// ROB index of the parent instruction.
+    pub rob: u16,
+    /// LSQ slot for memory µops.
+    pub lsq: Option<u16>,
+}
+
+impl RenamedUop {
+    /// A blank NOP payload.
+    pub fn nop() -> RenamedUop {
+        RenamedUop {
+            kind: UopKind::Nop,
+            alu: IntOp::Add,
+            fp: FpOp::Add,
+            width: Width::B8,
+            signed: false,
+            cond: Cond::Eq,
+            cond_on_flags: false,
+            branch: BranchKind::Jump,
+            pd: None,
+            pa: None,
+            pb: None,
+            imm: 0,
+            target: 0,
+            rob: 0,
+            lsq: None,
+        }
+    }
+}
+
+/// A corrupted issue-queue payload decoded into an impossible encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PayloadError {
+    /// Reserved ALU opcode bits.
+    BadAlu(u8),
+    /// Reserved FP opcode bits.
+    BadFp(u8),
+    /// Reserved condition code.
+    BadCond(u8),
+    /// Reserved branch kind.
+    BadBranch(u8),
+    /// Physical register number beyond the register file.
+    BadReg(u16),
+    /// ROB index beyond the reorder buffer.
+    BadRob(u16),
+}
+
+impl std::fmt::Display for PayloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PayloadError::BadAlu(v) => write!(f, "reserved alu opcode {v}"),
+            PayloadError::BadFp(v) => write!(f, "reserved fp opcode {v}"),
+            PayloadError::BadCond(v) => write!(f, "reserved condition {v}"),
+            PayloadError::BadBranch(v) => write!(f, "reserved branch kind {v}"),
+            PayloadError::BadReg(v) => write!(f, "physical register {v} out of range"),
+            PayloadError::BadRob(v) => write!(f, "rob index {v} out of range"),
+        }
+    }
+}
+
+const KIND_TABLE: [UopKind; 8] = [
+    UopKind::Alu,
+    UopKind::Load,
+    UopKind::Store,
+    UopKind::Branch,
+    UopKind::Fp,
+    UopKind::Syscall,
+    UopKind::Hint,
+    UopKind::Nop,
+];
+
+fn kind_index(k: UopKind) -> u64 {
+    KIND_TABLE.iter().position(|&x| x == k).unwrap() as u64
+}
+
+const BRANCH_TABLE: [BranchKind; 5] = [
+    BranchKind::CondDirect,
+    BranchKind::Jump,
+    BranchKind::JumpInd,
+    BranchKind::Call,
+    BranchKind::Ret,
+];
+
+fn branch_index(b: BranchKind) -> u64 {
+    BRANCH_TABLE.iter().position(|&x| x == b).unwrap() as u64
+}
+
+/// Payload width in bits (three 64-bit words per entry).
+pub const IQ_ENTRY_BITS: usize = 192;
+
+fn pack_reg(r: Option<(u16, bool)>) -> u64 {
+    match r {
+        None => 0,
+        Some((p, fp)) => 1 | ((p as u64 & 0x1FF) << 1) | ((fp as u64) << 10),
+    }
+}
+
+fn unpack_reg(v: u64) -> Option<(u16, bool)> {
+    if v & 1 == 0 {
+        None
+    } else {
+        Some((((v >> 1) & 0x1FF) as u16, (v >> 10) & 1 != 0))
+    }
+}
+
+/// Encodes a renamed µop into its three payload words.
+pub fn encode_payload(u: &RenamedUop) -> [u64; 3] {
+    let w0 = u.imm as u64;
+    let mut w1 = 0u64;
+    w1 |= kind_index(u.kind);
+    w1 |= (u.alu.index() as u64) << 3;
+    w1 |= (u.fp.index() as u64) << 7;
+    w1 |= (u.width.code() as u64) << 11;
+    w1 |= (u.signed as u64) << 13;
+    w1 |= (u.cond.index() as u64) << 14;
+    w1 |= (u.cond_on_flags as u64) << 18;
+    w1 |= branch_index(u.branch) << 19;
+    w1 |= pack_reg(u.pd) << 22;
+    w1 |= pack_reg(u.pa) << 33;
+    w1 |= pack_reg(u.pb) << 44;
+    let mut w2 = u.target & 0xFF_FFFF_FFFF; // 40 bits
+    w2 |= (u.rob as u64 & 0xFF) << 40;
+    if let Some(l) = u.lsq {
+        w2 |= 1 << 48;
+        w2 |= (l as u64 & 0x7F) << 49;
+    }
+    [w0, w1, w2]
+}
+
+/// Limits used to validate decoded payloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PayloadLimits {
+    /// Integer PRF size.
+    pub int_prf: u16,
+    /// FP PRF size.
+    pub fp_prf: u16,
+    /// ROB entries.
+    pub rob: u16,
+    /// LSQ data entries.
+    pub lsq: u16,
+}
+
+/// Decodes three payload words back into a µop, validating every field.
+///
+/// # Errors
+///
+/// Returns a [`PayloadError`] naming the first impossible field — the raw
+/// material for a simulator assertion or crash.
+pub fn decode_payload(w: [u64; 3], lim: &PayloadLimits) -> Result<RenamedUop, PayloadError> {
+    let kind = KIND_TABLE[(w[1] & 0x7) as usize];
+    let alu_bits = (w[1] >> 3 & 0xF) as u8;
+    let alu = IntOp::from_index(alu_bits).ok_or(PayloadError::BadAlu(alu_bits))?;
+    let fp_bits = (w[1] >> 7 & 0xF) as u8;
+    let fp = FpOp::from_index(fp_bits).ok_or(PayloadError::BadFp(fp_bits))?;
+    let width = Width::from_code((w[1] >> 11 & 0x3) as u8);
+    let signed = w[1] >> 13 & 1 != 0;
+    let cond_bits = (w[1] >> 14 & 0xF) as u8;
+    let cond = Cond::from_index(cond_bits).ok_or(PayloadError::BadCond(cond_bits))?;
+    let cond_on_flags = w[1] >> 18 & 1 != 0;
+    let branch_bits = (w[1] >> 19 & 0x7) as u8;
+    let branch = *BRANCH_TABLE
+        .get(branch_bits as usize)
+        .ok_or(PayloadError::BadBranch(branch_bits))?;
+    let check = |r: Option<(u16, bool)>| -> Result<Option<(u16, bool)>, PayloadError> {
+        if let Some((p, fp_class)) = r {
+            let lim_n = if fp_class { lim.fp_prf } else { lim.int_prf };
+            if p >= lim_n {
+                return Err(PayloadError::BadReg(p));
+            }
+        }
+        Ok(r)
+    };
+    let pd = check(unpack_reg(w[1] >> 22 & 0x7FF))?;
+    let pa = check(unpack_reg(w[1] >> 33 & 0x7FF))?;
+    let pb = check(unpack_reg(w[1] >> 44 & 0x7FF))?;
+    let target = w[2] & 0xFF_FFFF_FFFF;
+    let rob = (w[2] >> 40 & 0xFF) as u16;
+    if rob >= lim.rob {
+        return Err(PayloadError::BadRob(rob));
+    }
+    let lsq = if w[2] >> 48 & 1 != 0 {
+        let l = (w[2] >> 49 & 0x7F) as u16;
+        if l >= lim.lsq {
+            return Err(PayloadError::BadRob(l));
+        }
+        Some(l)
+    } else {
+        None
+    };
+    Ok(RenamedUop {
+        kind,
+        alu,
+        fp,
+        width,
+        signed,
+        cond,
+        cond_on_flags,
+        branch,
+        pd,
+        pa,
+        pb,
+        imm: w[0] as i64,
+        target,
+        rob,
+        lsq,
+    })
+}
+
+/// Issue-queue storage: packed payload plane plus a decoded mirror used as a
+/// fast path while no faults are armed.
+#[derive(Debug)]
+pub struct IssueQueue {
+    plane: BitPlane,
+    mirror: Vec<Option<RenamedUop>>,
+    lim: PayloadLimits,
+    /// Fault hook over the payload plane.
+    pub hook: FaultHook,
+}
+
+impl IssueQueue {
+    /// Builds an empty issue queue of `entries` slots.
+    pub fn new(entries: usize, lim: PayloadLimits) -> IssueQueue {
+        IssueQueue {
+            plane: BitPlane::new(entries, IQ_ENTRY_BITS),
+            mirror: vec![None; entries],
+            lim,
+            hook: FaultHook::new(),
+        }
+    }
+
+    /// Number of slots.
+    pub fn slots(&self) -> usize {
+        self.mirror.len()
+    }
+
+    /// Occupied slot count.
+    pub fn occupancy(&self) -> usize {
+        self.mirror.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// First free slot, if any.
+    pub fn find_free(&self) -> Option<usize> {
+        self.mirror.iter().position(|s| s.is_none())
+    }
+
+    /// True when `slot` holds a µop.
+    pub fn occupied(&self, slot: usize) -> bool {
+        self.mirror[slot].is_some()
+    }
+
+    /// Writes a µop into `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is occupied.
+    pub fn insert(&mut self, slot: usize, u: RenamedUop) {
+        assert!(self.mirror[slot].is_none(), "issue-queue slot in use");
+        let words = encode_payload(&u);
+        let fix = self.hook.note_write(slot as u64, 0, IQ_ENTRY_BITS as u32);
+        for (i, w) in words.iter().enumerate() {
+            self.plane.set_field(slot, i * 64, 64, *w);
+        }
+        if fix {
+            let fixes: Vec<(u32, bool)> = self.hook.stuck_fixups(slot as u64).collect();
+            for (bit, v) in fixes {
+                self.plane.set(slot, bit as usize, v);
+            }
+        }
+        self.mirror[slot] = Some(u);
+    }
+
+    /// Reads the µop in `slot`. While faults are armed the packed plane is
+    /// the source of truth (every read notes consumption); otherwise the
+    /// decoded mirror serves as a fast path.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PayloadError`] if the (possibly corrupted) payload
+    /// decodes to an impossible encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is empty.
+    pub fn read(&mut self, slot: usize) -> Result<RenamedUop, PayloadError> {
+        assert!(self.mirror[slot].is_some(), "reading empty issue-queue slot");
+        if self.hook.is_idle() {
+            return Ok(self.mirror[slot].expect("checked occupied"));
+        }
+        self.hook.note_read(slot as u64, 0, IQ_ENTRY_BITS as u32);
+        let w = [
+            self.plane.get_field(slot, 0, 64),
+            self.plane.get_field(slot, 64, 64),
+            self.plane.get_field(slot, 128, 64),
+        ];
+        decode_payload(w, &self.lim)
+    }
+
+    /// Frees `slot` after issue.
+    pub fn free(&mut self, slot: usize) {
+        self.mirror[slot] = None;
+    }
+
+    /// Clears all slots (pipeline flush).
+    pub fn flush(&mut self) {
+        for s in &mut self.mirror {
+            *s = None;
+        }
+    }
+
+    /// Flips one payload bit.
+    pub fn inject_flip(&mut self, slot: u64, bit: u32) {
+        self.plane.flip(slot as usize, bit as usize);
+        self.hook.arm_flip(slot, bit);
+    }
+
+    /// Forces one payload bit stuck at `value`.
+    pub fn inject_stuck(&mut self, slot: u64, bit: u32, value: bool) {
+        self.plane.set(slot as usize, bit as usize, value);
+        self.hook.arm_stuck(slot, bit, value);
+    }
+
+    /// True when `slot` is unoccupied (the injector's unused-entry check).
+    pub fn peek_unused(&self, slot: usize) -> bool {
+        self.mirror[slot].is_none()
+    }
+}
+
+/// The load/store-queue data array — Fig. 6's injection target.
+#[derive(Debug)]
+pub struct LsqDataArray {
+    plane: BitPlane,
+    /// Fault hook over the data bits.
+    pub hook: FaultHook,
+}
+
+impl LsqDataArray {
+    /// Builds a data array of `entries` 64-bit slots.
+    pub fn new(entries: usize) -> LsqDataArray {
+        LsqDataArray {
+            plane: BitPlane::new(entries, 64),
+            hook: FaultHook::new(),
+        }
+    }
+
+    /// Number of entries.
+    pub fn entries(&self) -> usize {
+        self.plane.entries()
+    }
+
+    /// Reads slot `i`.
+    #[inline]
+    pub fn read(&mut self, i: u16) -> u64 {
+        self.hook.note_read(i as u64, 0, 64);
+        self.plane.get_field(i as usize, 0, 64)
+    }
+
+    /// Writes slot `i`.
+    #[inline]
+    pub fn write(&mut self, i: u16, v: u64) {
+        let fix = self.hook.note_write(i as u64, 0, 64);
+        self.plane.set_field(i as usize, 0, 64, v);
+        if fix {
+            let fixes: Vec<(u32, bool)> = self.hook.stuck_fixups(i as u64).collect();
+            for (bit, val) in fixes {
+                self.plane.set(i as usize, bit as usize, val);
+            }
+        }
+    }
+
+    /// Flips one stored bit.
+    pub fn inject_flip(&mut self, entry: u64, bit: u32) {
+        self.plane.flip(entry as usize, bit as usize);
+        self.hook.arm_flip(entry, bit);
+    }
+
+    /// Forces one stored bit stuck at `value`.
+    pub fn inject_stuck(&mut self, entry: u64, bit: u32, value: bool) {
+        self.plane.set(entry as usize, bit as usize, value);
+        self.hook.arm_stuck(entry, bit, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn limits() -> PayloadLimits {
+        PayloadLimits {
+            int_prf: 256,
+            fp_prf: 128,
+            rob: 64,
+            lsq: 32,
+        }
+    }
+
+    fn sample() -> RenamedUop {
+        RenamedUop {
+            kind: UopKind::Load,
+            alu: IntOp::Xor,
+            fp: FpOp::Mul,
+            width: Width::B4,
+            signed: true,
+            cond: Cond::LtS,
+            cond_on_flags: true,
+            branch: BranchKind::Call,
+            pd: Some((200, false)),
+            pa: Some((17, false)),
+            pb: Some((99, true)),
+            imm: -123456789,
+            target: 0x0012_3456,
+            rob: 42,
+            lsq: Some(13),
+        }
+    }
+
+    #[test]
+    fn payload_roundtrip_every_field() {
+        let u = sample();
+        let d = decode_payload(encode_payload(&u), &limits()).unwrap();
+        assert_eq!(u, d);
+    }
+
+    #[test]
+    fn payload_roundtrip_minimal_nop() {
+        let u = RenamedUop::nop();
+        let d = decode_payload(encode_payload(&u), &limits()).unwrap();
+        assert_eq!(u, d);
+    }
+
+    #[test]
+    fn corrupted_alu_field_is_detected() {
+        let mut u = RenamedUop::nop();
+        u.alu = IntOp::CmpFlags; // index 14
+        let mut w = encode_payload(&u);
+        // Flip alu bit 0: 14 → 15 (reserved).
+        w[1] ^= 1 << 3;
+        assert_eq!(
+            decode_payload(w, &limits()),
+            Err(PayloadError::BadAlu(15))
+        );
+    }
+
+    #[test]
+    fn corrupted_reg_field_is_detected() {
+        let mut u = RenamedUop::nop();
+        u.pa = Some((255, false));
+        let mut w = encode_payload(&u);
+        // Set pa's fp-class bit: p255 is out of range for the 128-entry FP file.
+        w[1] ^= 1 << (33 + 10);
+        assert_eq!(decode_payload(w, &limits()), Err(PayloadError::BadReg(255)));
+    }
+
+    #[test]
+    fn corrupted_rob_field_is_detected() {
+        let u = RenamedUop::nop();
+        let mut w = encode_payload(&u);
+        w[2] |= 0x7F << 40; // rob = 127 ≥ 64
+        assert!(matches!(
+            decode_payload(w, &limits()),
+            Err(PayloadError::BadRob(127))
+        ));
+    }
+
+    #[test]
+    fn iq_insert_read_free_cycle() {
+        let mut iq = IssueQueue::new(4, limits());
+        let slot = iq.find_free().unwrap();
+        iq.insert(slot, sample());
+        assert_eq!(iq.occupancy(), 1);
+        assert_eq!(iq.read(slot).unwrap(), sample());
+        iq.free(slot);
+        assert_eq!(iq.occupancy(), 0);
+        assert!(iq.peek_unused(slot));
+    }
+
+    #[test]
+    fn iq_fault_changes_decoded_operand() {
+        let mut iq = IssueQueue::new(4, limits());
+        iq.insert(0, sample());
+        // Flip pa bit 0 (w1 bit 33+1): p17 → p16.
+        iq.inject_flip(0, 64 + 34);
+        let u = iq.read(0).unwrap();
+        assert_eq!(u.pa, Some((16, false)));
+        assert!(iq.hook.any_fault_consumed());
+    }
+
+    #[test]
+    fn iq_fault_can_make_payload_undecodable() {
+        let mut iq = IssueQueue::new(4, limits());
+        let mut u = RenamedUop::nop();
+        u.alu = IntOp::CmpFlags;
+        iq.insert(0, u);
+        iq.inject_flip(0, 64 + 3); // alu index 14 → 15
+        assert!(iq.read(0).is_err());
+    }
+
+    #[test]
+    fn iq_fault_in_free_slot_dies_on_next_insert() {
+        let mut iq = IssueQueue::new(4, limits());
+        iq.inject_flip(2, 70);
+        iq.insert(2, sample());
+        assert!(iq.hook.all_faults_dead());
+        assert_eq!(iq.read(2).unwrap(), sample());
+    }
+
+    #[test]
+    #[should_panic(expected = "slot in use")]
+    fn iq_double_insert_panics() {
+        let mut iq = IssueQueue::new(2, limits());
+        iq.insert(0, RenamedUop::nop());
+        iq.insert(0, RenamedUop::nop());
+    }
+
+    #[test]
+    fn lsq_data_roundtrip_and_fault() {
+        let mut l = LsqDataArray::new(32);
+        l.write(5, 0xABCD);
+        assert_eq!(l.read(5), 0xABCD);
+        l.inject_flip(5, 0);
+        assert_eq!(l.read(5), 0xABCC);
+        l.write(5, 1);
+        assert_eq!(l.read(5), 1);
+    }
+
+    #[test]
+    fn lsq_stuck_bit_reasserts() {
+        let mut l = LsqDataArray::new(16);
+        l.inject_stuck(3, 4, true);
+        l.write(3, 0);
+        assert_eq!(l.read(3), 0x10);
+    }
+}

@@ -1,0 +1,268 @@
+//! Physical register files, the rename map, and the free list.
+//!
+//! The integer physical register file is one of the five structures the
+//! paper characterizes (Fig. 2). Its payload lives in a [`BitPlane`] behind
+//! a [`FaultHook`]; renaming machinery (map + free list) is plain state —
+//! what matters for the study is that *dead* physical registers (free, or
+//! mapped but never read again) naturally mask faults, producing the < 3%
+//! vulnerability the paper reports.
+
+use crate::fault::FaultHook;
+use difi_util::bits::BitPlane;
+
+/// A physical register file of `n` 64-bit registers.
+#[derive(Debug)]
+pub struct PhysRegFile {
+    plane: BitPlane,
+    ready: Vec<bool>,
+    /// Fault hook over the data bits.
+    pub hook: FaultHook,
+}
+
+impl PhysRegFile {
+    /// Builds a register file with all registers ready and zero.
+    pub fn new(n: usize) -> PhysRegFile {
+        PhysRegFile {
+            plane: BitPlane::new(n, 64),
+            ready: vec![true; n],
+            hook: FaultHook::new(),
+        }
+    }
+
+    /// Number of physical registers.
+    pub fn len(&self) -> usize {
+        self.plane.entries()
+    }
+
+    /// True when the file has no registers (never in practice).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reads a register through the fault hook.
+    #[inline]
+    pub fn read(&mut self, p: u16) -> u64 {
+        self.hook.note_read(p as u64, 0, 64);
+        self.plane.get_field(p as usize, 0, 64)
+    }
+
+    /// Writes a register (re-asserting stuck bits).
+    #[inline]
+    pub fn write(&mut self, p: u16, v: u64) {
+        let fix = self.hook.note_write(p as u64, 0, 64);
+        self.plane.set_field(p as usize, 0, 64, v);
+        if fix {
+            let fixes: Vec<(u32, bool)> = self.hook.stuck_fixups(p as u64).collect();
+            for (bit, val) in fixes {
+                self.plane.set(p as usize, bit as usize, val);
+            }
+        }
+    }
+
+    /// Marks a register's value as produced (wakeup).
+    #[inline]
+    pub fn set_ready(&mut self, p: u16, r: bool) {
+        self.ready[p as usize] = r;
+    }
+
+    /// True when the register's value has been produced.
+    #[inline]
+    pub fn is_ready(&self, p: u16) -> bool {
+        self.ready[p as usize]
+    }
+
+    /// Peeks at a value without fault-hook side effects (diagnostics only).
+    pub fn peek(&self, p: u16) -> u64 {
+        self.plane.get_field(p as usize, 0, 64)
+    }
+
+    /// Flips one stored bit.
+    pub fn inject_flip(&mut self, p: u64, bit: u32) {
+        self.plane.flip(p as usize, bit as usize);
+        self.hook.arm_flip(p, bit);
+    }
+
+    /// Forces one stored bit stuck at `value`.
+    pub fn inject_stuck(&mut self, p: u64, bit: u32, value: bool) {
+        self.plane.set(p as usize, bit as usize, value);
+        self.hook.arm_stuck(p, bit, value);
+    }
+}
+
+/// The architectural→physical rename map for one register class.
+#[derive(Debug, Clone)]
+pub struct RenameMap {
+    map: Vec<u16>,
+}
+
+impl RenameMap {
+    /// Builds the boot mapping: architectural register `i` → physical `i`.
+    pub fn identity(arch_regs: usize) -> RenameMap {
+        RenameMap {
+            map: (0..arch_regs as u16).collect(),
+        }
+    }
+
+    /// Current physical register of `arch`.
+    #[inline]
+    pub fn get(&self, arch: usize) -> u16 {
+        self.map[arch]
+    }
+
+    /// Repoints `arch` to `phys`, returning the previous mapping (stored in
+    /// the ROB for walk-back recovery).
+    #[inline]
+    pub fn set(&mut self, arch: usize, phys: u16) -> u16 {
+        std::mem::replace(&mut self.map[arch], phys)
+    }
+
+    /// Number of architectural registers.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Always false (maps are never empty).
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// True if any architectural register currently maps to `phys`.
+    pub fn maps_to(&self, phys: u16) -> bool {
+        self.map.contains(&phys)
+    }
+}
+
+/// The free list of unallocated physical registers.
+#[derive(Debug, Clone)]
+pub struct FreeList {
+    free: std::collections::VecDeque<u16>,
+    in_free: Vec<bool>,
+}
+
+impl FreeList {
+    /// Builds a free list holding physical registers `first..n`.
+    pub fn new(first: u16, n: u16) -> FreeList {
+        let mut in_free = vec![false; n as usize];
+        for p in first..n {
+            in_free[p as usize] = true;
+        }
+        FreeList {
+            free: (first..n).collect(),
+            in_free,
+        }
+    }
+
+    /// Takes a free register, if any.
+    pub fn alloc(&mut self) -> Option<u16> {
+        let p = self.free.pop_front()?;
+        self.in_free[p as usize] = false;
+        Some(p)
+    }
+
+    /// Returns a register to the pool.
+    pub fn release(&mut self, p: u16) {
+        debug_assert!(!self.in_free[p as usize], "double free of p{p}");
+        self.in_free[p as usize] = true;
+        self.free.push_back(p);
+    }
+
+    /// True when `p` is currently free (the injector's unused-entry check).
+    pub fn contains(&self, p: u16) -> bool {
+        self.in_free[p as usize]
+    }
+
+    /// Number of free registers.
+    pub fn available(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut f = PhysRegFile::new(256);
+        f.write(42, 0xDEAD_BEEF);
+        assert_eq!(f.read(42), 0xDEAD_BEEF);
+        assert_eq!(f.read(43), 0);
+    }
+
+    #[test]
+    fn flip_corrupts_value_until_overwritten() {
+        let mut f = PhysRegFile::new(256);
+        f.write(7, 0b1000);
+        f.inject_flip(7, 3);
+        assert_eq!(f.read(7), 0);
+        assert!(f.hook.any_fault_consumed());
+        let mut f2 = PhysRegFile::new(256);
+        f2.write(7, 0b1000);
+        f2.inject_flip(7, 0);
+        f2.write(7, 5); // overwritten before read
+        assert!(f2.hook.all_faults_dead());
+        assert_eq!(f2.read(7), 5);
+    }
+
+    #[test]
+    fn stuck_bit_survives_writes() {
+        let mut f = PhysRegFile::new(16);
+        f.inject_stuck(3, 1, true);
+        f.write(3, 0);
+        assert_eq!(f.read(3), 0b10);
+        f.write(3, 0b100);
+        assert_eq!(f.read(3), 0b110);
+    }
+
+    #[test]
+    fn ready_bits_track_wakeup() {
+        let mut f = PhysRegFile::new(8);
+        assert!(f.is_ready(5));
+        f.set_ready(5, false);
+        assert!(!f.is_ready(5));
+        f.set_ready(5, true);
+        assert!(f.is_ready(5));
+    }
+
+    #[test]
+    fn rename_map_walkback() {
+        let mut m = RenameMap::identity(19);
+        let prev = m.set(4, 100);
+        assert_eq!(prev, 4);
+        assert_eq!(m.get(4), 100);
+        // Walk-back restores.
+        m.set(4, prev);
+        assert_eq!(m.get(4), 4);
+        assert!(m.maps_to(4));
+        assert!(!m.maps_to(100));
+    }
+
+    #[test]
+    fn free_list_alloc_release_cycle() {
+        let mut fl = FreeList::new(19, 24);
+        assert_eq!(fl.available(), 5);
+        let a = fl.alloc().unwrap();
+        assert!(!fl.contains(a));
+        fl.release(a);
+        assert!(fl.contains(a));
+        assert_eq!(fl.available(), 5);
+    }
+
+    #[test]
+    fn free_list_exhaustion_returns_none() {
+        let mut fl = FreeList::new(0, 2);
+        assert!(fl.alloc().is_some());
+        assert!(fl.alloc().is_some());
+        assert!(fl.alloc().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    #[cfg(debug_assertions)]
+    fn double_release_is_caught_in_debug() {
+        let mut fl = FreeList::new(0, 4);
+        let p = fl.alloc().unwrap();
+        fl.release(p);
+        fl.release(p);
+    }
+}

@@ -1,0 +1,126 @@
+//! Runtime statistics collected by both simulators.
+//!
+//! Section IV of the paper explains every MaFIN/GeFIN divergence with
+//! benchmark runtime statistics — issued vs. committed loads (Remark 3),
+//! L1D read/write hit rates, store counts and write misses (Remark 5),
+//! mispredictions (Remark 6), L1I replacements (Remark 7), L2 hit/miss
+//! behaviour (Remarks 10–11). [`SimStats`] is the common vocabulary the
+//! report generator consumes.
+
+use crate::cache::CacheStats;
+use crate::predictor::PredictorStats;
+use crate::tlb::TlbStats;
+
+/// End-of-run statistics snapshot from one simulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Committed architectural instructions.
+    pub committed_instructions: u64,
+    /// Committed µops.
+    pub committed_uops: u64,
+    /// Load µops *issued* to the memory system (including speculative and
+    /// replayed issues — MARSS's aggressive policy makes this much larger
+    /// than the committed count; Remark 3's key statistic).
+    pub issued_loads: u64,
+    /// Load µops committed.
+    pub committed_loads: u64,
+    /// Store µops committed (drained to the cache).
+    pub committed_stores: u64,
+    /// Loads replayed due to store-alias ordering violations.
+    pub load_replays: u64,
+    /// Pipeline flushes (mispredicts + replays + exceptions).
+    pub flushes: u64,
+    /// Handled (logged) ISA exceptions.
+    pub exceptions: u64,
+    /// Hypervisor escapes taken (MaFIN only; zero on GeFIN).
+    pub hypervisor_calls: u64,
+    /// Conditional branch predictor statistics.
+    pub predictor: PredictorStats,
+    /// L1 instruction cache statistics.
+    pub l1i: CacheStats,
+    /// L1 data cache statistics.
+    pub l1d: CacheStats,
+    /// Unified L2 statistics.
+    pub l2: CacheStats,
+    /// Instruction TLB statistics.
+    pub itlb: TlbStats,
+    /// Data TLB statistics.
+    pub dtlb: TlbStats,
+}
+
+impl SimStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed_instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Conditional-branch misprediction rate.
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.predictor.lookups == 0 {
+            0.0
+        } else {
+            self.predictor.mispredicts as f64 / self.predictor.lookups as f64
+        }
+    }
+
+    /// Ratio of issued to committed loads (≥ 1; MARSS ≫ gem5).
+    pub fn load_issue_ratio(&self) -> f64 {
+        if self.committed_loads == 0 {
+            0.0
+        } else {
+            self.issued_loads as f64 / self.committed_loads as f64
+        }
+    }
+
+    /// L1D read hit rate.
+    pub fn l1d_read_hit_rate(&self) -> f64 {
+        let total = self.l1d.read_hits + self.l1d.read_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.l1d.read_hits as f64 / total as f64
+        }
+    }
+
+    /// L1D write hit rate.
+    pub fn l1d_write_hit_rate(&self) -> f64 {
+        let total = self.l1d.write_hits + self.l1d.write_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.l1d.write_hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_rates() {
+        let mut s = SimStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        s.cycles = 100;
+        s.committed_instructions = 150;
+        assert!((s.ipc() - 1.5).abs() < 1e-12);
+        s.predictor.lookups = 10;
+        s.predictor.mispredicts = 3;
+        assert!((s.mispredict_rate() - 0.3).abs() < 1e-12);
+        s.issued_loads = 40;
+        s.committed_loads = 10;
+        assert!((s.load_issue_ratio() - 4.0).abs() < 1e-12);
+        s.l1d.read_hits = 9;
+        s.l1d.read_misses = 1;
+        assert!((s.l1d_read_hit_rate() - 0.9).abs() < 1e-12);
+        s.l1d.write_hits = 1;
+        s.l1d.write_misses = 3;
+        assert!((s.l1d_write_hit_rate() - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,268 @@
+//! Translation lookaside buffers with injectable entry (tag + translation)
+//! and valid planes.
+//!
+//! Table IV lists "Data TLB — Valid, Tag" and "Instr. TLB — Valid, Tag" among
+//! the injectable structures of both MaFIN and GeFIN. The simulated machine
+//! uses an identity mapping (virtual = physical), but the TLB still caches
+//! translations in real storage bits: a corrupted PPN silently redirects an
+//! access (wild loads/stores → SDC or crash), a corrupted tag or valid bit
+//! causes spurious misses or garbage hits.
+
+use crate::fault::FaultHook;
+use difi_util::bits::BitPlane;
+
+/// TLB geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// Number of entries (direct-mapped; power of two).
+    pub entries: usize,
+    /// Page size as a power of two (12 → 4 KiB pages).
+    pub page_bits: u32,
+}
+
+impl Default for TlbConfig {
+    fn default() -> Self {
+        TlbConfig {
+            entries: 64,
+            page_bits: 12,
+        }
+    }
+}
+
+/// TLB statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TlbStats {
+    /// Translation hits.
+    pub hits: u64,
+    /// Misses (hardware-walked refills; latency added by the pipeline).
+    pub misses: u64,
+}
+
+/// A direct-mapped TLB over a 32-bit physical space.
+#[derive(Debug)]
+pub struct Tlb {
+    cfg: TlbConfig,
+    idx_bits: u32,
+    tag_bits: u32,
+    ppn_bits: u32,
+    /// Entry payload plane: `[tag | ppn]`.
+    entries: BitPlane,
+    valid: BitPlane,
+    /// Fault hook of the entry (tag+translation) plane.
+    pub entry_hook: FaultHook,
+    /// Fault hook of the valid bits.
+    pub valid_hook: FaultHook,
+    /// Statistics.
+    pub stats: TlbStats,
+}
+
+impl Tlb {
+    /// Builds an empty TLB.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `entries` is a power of two.
+    pub fn new(cfg: TlbConfig) -> Tlb {
+        assert!(cfg.entries.is_power_of_two());
+        let idx_bits = cfg.entries.trailing_zeros();
+        let vpn_bits = 32 - cfg.page_bits;
+        let tag_bits = vpn_bits - idx_bits;
+        let ppn_bits = vpn_bits;
+        Tlb {
+            cfg,
+            idx_bits,
+            tag_bits,
+            ppn_bits,
+            entries: BitPlane::new(cfg.entries, (tag_bits + ppn_bits) as usize),
+            valid: BitPlane::new(cfg.entries, 1),
+            entry_hook: FaultHook::new(),
+            valid_hook: FaultHook::new(),
+            stats: TlbStats::default(),
+        }
+    }
+
+    /// Bits per entry in the entry plane.
+    pub fn entry_bits(&self) -> u32 {
+        self.tag_bits + self.ppn_bits
+    }
+
+    /// Number of entries.
+    pub fn entries(&self) -> usize {
+        self.cfg.entries
+    }
+
+    /// Translates `vaddr`, refilling on miss (identity mapping). Returns the
+    /// physical address and whether the lookup hit.
+    pub fn translate(&mut self, vaddr: u64) -> (u64, bool) {
+        let off_mask = (1u64 << self.cfg.page_bits) - 1;
+        let vpn = (vaddr >> self.cfg.page_bits) & ((1u64 << (32 - self.cfg.page_bits)) - 1);
+        let idx = (vpn & ((1 << self.idx_bits) - 1)) as usize;
+        let want_tag = vpn >> self.idx_bits;
+        self.valid_hook.note_read(idx as u64, 0, 1);
+        if self.valid.get(idx, 0) {
+            self.entry_hook.note_read(idx as u64, 0, self.tag_bits);
+            let tag = self.entries.get_field(idx, 0, self.tag_bits as usize);
+            if tag == want_tag {
+                self.stats.hits += 1;
+                self.entry_hook
+                    .note_read(idx as u64, self.tag_bits, self.ppn_bits);
+                let ppn =
+                    self.entries
+                        .get_field(idx, self.tag_bits as usize, self.ppn_bits as usize);
+                return ((ppn << self.cfg.page_bits) | (vaddr & off_mask), true);
+            }
+        }
+        // Miss: hardware walk installs the identity translation.
+        self.stats.misses += 1;
+        let fix = self
+            .entry_hook
+            .note_write(idx as u64, 0, self.tag_bits + self.ppn_bits);
+        self.entries
+            .set_field(idx, 0, self.tag_bits as usize, want_tag);
+        self.entries
+            .set_field(idx, self.tag_bits as usize, self.ppn_bits as usize, vpn);
+        if fix {
+            let fixes: Vec<(u32, bool)> = self.entry_hook.stuck_fixups(idx as u64).collect();
+            for (bit, v) in fixes {
+                self.entries.set(idx, bit as usize, v);
+            }
+        }
+        let vfix = self.valid_hook.note_write(idx as u64, 0, 1);
+        self.valid.set(idx, 0, true);
+        if vfix {
+            let fixes: Vec<(u32, bool)> = self.valid_hook.stuck_fixups(idx as u64).collect();
+            for (bit, v) in fixes {
+                self.valid.set(idx, bit as usize, v);
+            }
+        }
+        (vaddr & 0xFFFF_FFFF, false)
+    }
+
+    /// Flips a bit in the entry plane (tag + translation bits).
+    pub fn inject_entry_flip(&mut self, entry: u64, bit: u32) {
+        self.entries.flip(entry as usize, bit as usize);
+        self.entry_hook.arm_flip(entry, bit);
+    }
+
+    /// Forces a bit in the entry plane stuck at `value`.
+    pub fn inject_entry_stuck(&mut self, entry: u64, bit: u32, value: bool) {
+        self.entries.set(entry as usize, bit as usize, value);
+        self.entry_hook.arm_stuck(entry, bit, value);
+    }
+
+    /// Flips an entry's valid bit.
+    pub fn inject_valid_flip(&mut self, entry: u64) {
+        self.valid.flip(entry as usize, 0);
+        self.valid_hook.arm_flip(entry, 0);
+    }
+
+    /// Forces an entry's valid bit stuck at `value`.
+    pub fn inject_valid_stuck(&mut self, entry: u64, value: bool) {
+        self.valid.set(entry as usize, 0, value);
+        self.valid_hook.arm_stuck(entry, 0, value);
+    }
+
+    /// Peeks at validity without fault-hook side effects.
+    pub fn peek_valid(&self, entry: usize) -> bool {
+        self.valid.get(entry, 0)
+    }
+
+    /// True when every armed fault is provably dead.
+    pub fn all_faults_dead(&self) -> bool {
+        self.entry_hook.all_faults_dead() && self.valid_hook.all_faults_dead()
+    }
+
+    /// True when any armed fault has been consumed.
+    pub fn any_fault_consumed(&self) -> bool {
+        self.entry_hook.any_fault_consumed() || self.valid_hook.any_fault_consumed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_translation_miss_then_hit() {
+        let mut t = Tlb::new(TlbConfig::default());
+        let (p1, hit1) = t.translate(0x12_3456);
+        assert_eq!(p1, 0x12_3456);
+        assert!(!hit1);
+        let (p2, hit2) = t.translate(0x12_3456);
+        assert_eq!(p2, 0x12_3456);
+        assert!(hit2);
+        assert_eq!(t.stats.hits, 1);
+        assert_eq!(t.stats.misses, 1);
+    }
+
+    #[test]
+    fn different_pages_use_different_entries() {
+        let mut t = Tlb::new(TlbConfig::default());
+        t.translate(0x1000);
+        t.translate(0x2000);
+        let (_, hit) = t.translate(0x1000);
+        assert!(hit, "entry 1 undisturbed by entry 2");
+    }
+
+    #[test]
+    fn conflicting_pages_evict() {
+        let cfg = TlbConfig {
+            entries: 4,
+            page_bits: 12,
+        };
+        let mut t = Tlb::new(cfg);
+        t.translate(0x1000); // vpn 1 → idx 1
+        t.translate(0x1000 + 4 * 4096); // vpn 5 → idx 1, different tag
+        let (_, hit) = t.translate(0x1000);
+        assert!(!hit, "conflicting vpn evicted the entry");
+    }
+
+    #[test]
+    fn ppn_fault_redirects_translation() {
+        let mut t = Tlb::new(TlbConfig::default());
+        t.translate(0x5000); // install vpn 5 at idx 5
+        // Flip PPN bit 0 (plane layout: [tag | ppn]).
+        let tag_bits = t.entry_bits() - (32 - 12);
+        t.inject_entry_flip(5, tag_bits);
+        let (p, hit) = t.translate(0x5042);
+        assert!(hit, "tag still matches");
+        assert_eq!(p, 0x4042, "ppn bit 0 flipped: page 5 → page 4");
+        assert!(t.any_fault_consumed());
+    }
+
+    #[test]
+    fn tag_fault_forces_miss_and_is_overwritten_by_refill() {
+        let mut t = Tlb::new(TlbConfig::default());
+        t.translate(0x5000);
+        t.inject_entry_flip(5, 0); // tag bit 0
+        let (p, hit) = t.translate(0x5000);
+        assert!(!hit, "corrupted tag mismatches");
+        assert_eq!(p, 0x5000, "walk still produces the right translation");
+        // The refill rewrote the whole entry: fault dead (it was read during
+        // the failed compare though, so it counts as consumed).
+        assert!(t.any_fault_consumed());
+    }
+
+    #[test]
+    fn valid_fault_on_empty_entry_creates_garbage_hit_risk() {
+        let mut t = Tlb::new(TlbConfig::default());
+        // Force valid on an entry whose tag/ppn are zero.
+        t.inject_valid_flip(0);
+        assert!(t.peek_valid(0));
+        // vaddr with vpn 0 → tag 0 matches the zeroed entry → ppn 0: the
+        // garbage hit translates page 0 to page 0 (identity by luck).
+        let (p, hit) = t.translate(0x0123);
+        assert!(hit);
+        assert_eq!(p, 0x0123);
+    }
+
+    #[test]
+    fn stuck_valid_zero_forces_permanent_misses() {
+        let mut t = Tlb::new(TlbConfig::default());
+        t.inject_valid_stuck(5, false);
+        t.translate(0x5000);
+        let (_, hit) = t.translate(0x5000);
+        assert!(!hit, "valid stuck at 0 never hits");
+        assert!(!t.all_faults_dead());
+    }
+}

@@ -1,0 +1,270 @@
+//! Bit-granular storage used by fault-injectable hardware arrays.
+//!
+//! Microarchitectural fault injection operates on *storage bits*: every
+//! modeled array (cache tag/data/valid arrays, register files, queue
+//! payloads) must expose its content at single-bit granularity so transient
+//! flips and stuck-at faults land exactly where a real particle strike or
+//! defect would. [`BitPlane`] is the common dense backing store; byte-level
+//! helpers serve the wide cache data arrays, which are stored as bytes for
+//! simulation speed but remain injectable per bit.
+
+/// A dense two-dimensional bit array: `entries` rows of `width` bits.
+///
+/// This is the backing store for every fault-injectable structure whose
+/// payload is not naturally byte-shaped (tags, valid bits, queue metadata,
+/// register values).
+///
+/// # Example
+///
+/// ```
+/// use difi_util::bits::BitPlane;
+/// let mut p = BitPlane::new(4, 20);
+/// p.set(2, 19, true);
+/// assert!(p.get(2, 19));
+/// p.flip(2, 19);
+/// assert!(!p.get(2, 19));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitPlane {
+    words: Vec<u64>,
+    entries: usize,
+    width: usize,
+    words_per_entry: usize,
+}
+
+impl BitPlane {
+    /// Creates a zeroed plane of `entries` rows, each `width` bits wide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn new(entries: usize, width: usize) -> Self {
+        assert!(width > 0, "bit plane width must be nonzero");
+        let words_per_entry = width.div_ceil(64);
+        BitPlane {
+            words: vec![0; entries * words_per_entry],
+            entries,
+            width,
+            words_per_entry,
+        }
+    }
+
+    /// Number of rows.
+    pub fn entries(&self) -> usize {
+        self.entries
+    }
+
+    /// Bits per row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Total number of storage bits (`entries * width`).
+    pub fn total_bits(&self) -> u64 {
+        self.entries as u64 * self.width as u64
+    }
+
+    #[inline]
+    fn index(&self, entry: usize, bit: usize) -> (usize, u64) {
+        debug_assert!(entry < self.entries, "entry {entry} out of range");
+        debug_assert!(bit < self.width, "bit {bit} out of range");
+        (
+            entry * self.words_per_entry + bit / 64,
+            1u64 << (bit % 64),
+        )
+    }
+
+    /// Reads one bit.
+    #[inline]
+    pub fn get(&self, entry: usize, bit: usize) -> bool {
+        let (w, m) = self.index(entry, bit);
+        self.words[w] & m != 0
+    }
+
+    /// Writes one bit.
+    #[inline]
+    pub fn set(&mut self, entry: usize, bit: usize, value: bool) {
+        let (w, m) = self.index(entry, bit);
+        if value {
+            self.words[w] |= m;
+        } else {
+            self.words[w] &= !m;
+        }
+    }
+
+    /// Inverts one bit (the transient-fault primitive).
+    #[inline]
+    pub fn flip(&mut self, entry: usize, bit: usize) {
+        let (w, m) = self.index(entry, bit);
+        self.words[w] ^= m;
+    }
+
+    /// Reads up to 64 bits starting at `bit` within `entry` (word-level,
+    /// touching at most two backing words — this is the hot path of cache
+    /// tag probes and register reads).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the span crosses the entry's width.
+    #[inline]
+    pub fn get_field(&self, entry: usize, bit: usize, len: usize) -> u64 {
+        debug_assert!(len > 0 && len <= 64 && bit + len <= self.width);
+        let base = entry * self.words_per_entry;
+        let w = base + bit / 64;
+        let off = bit % 64;
+        let mask = if len == 64 { u64::MAX } else { (1u64 << len) - 1 };
+        let lo = self.words[w] >> off;
+        let v = if off + len <= 64 {
+            lo
+        } else {
+            lo | (self.words[w + 1] << (64 - off))
+        };
+        v & mask
+    }
+
+    /// Writes up to 64 bits starting at `bit` within `entry` (word-level).
+    #[inline]
+    pub fn set_field(&mut self, entry: usize, bit: usize, len: usize, value: u64) {
+        debug_assert!(len > 0 && len <= 64 && bit + len <= self.width);
+        let base = entry * self.words_per_entry;
+        let w = base + bit / 64;
+        let off = bit % 64;
+        let mask = if len == 64 { u64::MAX } else { (1u64 << len) - 1 };
+        let value = value & mask;
+        self.words[w] = (self.words[w] & !(mask << off)) | (value << off);
+        if off + len > 64 {
+            let hi_bits = off + len - 64;
+            let hi_mask = (1u64 << hi_bits) - 1;
+            self.words[w + 1] =
+                (self.words[w + 1] & !hi_mask) | (value >> (64 - off));
+        }
+    }
+
+    /// Clears an entire entry to zero.
+    pub fn clear_entry(&mut self, entry: usize) {
+        let base = entry * self.words_per_entry;
+        for w in &mut self.words[base..base + self.words_per_entry] {
+            *w = 0;
+        }
+    }
+
+    /// Population count of one entry (used by tests and diagnostics).
+    pub fn count_ones(&self, entry: usize) -> u32 {
+        let base = entry * self.words_per_entry;
+        self.words[base..base + self.words_per_entry]
+            .iter()
+            .map(|w| w.count_ones())
+            .sum()
+    }
+}
+
+/// Flips bit `bit` (0 = LSB of byte 0) inside a byte-backed array.
+///
+/// Cache data arrays are stored as bytes for speed; this is their
+/// transient-fault primitive.
+#[inline]
+pub fn flip_bit_in_bytes(bytes: &mut [u8], bit: u64) {
+    let byte = (bit / 8) as usize;
+    bytes[byte] ^= 1 << (bit % 8);
+}
+
+/// Reads bit `bit` from a byte-backed array.
+#[inline]
+pub fn get_bit_in_bytes(bytes: &[u8], bit: u64) -> bool {
+    bytes[(bit / 8) as usize] >> (bit % 8) & 1 != 0
+}
+
+/// Sets bit `bit` in a byte-backed array to `value` (the stuck-at primitive).
+#[inline]
+pub fn set_bit_in_bytes(bytes: &mut [u8], bit: u64, value: bool) {
+    let byte = (bit / 8) as usize;
+    if value {
+        bytes[byte] |= 1 << (bit % 8);
+    } else {
+        bytes[byte] &= !(1 << (bit % 8));
+    }
+}
+
+/// Returns the number of low-order bits needed to represent `n - 1`
+/// (i.e. `ceil(log2(n))`), with `bits_for(1) == 0`.
+pub fn bits_for(n: u64) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        64 - (n - 1).leading_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plane_set_get_flip_roundtrip() {
+        let mut p = BitPlane::new(8, 70);
+        assert!(!p.get(3, 65));
+        p.set(3, 65, true);
+        assert!(p.get(3, 65));
+        p.flip(3, 65);
+        assert!(!p.get(3, 65));
+        p.flip(3, 65);
+        assert!(p.get(3, 65));
+    }
+
+    #[test]
+    fn plane_entries_are_independent() {
+        let mut p = BitPlane::new(4, 64);
+        p.set(1, 0, true);
+        assert!(!p.get(0, 0));
+        assert!(!p.get(2, 0));
+        assert_eq!(p.count_ones(1), 1);
+        assert_eq!(p.count_ones(0), 0);
+    }
+
+    #[test]
+    fn field_roundtrip_across_word_boundary() {
+        let mut p = BitPlane::new(2, 100);
+        p.set_field(1, 60, 20, 0xABCDE);
+        assert_eq!(p.get_field(1, 60, 20), 0xABCDE);
+        // Neighbouring bits untouched.
+        assert!(!p.get(1, 59));
+        assert!(!p.get(1, 80));
+    }
+
+    #[test]
+    fn clear_entry_zeroes_full_row() {
+        let mut p = BitPlane::new(3, 130);
+        for b in 0..130 {
+            p.set(2, b, true);
+        }
+        p.clear_entry(2);
+        assert_eq!(p.count_ones(2), 0);
+    }
+
+    #[test]
+    fn byte_helpers_roundtrip() {
+        let mut b = vec![0u8; 8];
+        flip_bit_in_bytes(&mut b, 13);
+        assert!(get_bit_in_bytes(&b, 13));
+        assert_eq!(b[1], 1 << 5);
+        set_bit_in_bytes(&mut b, 13, false);
+        assert!(!get_bit_in_bytes(&b, 13));
+        assert!(b.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn bits_for_matches_log2_ceiling() {
+        assert_eq!(bits_for(1), 0);
+        assert_eq!(bits_for(2), 1);
+        assert_eq!(bits_for(3), 2);
+        assert_eq!(bits_for(128), 7);
+        assert_eq!(bits_for(129), 8);
+        assert_eq!(bits_for(1024), 10);
+    }
+
+    #[test]
+    fn total_bits_geometry() {
+        let p = BitPlane::new(256, 64);
+        assert_eq!(p.total_bits(), 256 * 64);
+    }
+}

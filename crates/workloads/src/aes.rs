@@ -1,0 +1,384 @@
+//! `caes` — AES-128 ECB encryption of 2 KiB.
+//!
+//! MiBench's AES is dominated by table lookups (S-box) and byte-level
+//! arithmetic (xtime in MixColumns). Round keys are expanded at build time
+//! (key schedule is a one-off in the real benchmark too) and embedded as
+//! data; the per-block work — AddRoundKey, 9 full rounds, final round — runs
+//! in simulated code.
+//!
+//! Output: two checksums over the ciphertext, then the first ciphertext
+//! word.
+
+use crate::data;
+use difi_isa::asm::Asm;
+use difi_isa::uop::{Cond, IntOp, Width};
+
+const BLOCKS: usize = 128; // 2 KiB
+const SEED: u64 = 0xAE50_0005;
+const KEY: [u8; 16] = [
+    0x2B, 0x7E, 0x15, 0x16, 0x28, 0xAE, 0xD2, 0xA6, 0xAB, 0xF7, 0x15, 0x88, 0x09, 0xCF, 0x4F,
+    0x3C,
+];
+
+/// The AES S-box.
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab,
+    0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4,
+    0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71,
+    0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6,
+    0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb,
+    0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45,
+    0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44,
+    0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a,
+    0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25,
+    0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e,
+    0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1,
+    0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb,
+    0x16,
+];
+
+/// ShiftRows source index per destination byte (column-major state layout:
+/// state[4*col + row]).
+const SHIFT_MAP: [u8; 16] = [0, 5, 10, 15, 4, 9, 14, 3, 8, 13, 2, 7, 12, 1, 6, 11];
+
+fn xtime(x: u8) -> u8 {
+    (x << 1) ^ (0x1B * (x >> 7))
+}
+
+/// Expands the 128-bit key into 11 round keys (176 bytes).
+fn round_keys() -> Vec<u8> {
+    let mut w: Vec<[u8; 4]> = KEY.chunks_exact(4).map(|c| [c[0], c[1], c[2], c[3]]).collect();
+    let mut rcon = 1u8;
+    for i in 4..44 {
+        let mut t = w[i - 1];
+        if i % 4 == 0 {
+            t.rotate_left(1);
+            for b in &mut t {
+                *b = SBOX[*b as usize];
+            }
+            t[0] ^= rcon;
+            rcon = xtime(rcon);
+        }
+        let prev = w[i - 4];
+        w.push([
+            prev[0] ^ t[0],
+            prev[1] ^ t[1],
+            prev[2] ^ t[2],
+            prev[3] ^ t[3],
+        ]);
+    }
+    w.into_iter().flatten().collect()
+}
+
+/// Host-side AES-128 block encryption (the reference).
+fn encrypt_block(block: &mut [u8; 16], rk: &[u8]) {
+    let add_rk = |s: &mut [u8; 16], r: usize| {
+        for i in 0..16 {
+            s[i] ^= rk[16 * r + i];
+        }
+    };
+    let sub_shift = |s: &[u8; 16]| {
+        let mut t = [0u8; 16];
+        for i in 0..16 {
+            t[i] = SBOX[s[SHIFT_MAP[i] as usize] as usize];
+        }
+        t
+    };
+    let mix = |s: &mut [u8; 16]| {
+        for c in 0..4 {
+            let a0 = s[4 * c];
+            let a1 = s[4 * c + 1];
+            let a2 = s[4 * c + 2];
+            let a3 = s[4 * c + 3];
+            s[4 * c] = xtime(a0) ^ (xtime(a1) ^ a1) ^ a2 ^ a3;
+            s[4 * c + 1] = a0 ^ xtime(a1) ^ (xtime(a2) ^ a2) ^ a3;
+            s[4 * c + 2] = a0 ^ a1 ^ xtime(a2) ^ (xtime(a3) ^ a3);
+            s[4 * c + 3] = (xtime(a0) ^ a0) ^ a1 ^ a2 ^ xtime(a3);
+        }
+    };
+    add_rk(block, 0);
+    for r in 1..10 {
+        *block = sub_shift(block);
+        mix(block);
+        add_rk(block, r);
+    }
+    *block = sub_shift(block);
+    add_rk(block, 10);
+}
+
+/// Emits the kernel.
+pub fn emit(a: &mut Asm) {
+    let plain = data::bytes(SEED, BLOCKS * 16);
+    let plain_addr = a.data_bytes(&plain);
+    let sbox_addr = a.data_bytes(&SBOX);
+    let shift_addr = a.data_bytes(&SHIFT_MAP);
+    let rk_addr = a.data_bytes(&round_keys());
+    let out_addr = a.bss((BLOCKS * 16) as u64, 8);
+    let state = a.bss(16, 8);
+    let tmp_state = a.bss(16, 8);
+    let end_slot = a.bss(8, 8);
+
+    // r3 = in ptr, r4 = out ptr; the end bound lives in memory because the
+    // MixColumns helper needs every scratch register.
+    a.li(3, plain_addr as i64);
+    a.li(4, out_addr as i64);
+    a.li(10, (plain_addr + (BLOCKS * 16) as u64) as i64);
+    a.li(11, end_slot as i64);
+    a.store(Width::B8, 10, 11, 0);
+
+    let block_loop = a.here_label();
+    let blocks_done = a.label();
+    a.li(11, end_slot as i64);
+    a.load(Width::B8, false, 10, 11, 0);
+    a.br(Cond::GeU, 3, 10, blocks_done);
+
+    // state = in ^ rk[0]
+    a.li(5, state as i64);
+    a.li(6, rk_addr as i64);
+    a.li(7, 0);
+    let ark0 = a.here_label();
+    let ark0_done = a.label();
+    a.bri(Cond::GeS, 7, 16, ark0_done);
+    a.op(IntOp::Add, 10, 3, 7);
+    a.load(Width::B1, false, 10, 10, 0);
+    a.op(IntOp::Add, 11, 6, 7);
+    a.load(Width::B1, false, 11, 11, 0);
+    a.op(IntOp::Xor, 10, 10, 11);
+    a.op(IntOp::Add, 11, 5, 7);
+    a.store(Width::B1, 10, 11, 0);
+    a.opi(IntOp::Add, 7, 7, 1);
+    a.jmp(ark0);
+    a.bind(ark0_done);
+
+    // r8 = round (1..=9).
+    a.li(8, 1);
+    let round_loop = a.here_label();
+    let rounds_done = a.label();
+    a.bri(Cond::GtS, 8, 9, rounds_done);
+    emit_sub_shift(a, state, tmp_state, sbox_addr, shift_addr);
+    emit_mix_and_ark(a, tmp_state, state, rk_addr);
+    a.opi(IntOp::Add, 8, 8, 1);
+    a.jmp(round_loop);
+    a.bind(rounds_done);
+
+    // Final round: SubBytes+ShiftRows then AddRoundKey(10) into out.
+    emit_sub_shift(a, state, tmp_state, sbox_addr, shift_addr);
+    a.li(5, tmp_state as i64);
+    a.li(6, (rk_addr + 160) as i64);
+    a.li(7, 0);
+    let fin = a.here_label();
+    let fin_done = a.label();
+    a.bri(Cond::GeS, 7, 16, fin_done);
+    a.op(IntOp::Add, 10, 5, 7);
+    a.load(Width::B1, false, 10, 10, 0);
+    a.op(IntOp::Add, 11, 6, 7);
+    a.load(Width::B1, false, 11, 11, 0);
+    a.op(IntOp::Xor, 10, 10, 11);
+    a.op(IntOp::Add, 11, 4, 7);
+    a.store(Width::B1, 10, 11, 0);
+    a.opi(IntOp::Add, 7, 7, 1);
+    a.jmp(fin);
+    a.bind(fin_done);
+
+    a.opi(IntOp::Add, 3, 3, 16);
+    a.opi(IntOp::Add, 4, 4, 16);
+    a.jmp(block_loop);
+    a.bind(blocks_done);
+
+    // Checksums over the ciphertext.
+    a.li(4, out_addr as i64);
+    a.li(5, 0); // i
+    a.li(6, 0); // weighted
+    a.li(7, 0); // rolling xor-rotate
+    let ck = a.here_label();
+    let ck_done = a.label();
+    a.bri(Cond::GeS, 5, (BLOCKS * 16) as i32, ck_done);
+    a.op(IntOp::Add, 10, 4, 5);
+    a.load(Width::B1, false, 11, 10, 0);
+    a.opi(IntOp::And, 2, 5, 31);
+    a.opi(IntOp::Add, 2, 2, 1);
+    a.op(IntOp::Mul, 2, 2, 11);
+    a.op(IntOp::Add, 6, 6, 2);
+    a.opi(IntOp::Shl, 2, 7, 7);
+    a.opi(IntOp::Shr, 7, 7, 57);
+    a.op(IntOp::Or, 7, 7, 2);
+    a.op(IntOp::Xor, 7, 7, 11);
+    a.opi(IntOp::Add, 5, 5, 1);
+    a.jmp(ck);
+    a.bind(ck_done);
+    a.write_int(6);
+    a.write_int(7);
+    a.load(Width::B4, false, 5, 4, 0);
+    a.write_int(5);
+    a.exit(0);
+}
+
+/// SubBytes + ShiftRows: `dst[i] = sbox[src[shift_map[i]]]`.
+fn emit_sub_shift(a: &mut Asm, src: u64, dst: u64, sbox: u64, shift_map: u64) {
+    a.li(5, src as i64);
+    a.li(6, dst as i64);
+    a.li(9, sbox as i64);
+    a.li(2, shift_map as i64);
+    a.li(7, 0);
+    let lp = a.here_label();
+    let done = a.label();
+    a.bri(Cond::GeS, 7, 16, done);
+    a.op(IntOp::Add, 10, 2, 7);
+    a.load(Width::B1, false, 10, 10, 0); // shift_map[i]
+    a.op(IntOp::Add, 10, 5, 10);
+    a.load(Width::B1, false, 10, 10, 0); // src[…]
+    a.op(IntOp::Add, 10, 9, 10);
+    a.load(Width::B1, false, 10, 10, 0); // sbox[…]
+    a.op(IntOp::Add, 11, 6, 7);
+    a.store(Width::B1, 10, 11, 0);
+    a.opi(IntOp::Add, 7, 7, 1);
+    a.jmp(lp);
+    a.bind(done);
+}
+
+/// MixColumns + AddRoundKey (round in r8): `dst = mix(src) ^ rk[r8]`.
+fn emit_mix_and_ark(a: &mut Asm, src: u64, dst: u64, rk: u64) {
+    // r5 = src col ptr, r6 = dst col ptr, r9 = rk col ptr.
+    a.li(5, src as i64);
+    a.li(6, dst as i64);
+    a.opi(IntOp::Shl, 9, 8, 4); // r8 * 16
+    a.li(10, rk as i64);
+    a.op(IntOp::Add, 9, 9, 10);
+    a.li(7, 0); // column
+    let col = a.here_label();
+    let col_done = a.label();
+    a.bri(Cond::GeS, 7, 4, col_done);
+    // Load a0..a3 into r10, r11, r12, r2.
+    a.load(Width::B1, false, 10, 5, 0);
+    a.load(Width::B1, false, 11, 5, 1);
+    a.load(Width::B1, false, 12, 5, 2);
+    a.load(Width::B1, false, 2, 5, 3);
+
+    // Helper patterns; xt(x) = ((x<<1) ^ (0x1B * (x>>7))) & 0xFF into r1.
+    let xt = |a: &mut Asm, src_reg: u8| {
+        a.opi(IntOp::Shl, 1, src_reg, 1);
+        a.opi(IntOp::Shr, 0, src_reg, 7);
+        a.opi(IntOp::Mul, 0, 0, 0x1B);
+        a.op(IntOp::Xor, 1, 1, 0);
+        a.opi(IntOp::And, 1, 1, 0xFF);
+    };
+
+    // b0 = xt(a0) ^ xt(a1) ^ a1 ^ a2 ^ a3 ^ rk[0]
+    xt(a, 10);
+    a.push(1);
+    xt(a, 11);
+    a.op(IntOp::Xor, 1, 1, 11);
+    a.pop(0);
+    a.op(IntOp::Xor, 1, 1, 0);
+    a.op(IntOp::Xor, 1, 1, 12);
+    a.op(IntOp::Xor, 1, 1, 2);
+    a.load(Width::B1, false, 0, 9, 0);
+    a.op(IntOp::Xor, 1, 1, 0);
+    a.store(Width::B1, 1, 6, 0);
+    // b1 = a0 ^ xt(a1) ^ xt(a2) ^ a2 ^ a3 ^ rk[1]
+    xt(a, 11);
+    a.push(1);
+    xt(a, 12);
+    a.op(IntOp::Xor, 1, 1, 12);
+    a.pop(0);
+    a.op(IntOp::Xor, 1, 1, 0);
+    a.op(IntOp::Xor, 1, 1, 10);
+    a.op(IntOp::Xor, 1, 1, 2);
+    a.load(Width::B1, false, 0, 9, 1);
+    a.op(IntOp::Xor, 1, 1, 0);
+    a.store(Width::B1, 1, 6, 1);
+    // b2 = a0 ^ a1 ^ xt(a2) ^ xt(a3) ^ a3 ^ rk[2]
+    xt(a, 12);
+    a.push(1);
+    xt(a, 2);
+    a.op(IntOp::Xor, 1, 1, 2);
+    a.pop(0);
+    a.op(IntOp::Xor, 1, 1, 0);
+    a.op(IntOp::Xor, 1, 1, 10);
+    a.op(IntOp::Xor, 1, 1, 11);
+    a.load(Width::B1, false, 0, 9, 2);
+    a.op(IntOp::Xor, 1, 1, 0);
+    a.store(Width::B1, 1, 6, 2);
+    // b3 = xt(a0) ^ a0 ^ a1 ^ a2 ^ xt(a3) ^ rk[3]
+    xt(a, 10);
+    a.push(1);
+    xt(a, 2);
+    a.pop(0);
+    a.op(IntOp::Xor, 1, 1, 0);
+    a.op(IntOp::Xor, 1, 1, 10);
+    a.op(IntOp::Xor, 1, 1, 11);
+    a.op(IntOp::Xor, 1, 1, 12);
+    a.load(Width::B1, false, 0, 9, 3);
+    a.op(IntOp::Xor, 1, 1, 0);
+    a.store(Width::B1, 1, 6, 3);
+
+    a.opi(IntOp::Add, 5, 5, 4);
+    a.opi(IntOp::Add, 6, 6, 4);
+    a.opi(IntOp::Add, 9, 9, 4);
+    a.opi(IntOp::Add, 7, 7, 1);
+    a.jmp(col);
+    a.bind(col_done);
+}
+
+/// Host reference output.
+pub fn reference() -> Vec<u8> {
+    let plain = data::bytes(SEED, BLOCKS * 16);
+    let rk = round_keys();
+    let mut cipher = Vec::with_capacity(plain.len());
+    for chunk in plain.chunks_exact(16) {
+        let mut b: [u8; 16] = chunk.try_into().expect("16-byte chunk");
+        encrypt_block(&mut b, &rk);
+        cipher.extend_from_slice(&b);
+    }
+    let mut weighted: u64 = 0;
+    let mut roll: u64 = 0;
+    for (i, &v) in cipher.iter().enumerate() {
+        weighted = weighted.wrapping_add(((i as u64 & 31) + 1).wrapping_mul(v as u64));
+        roll = roll.rotate_left(7) ^ v as u64;
+    }
+    let first = u32::from_le_bytes(cipher[0..4].try_into().expect("4 bytes"));
+    format!("{weighted}\n{roll}\n{first}\n").into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fips197_vector() {
+        // FIPS-197 Appendix B: key 2b7e…, plaintext 3243f6a8885a308d313198a2e0370734.
+        let rk = round_keys();
+        let mut block: [u8; 16] = [
+            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+            0x07, 0x34,
+        ];
+        encrypt_block(&mut block, &rk);
+        assert_eq!(
+            block,
+            [
+                0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19,
+                0x6a, 0x0b, 0x32
+            ]
+        );
+    }
+
+    #[test]
+    fn xtime_matches_gf256() {
+        assert_eq!(xtime(0x57), 0xAE);
+        assert_eq!(xtime(0xAE), 0x47);
+    }
+
+    #[test]
+    fn shift_map_is_permutation() {
+        let mut seen = [false; 16];
+        for &i in &SHIFT_MAP {
+            seen[i as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

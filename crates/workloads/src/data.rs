@@ -1,0 +1,91 @@
+//! Deterministic input-data generation shared by the kernels and their host
+//! references.
+
+use difi_util::rng::Xoshiro256;
+
+/// Pseudo-random bytes from a fixed seed (per-kernel seeds keep the inputs
+//  independent).
+pub fn bytes(seed: u64, n: usize) -> Vec<u8> {
+    let mut r = Xoshiro256::seed_from(seed);
+    (0..n).map(|_| r.next_u64() as u8).collect()
+}
+
+/// Pseudo-random `u32` words.
+pub fn words(seed: u64, n: usize) -> Vec<u32> {
+    let mut r = Xoshiro256::seed_from(seed);
+    (0..n).map(|_| r.next_u64() as u32).collect()
+}
+
+/// A synthetic 8-bit grayscale image with smooth gradients, a bright
+/// rectangle, a dark disc, and mild noise — enough structure for the
+/// SUSAN-style kernels to find edges and corners.
+pub fn image(seed: u64, w: usize, h: usize) -> Vec<u8> {
+    let mut r = Xoshiro256::seed_from(seed);
+    let mut img = vec![0u8; w * h];
+    for y in 0..h {
+        for x in 0..w {
+            let mut v = ((x * 255) / w.max(1) + (y * 128) / h.max(1)) / 2;
+            // Bright rectangle.
+            if (w / 5..w / 2).contains(&x) && (h / 4..h / 2).contains(&y) {
+                v = v.saturating_add(90);
+            }
+            // Dark disc.
+            let (cx, cy) = (3 * w / 4, 3 * h / 4);
+            let dx = x as i64 - cx as i64;
+            let dy = y as i64 - cy as i64;
+            if dx * dx + dy * dy < ((w / 6) * (w / 6)) as i64 {
+                v = v.saturating_sub(70);
+            }
+            let noise = (r.next_u64() % 9) as usize;
+            img[y * w + x] = (v + noise).min(255) as u8;
+        }
+    }
+    img
+}
+
+/// Skewed-alphabet text (letters weighted toward a small set, with word
+/// breaks) for the search benchmark.
+pub fn text(seed: u64, n: usize) -> Vec<u8> {
+    let mut r = Xoshiro256::seed_from(seed);
+    let common = b"etaoinshrdlu";
+    (0..n)
+        .map(|_| {
+            let v = r.next_u64();
+            if v % 7 == 0 {
+                b' '
+            } else {
+                common[(v % common.len() as u64) as usize]
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(bytes(1, 64), bytes(1, 64));
+        assert_ne!(bytes(1, 64), bytes(2, 64));
+        assert_eq!(words(3, 16), words(3, 16));
+        assert_eq!(image(4, 32, 32), image(4, 32, 32));
+        assert_eq!(text(5, 100), text(5, 100));
+    }
+
+    #[test]
+    fn image_has_structure() {
+        let img = image(7, 64, 64);
+        let mean: u64 = img.iter().map(|&b| b as u64).sum::<u64>() / img.len() as u64;
+        assert!(mean > 30 && mean < 220);
+        // Not constant.
+        assert!(img.iter().any(|&b| b as u64 > mean + 20));
+        assert!(img.iter().any(|&b| (b as u64) < mean.saturating_sub(20)));
+    }
+
+    #[test]
+    fn text_is_searchable() {
+        let t = text(9, 1000);
+        assert!(t.iter().filter(|&&c| c == b' ').count() > 50);
+    }
+}

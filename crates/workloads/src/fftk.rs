@@ -1,0 +1,261 @@
+//! `fft` — radix-2 iterative complex FFT, N = 256, `f64`.
+//!
+//! MiBench's fft is the floating-point representative. The input signal and
+//! twiddle factors are generated on the host and embedded as data (identical
+//! bits for both ISAs); the bit-reversal permutation and every butterfly run
+//! in simulated code. The simulated arithmetic mirrors the host reference
+//! operation-for-operation, so the `f64` results are bit-exact.
+//!
+//! Output: the integer-scaled signal energy, then the raw bit patterns of
+//! two spectrum bins.
+
+use difi_isa::asm::Asm;
+use difi_isa::uop::{Cond, FpOp, IntOp, Width};
+
+const N: usize = 512;
+
+fn input_signal() -> Vec<f64> {
+    // Two tones plus a deterministic "noise" series.
+    (0..N)
+        .map(|k| {
+            let a = ((k * k * 31 + k * 7) % 97) as f64 / 97.0;
+            let tone = (2.0 * std::f64::consts::PI * 5.0 * k as f64 / N as f64).sin()
+                + 0.5 * (2.0 * std::f64::consts::PI * 23.0 * k as f64 / N as f64).cos();
+            tone + 0.25 * a
+        })
+        .collect()
+}
+
+/// Twiddles laid out in traversal order: for len = 2,4,…,N, for k in
+/// 0..len/2 → (cos, -sin).
+fn twiddles() -> Vec<f64> {
+    let mut t = Vec::new();
+    let mut len = 2;
+    while len <= N {
+        for k in 0..len / 2 {
+            let ang = -2.0 * std::f64::consts::PI * k as f64 / len as f64;
+            t.push(ang.cos());
+            t.push(ang.sin());
+        }
+        len *= 2;
+    }
+    t
+}
+
+fn bit_reverse_pairs() -> Vec<u32> {
+    let bits = N.trailing_zeros();
+    let mut pairs = Vec::new();
+    for i in 0..N {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        if (j as usize) > i {
+            pairs.push(i as u32);
+            pairs.push(j);
+        }
+    }
+    pairs
+}
+
+/// Emits the kernel.
+pub fn emit(a: &mut Asm) {
+    let sig = input_signal();
+    // Interleaved re/im.
+    let mut buf = Vec::with_capacity(2 * N);
+    for v in &sig {
+        buf.push(*v);
+        buf.push(0.0);
+    }
+    let data_addr = a.data_f64s(&buf);
+    let tw_addr = a.data_f64s(&twiddles());
+    let pairs = bit_reverse_pairs();
+    let pairs_addr = a.data_u32s(&pairs);
+
+    // Bit-reverse permutation: swap complex entries per pair table.
+    // r3 = data, r4 = pair ptr, r12 = pair end.
+    a.li(3, data_addr as i64);
+    a.li(4, pairs_addr as i64);
+    a.li(12, (pairs_addr + (pairs.len() * 4) as u64) as i64);
+    let swap_loop = a.here_label();
+    let swap_done = a.label();
+    a.br(Cond::GeU, 4, 12, swap_done);
+    a.load(Width::B4, false, 5, 4, 0); // i
+    a.load(Width::B4, false, 6, 4, 4); // j
+    a.opi(IntOp::Shl, 5, 5, 4); // ×16 bytes per complex
+    a.op(IntOp::Add, 5, 3, 5);
+    a.opi(IntOp::Shl, 6, 6, 4);
+    a.op(IntOp::Add, 6, 3, 6);
+    a.fload(0, 5, 0);
+    a.fload(1, 5, 8);
+    a.fload(2, 6, 0);
+    a.fload(3, 6, 8);
+    a.fstore(2, 5, 0);
+    a.fstore(3, 5, 8);
+    a.fstore(0, 6, 0);
+    a.fstore(1, 6, 8);
+    a.opi(IntOp::Add, 4, 4, 8);
+    a.jmp(swap_loop);
+    a.bind(swap_done);
+
+    // Butterfly stages.
+    // r5 = len, r6 = k, r7 = start, r8 = tw ptr (per stage), r9/r10/r11 temps.
+    a.li(5, 2);
+    a.li(8, tw_addr as i64);
+    let stage_loop = a.here_label();
+    let stages_done = a.label();
+    a.bri(Cond::GtS, 5, N as i32, stages_done);
+    a.li(6, 0); // k
+    let k_loop = a.here_label();
+    let k_done = a.label();
+    a.opi(IntOp::Shr, 9, 5, 1); // half = len/2
+    a.br(Cond::GeS, 6, 9, k_done);
+    // w = tw[k] for this stage: f4 = w_re, f5 = w_im.
+    a.opi(IntOp::Shl, 10, 6, 4);
+    a.op(IntOp::Add, 10, 8, 10);
+    a.fload(4, 10, 0);
+    a.fload(5, 10, 8);
+    a.mov(7, 6); // idx = k (start offset walks by len)
+    let s_loop = a.here_label();
+    let s_done = a.label();
+    a.bri(Cond::GeS, 7, N as i32, s_done);
+    // u = data[idx]; v = data[idx + half] * w
+    a.opi(IntOp::Shl, 10, 7, 4);
+    a.op(IntOp::Add, 10, 3, 10); // &data[idx]
+    a.opi(IntOp::Shl, 11, 9, 4);
+    a.op(IntOp::Add, 11, 10, 11); // &data[idx + half]
+    a.fload(0, 10, 0); // u_re
+    a.fload(1, 10, 8); // u_im
+    a.fload(2, 11, 0); // x_re
+    a.fload(3, 11, 8); // x_im
+    // v_re = x_re*w_re - x_im*w_im ; v_im = x_re*w_im + x_im*w_re
+    // (f0 u_re, f1 u_im, f2 x_re, f3 x_im, f4 w_re, f5 w_im, f6 scratch)
+    a.falu(FpOp::Mul, 6, 2, 4); // f6 = x_re*w_re
+    a.falu(FpOp::Mul, 2, 2, 5); // f2 = x_re*w_im  (x_re consumed)
+    a.falu(FpOp::Mul, 5, 3, 5); // f5 = x_im*w_im  (w_im consumed!)
+    a.falu(FpOp::Sub, 6, 6, 5); // f6 = v_re
+    a.falu(FpOp::Mul, 3, 3, 4); // f3 = x_im*w_re
+    a.falu(FpOp::Add, 2, 2, 3); // f2 = v_im
+    // data[idx] = u + v ; data[idx+half] = u - v
+    a.falu(FpOp::Add, 3, 0, 6);
+    a.fstore(3, 10, 0);
+    a.falu(FpOp::Add, 3, 1, 2);
+    a.fstore(3, 10, 8);
+    a.falu(FpOp::Sub, 3, 0, 6);
+    a.fstore(3, 11, 0);
+    a.falu(FpOp::Sub, 3, 1, 2);
+    a.fstore(3, 11, 8);
+    // w_im was consumed: reload both w components.
+    a.opi(IntOp::Shl, 10, 6, 4);
+    a.op(IntOp::Add, 10, 8, 10);
+    a.fload(4, 10, 0);
+    a.fload(5, 10, 8);
+    a.op(IntOp::Add, 7, 7, 5); // idx += len
+    a.jmp(s_loop);
+    a.bind(s_done);
+    a.opi(IntOp::Add, 6, 6, 1);
+    a.jmp(k_loop);
+    a.bind(k_done);
+    // tw ptr += half * 16
+    a.opi(IntOp::Shr, 9, 5, 1);
+    a.opi(IntOp::Shl, 9, 9, 4);
+    a.op(IntOp::Add, 8, 8, 9);
+    a.opi(IntOp::Shl, 5, 5, 1);
+    a.jmp(stage_loop);
+    a.bind(stages_done);
+
+    // Energy: sum(re² + im²), scaled ×1000, truncated to integer.
+    a.fli(0, 0.0);
+    a.li(5, 0);
+    let e_loop = a.here_label();
+    let e_done = a.label();
+    a.bri(Cond::GeS, 5, N as i32, e_done);
+    a.opi(IntOp::Shl, 10, 5, 4);
+    a.op(IntOp::Add, 10, 3, 10);
+    a.fload(1, 10, 0);
+    a.fload(2, 10, 8);
+    a.falu(FpOp::Mul, 1, 1, 1);
+    a.falu(FpOp::Mul, 2, 2, 2);
+    a.falu(FpOp::Add, 1, 1, 2);
+    a.falu(FpOp::Add, 0, 0, 1);
+    a.opi(IntOp::Add, 5, 5, 1);
+    a.jmp(e_loop);
+    a.bind(e_done);
+    a.fli(1, 1000.0);
+    a.falu(FpOp::Mul, 0, 0, 1);
+    a.cvt_fi(4, 0);
+    a.write_int(4);
+    // Raw bits of bins 5 and 23 (real parts).
+    for bin in [5i32, 23] {
+        a.fload(1, 3, bin * 16);
+        a.fbits(4, 1);
+        a.write_int(4);
+    }
+    a.exit(0);
+}
+
+/// Host reference output (mirrors the simulated operation order exactly).
+pub fn reference() -> Vec<u8> {
+    let sig = input_signal();
+    let mut re: Vec<f64> = sig.clone();
+    let mut im: Vec<f64> = vec![0.0; N];
+    // Bit-reverse (same pair table).
+    let pairs = bit_reverse_pairs();
+    for p in pairs.chunks_exact(2) {
+        re.swap(p[0] as usize, p[1] as usize);
+        im.swap(p[0] as usize, p[1] as usize);
+    }
+    let tw = twiddles();
+    let mut tw_base = 0usize;
+    let mut len = 2usize;
+    while len <= N {
+        let half = len / 2;
+        for k in 0..half {
+            let w_re = tw[tw_base + 2 * k];
+            let w_im = tw[tw_base + 2 * k + 1];
+            let mut idx = k;
+            while idx < N {
+                let (u_re, u_im) = (re[idx], im[idx]);
+                let (x_re, x_im) = (re[idx + half], im[idx + half]);
+                let v_re = x_re * w_re - x_im * w_im;
+                let v_im = x_re * w_im + x_im * w_re;
+                re[idx] = u_re + v_re;
+                im[idx] = u_im + v_im;
+                re[idx + half] = u_re - v_re;
+                im[idx + half] = u_im - v_im;
+                idx += len;
+            }
+        }
+        tw_base += 2 * half;
+        len *= 2;
+    }
+    let mut energy = 0.0f64;
+    for i in 0..N {
+        energy += re[i] * re[i] + im[i] * im[i];
+    }
+    let scaled = (energy * 1000.0).trunc() as i64 as u64;
+    let mut out = format!("{scaled}\n").into_bytes();
+    for bin in [5usize, 23] {
+        out.extend_from_slice(format!("{}\n", re[bin].to_bits()).as_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn reference_finds_the_tones() {
+        // Bins 5 and 23 carry the planted tones: their magnitude should
+        // dominate a quiet bin.
+        let out = String::from_utf8(super::reference()).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let energy: u64 = lines[0].parse().unwrap();
+        assert!(energy > 1_000_000, "signal energy must be large ({energy})");
+        let bin5 = f64::from_bits(lines[1].parse::<u64>().unwrap());
+        assert!(bin5.is_finite());
+    }
+
+    #[test]
+    fn twiddle_layout_is_complete() {
+        // Σ len/2 for len = 2,4,…,N equals N−1 complex twiddles.
+        assert_eq!(super::twiddles().len(), 2 * (super::N - 1));
+    }
+}

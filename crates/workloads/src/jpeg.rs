@@ -1,0 +1,588 @@
+//! `cjpeg` / `djpeg` — JPEG-style compression and decompression.
+//!
+//! The MiBench JPEG pair is dominated by the 8×8 DCT/IDCT (integer
+//! multiply-accumulate), quantization, zigzag reordering, and run-length
+//! coding. Both kernels share an 8×8 fixed-point matrix-multiply
+//! *subroutine* (real call/return traffic):
+//!
+//! * `cjpeg`: for each 8×8 block of a 32×32 image — level-shift, DCT via
+//!   `C·B·Cᵀ`, quantize, zigzag, RLE-encode into an output stream.
+//! * `djpeg`: from host-prepared quantized coefficients — dezigzag,
+//!   dequantize, IDCT via `Cᵀ·X·C`, level-unshift with clamping, rebuild
+//!   the image.
+//!
+//! Outputs: stream length + weighted checksum (cjpeg); image checksum
+//! (djpeg).
+
+use crate::data;
+use difi_isa::asm::Asm;
+use difi_isa::uop::{Cond, IntOp, Width};
+
+const DIM: usize = 48;
+const BLOCKS: usize = (DIM / 8) * (DIM / 8);
+const FX: i64 = 1 << 12;
+const SEED_C: u64 = 0xC1Ae_0006;
+const SEED_D: u64 = 0xD1Ae_0007;
+
+/// The 8×8 DCT basis, scaled by `FX`.
+fn dct_matrix() -> Vec<i32> {
+    let mut c = vec![0i32; 64];
+    for (i, row) in c.chunks_exact_mut(8).enumerate() {
+        for (j, v) in row.iter_mut().enumerate() {
+            let scale = if i == 0 {
+                (1.0f64 / 8.0).sqrt()
+            } else {
+                (2.0f64 / 8.0).sqrt()
+            };
+            let val = scale
+                * ((2.0 * j as f64 + 1.0) * i as f64 * std::f64::consts::PI / 16.0).cos();
+            *v = (val * FX as f64).round() as i32;
+        }
+    }
+    c
+}
+
+fn transpose(m: &[i32]) -> Vec<i32> {
+    let mut t = vec![0i32; 64];
+    for i in 0..8 {
+        for j in 0..8 {
+            t[j * 8 + i] = m[i * 8 + j];
+        }
+    }
+    t
+}
+
+/// JPEG luminance quantization table (quality ~50).
+const QTABLE: [i32; 64] = [
+    16, 11, 10, 16, 24, 40, 51, 61, 12, 12, 14, 19, 26, 58, 60, 55, 14, 13, 16, 24, 40, 57, 69,
+    56, 14, 17, 22, 29, 51, 87, 80, 62, 18, 22, 37, 56, 68, 109, 103, 77, 24, 35, 55, 64, 81,
+    104, 113, 92, 49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99,
+];
+
+/// Zigzag scan order.
+const ZIGZAG: [i32; 64] = [
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
+    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+];
+
+/// Host 8×8 fixed-point matmul: `out = (a · b) >> 12` (i64 accumulate).
+fn mat8(a: &[i64; 64], b: &[i64; 64]) -> [i64; 64] {
+    let mut out = [0i64; 64];
+    for i in 0..8 {
+        for j in 0..8 {
+            let mut acc = 0i64;
+            for (k, bk) in b.iter().skip(j).step_by(8).enumerate() {
+                acc += a[i * 8 + k] * bk;
+            }
+            out[i * 8 + j] = acc >> 12;
+        }
+    }
+    out
+}
+
+fn to64(v: &[i32]) -> [i64; 64] {
+    let mut o = [0i64; 64];
+    for (d, s) in o.iter_mut().zip(v) {
+        *d = *s as i64;
+    }
+    o
+}
+
+/// Host cjpeg: returns the RLE stream.
+fn cjpeg_stream(image: &[u8]) -> Vec<u8> {
+    let c = to64(&dct_matrix());
+    let ct = to64(&transpose(&dct_matrix()));
+    let mut stream = Vec::new();
+    for by in 0..DIM / 8 {
+        for bx in 0..DIM / 8 {
+            let mut block = [0i64; 64];
+            for y in 0..8 {
+                for x in 0..8 {
+                    block[y * 8 + x] =
+                        image[(by * 8 + y) * DIM + bx * 8 + x] as i64 - 128;
+                }
+            }
+            let tmp = mat8(&c, &block);
+            let dct = mat8(&tmp, &ct);
+            // Quantize + zigzag + RLE.
+            let mut run = 0u8;
+            for &zz in ZIGZAG.iter() {
+                let q = dct[zz as usize] / QTABLE[ZIGZAG.iter().position(|&z| z == zz).unwrap()] as i64;
+                if q == 0 {
+                    run = run.saturating_add(1);
+                } else {
+                    stream.push(run);
+                    stream.extend_from_slice(&(q as i16).to_le_bytes());
+                    run = 0;
+                }
+            }
+            stream.push(0xFF); // end-of-block marker
+            stream.push(run);
+        }
+    }
+    stream
+}
+
+/// Emits the shared 8×8 fixed-point matmul subroutine at the current
+/// position; call with r0 = A, r1 = B, r2 = OUT (all 64×i32, row-major).
+/// Clobbers r5..r11. Returns its label.
+fn emit_mat8(a: &mut Asm) -> difi_isa::asm::Label {
+    let entry = a.here_label();
+    // r5 = i, r6 = j, r7 = k, r8 = acc, r9/r10/r11 = temps.
+    a.li(5, 0);
+    let iloop = a.here_label();
+    let idone = a.label();
+    a.bri(Cond::GeS, 5, 8, idone);
+    a.li(6, 0);
+    let jloop = a.here_label();
+    let jdone = a.label();
+    a.bri(Cond::GeS, 6, 8, jdone);
+    a.li(8, 0);
+    a.li(7, 0);
+    let kloop = a.here_label();
+    let kdone = a.label();
+    a.bri(Cond::GeS, 7, 8, kdone);
+    // acc += A[i*8+k] * B[k*8+j]
+    a.opi(IntOp::Shl, 9, 5, 3);
+    a.op(IntOp::Add, 9, 9, 7);
+    a.opi(IntOp::Shl, 9, 9, 2);
+    a.op(IntOp::Add, 9, 0, 9);
+    a.load(Width::B4, true, 9, 9, 0);
+    a.opi(IntOp::Shl, 10, 7, 3);
+    a.op(IntOp::Add, 10, 10, 6);
+    a.opi(IntOp::Shl, 10, 10, 2);
+    a.op(IntOp::Add, 10, 1, 10);
+    a.load(Width::B4, true, 10, 10, 0);
+    a.op(IntOp::Mul, 9, 9, 10);
+    a.op(IntOp::Add, 8, 8, 9);
+    a.opi(IntOp::Add, 7, 7, 1);
+    a.jmp(kloop);
+    a.bind(kdone);
+    a.opi(IntOp::Sar, 8, 8, 12);
+    a.opi(IntOp::Shl, 9, 5, 3);
+    a.op(IntOp::Add, 9, 9, 6);
+    a.opi(IntOp::Shl, 9, 9, 2);
+    a.op(IntOp::Add, 9, 2, 9);
+    a.store(Width::B4, 8, 9, 0);
+    a.opi(IntOp::Add, 6, 6, 1);
+    a.jmp(jloop);
+    a.bind(jdone);
+    a.opi(IntOp::Add, 5, 5, 1);
+    a.jmp(iloop);
+    a.bind(idone);
+    a.ret();
+    entry
+}
+
+/// Emits the cjpeg kernel.
+pub fn emit_cjpeg(a: &mut Asm) {
+    let image = data::image(SEED_C, DIM, DIM);
+    let img_addr = a.data_bytes(&image);
+    let c_addr = a.data_u32s(&dct_matrix().iter().map(|&v| v as u32).collect::<Vec<_>>());
+    let ct_addr = a.data_u32s(
+        &transpose(&dct_matrix())
+            .iter()
+            .map(|&v| v as u32)
+            .collect::<Vec<_>>(),
+    );
+    let q_addr = a.data_u32s(&QTABLE.map(|v| v as u32));
+    let zz_addr = a.data_u32s(&ZIGZAG.map(|v| v as u32));
+    let block_addr = a.bss(64 * 4, 8);
+    let tmp_addr = a.bss(64 * 4, 8);
+    let dct_addr = a.bss(64 * 4, 8);
+    let stream_addr = a.bss(8192, 8);
+    let sp_addr = a.bss(8, 8); // stream write index
+    let blk_addr = a.bss(8, 8); // block counter
+
+    let over_mat8 = a.label();
+    a.jmp(over_mat8);
+    let mat8_label = emit_mat8(a);
+    a.bind(over_mat8);
+
+    a.li(10, 0);
+    a.li(11, sp_addr as i64);
+    a.store(Width::B8, 10, 11, 0);
+    a.li(11, blk_addr as i64);
+    a.store(Width::B8, 10, 11, 0);
+
+    let block_loop = a.here_label();
+    let blocks_done = a.label();
+    a.li(11, blk_addr as i64);
+    a.load(Width::B8, false, 12, 11, 0); // blk
+    a.bri(Cond::GeS, 12, BLOCKS as i32, blocks_done);
+
+    // by = blk / (DIM/8), bx = blk % (DIM/8).
+    a.li(2, (DIM / 8) as i64);
+    a.op(IntOp::DivU, 3, 12, 2); // by
+    a.op(IntOp::RemU, 4, 12, 2); // bx
+    // Load the block: block[y*8+x] = img[(by*8+y)*DIM + bx*8+x] - 128.
+    a.li(5, 0); // y
+    let ly = a.here_label();
+    let ly_done = a.label();
+    a.bri(Cond::GeS, 5, 8, ly_done);
+    a.li(6, 0); // x
+    let lx = a.here_label();
+    let lx_done = a.label();
+    a.bri(Cond::GeS, 6, 8, lx_done);
+    a.opi(IntOp::Shl, 7, 3, 3); // by*8
+    a.op(IntOp::Add, 7, 7, 5); // +y
+    a.opi(IntOp::Mul, 7, 7, DIM as i32);
+    a.opi(IntOp::Shl, 8, 4, 3); // bx*8
+    a.op(IntOp::Add, 7, 7, 8);
+    a.op(IntOp::Add, 7, 7, 6); // +x
+    a.li(8, img_addr as i64);
+    a.op(IntOp::Add, 7, 8, 7);
+    a.load(Width::B1, false, 7, 7, 0);
+    a.opi(IntOp::Sub, 7, 7, 128);
+    a.opi(IntOp::Shl, 8, 5, 3);
+    a.op(IntOp::Add, 8, 8, 6);
+    a.opi(IntOp::Shl, 8, 8, 2);
+    a.li(9, block_addr as i64);
+    a.op(IntOp::Add, 8, 9, 8);
+    a.store(Width::B4, 7, 8, 0);
+    a.opi(IntOp::Add, 6, 6, 1);
+    a.jmp(lx);
+    a.bind(lx_done);
+    a.opi(IntOp::Add, 5, 5, 1);
+    a.jmp(ly);
+    a.bind(ly_done);
+
+    // tmp = C·block ; dct = tmp·Cᵀ.
+    a.li(0, c_addr as i64);
+    a.li(1, block_addr as i64);
+    a.li(2, tmp_addr as i64);
+    a.call(mat8_label);
+    a.li(0, tmp_addr as i64);
+    a.li(1, ct_addr as i64);
+    a.li(2, dct_addr as i64);
+    a.call(mat8_label);
+
+    // Quantize + zigzag + RLE into the stream.
+    a.li(11, sp_addr as i64);
+    a.load(Width::B8, false, 4, 11, 0); // sp
+    a.li(3, 0); // run
+    a.li(5, 0); // t (scan index)
+    let zz = a.here_label();
+    let zz_done = a.label();
+    let nonzero = a.label();
+    let next_t = a.label();
+    a.bri(Cond::GeS, 5, 64, zz_done);
+    a.opi(IntOp::Shl, 6, 5, 2);
+    a.li(7, zz_addr as i64);
+    a.op(IntOp::Add, 6, 7, 6);
+    a.load(Width::B4, false, 6, 6, 0); // zz[t]
+    a.opi(IntOp::Shl, 6, 6, 2);
+    a.li(7, dct_addr as i64);
+    a.op(IntOp::Add, 6, 7, 6);
+    a.load(Width::B4, true, 6, 6, 0); // coeff
+    a.opi(IntOp::Shl, 7, 5, 2);
+    a.li(8, q_addr as i64);
+    a.op(IntOp::Add, 7, 8, 7);
+    a.load(Width::B4, false, 7, 7, 0); // q[t]
+    a.op(IntOp::DivS, 6, 6, 7); // coeff / q
+    a.bri(Cond::Ne, 6, 0, nonzero);
+    a.opi(IntOp::Add, 3, 3, 1);
+    a.jmp(next_t);
+    a.bind(nonzero);
+    // stream[sp++] = run; stream[sp..sp+2] = coeff as i16.
+    a.li(8, stream_addr as i64);
+    a.op(IntOp::Add, 8, 8, 4);
+    a.store(Width::B1, 3, 8, 0);
+    a.store(Width::B2, 6, 8, 1);
+    a.opi(IntOp::Add, 4, 4, 3);
+    a.li(3, 0);
+    a.bind(next_t);
+    a.opi(IntOp::Add, 5, 5, 1);
+    a.jmp(zz);
+    a.bind(zz_done);
+    // End-of-block marker 0xFF + trailing run.
+    a.li(8, stream_addr as i64);
+    a.op(IntOp::Add, 8, 8, 4);
+    a.li(7, 0xFF);
+    a.store(Width::B1, 7, 8, 0);
+    a.store(Width::B1, 3, 8, 1);
+    a.opi(IntOp::Add, 4, 4, 2);
+    a.li(11, sp_addr as i64);
+    a.store(Width::B8, 4, 11, 0);
+
+    a.li(11, blk_addr as i64);
+    a.load(Width::B8, false, 12, 11, 0);
+    a.opi(IntOp::Add, 12, 12, 1);
+    a.store(Width::B8, 12, 11, 0);
+    a.jmp(block_loop);
+    a.bind(blocks_done);
+
+    // Output: stream length + weighted checksum.
+    a.li(11, sp_addr as i64);
+    a.load(Width::B8, false, 4, 11, 0);
+    a.write_int(4);
+    a.li(3, stream_addr as i64);
+    a.li(5, 0);
+    a.li(6, 0);
+    let ck = a.here_label();
+    let ck_done = a.label();
+    a.br(Cond::GeS, 5, 4, ck_done);
+    a.op(IntOp::Add, 10, 3, 5);
+    a.load(Width::B1, false, 11, 10, 0);
+    a.opi(IntOp::And, 2, 5, 15);
+    a.opi(IntOp::Add, 2, 2, 1);
+    a.op(IntOp::Mul, 11, 11, 2);
+    a.op(IntOp::Add, 6, 6, 11);
+    a.opi(IntOp::Add, 5, 5, 1);
+    a.jmp(ck);
+    a.bind(ck_done);
+    a.write_int(6);
+    a.exit(0);
+}
+
+/// Host cjpeg reference output.
+pub fn reference_cjpeg() -> Vec<u8> {
+    let stream = cjpeg_stream(&data::image(SEED_C, DIM, DIM));
+    let mut weighted: u64 = 0;
+    for (i, &b) in stream.iter().enumerate() {
+        weighted = weighted.wrapping_add(((i as u64 & 15) + 1) * b as u64);
+    }
+    format!("{}\n{}\n", stream.len(), weighted).into_bytes()
+}
+
+/// Host-side coefficient preparation for djpeg (quantized, zigzag order,
+/// i32 per entry, per block).
+fn djpeg_coeffs() -> Vec<i32> {
+    let image = data::image(SEED_D, DIM, DIM);
+    let c = to64(&dct_matrix());
+    let ct = to64(&transpose(&dct_matrix()));
+    let mut coeffs = Vec::new();
+    for by in 0..DIM / 8 {
+        for bx in 0..DIM / 8 {
+            let mut block = [0i64; 64];
+            for y in 0..8 {
+                for x in 0..8 {
+                    block[y * 8 + x] =
+                        image[(by * 8 + y) * DIM + bx * 8 + x] as i64 - 128;
+                }
+            }
+            let tmp = mat8(&c, &block);
+            let dct = mat8(&tmp, &ct);
+            for t in 0..64 {
+                coeffs.push((dct[ZIGZAG[t] as usize] / QTABLE[t] as i64) as i32);
+            }
+        }
+    }
+    coeffs
+}
+
+/// Emits the djpeg kernel.
+pub fn emit_djpeg(a: &mut Asm) {
+    let coeffs = djpeg_coeffs();
+    let co_addr = a.data_u32s(&coeffs.iter().map(|&v| v as u32).collect::<Vec<_>>());
+    let c_addr = a.data_u32s(&dct_matrix().iter().map(|&v| v as u32).collect::<Vec<_>>());
+    let ct_addr = a.data_u32s(
+        &transpose(&dct_matrix())
+            .iter()
+            .map(|&v| v as u32)
+            .collect::<Vec<_>>(),
+    );
+    let q_addr = a.data_u32s(&QTABLE.map(|v| v as u32));
+    let zz_addr = a.data_u32s(&ZIGZAG.map(|v| v as u32));
+    let x_addr = a.bss(64 * 4, 8);
+    let tmp_addr = a.bss(64 * 4, 8);
+    let out_addr = a.bss(64 * 4, 8);
+    let img_addr = a.bss((DIM * DIM) as u64, 8);
+    let blk_addr = a.bss(8, 8);
+
+    let over_mat8 = a.label();
+    a.jmp(over_mat8);
+    let mat8_label = emit_mat8(a);
+    a.bind(over_mat8);
+
+    a.li(10, 0);
+    a.li(11, blk_addr as i64);
+    a.store(Width::B8, 10, 11, 0);
+
+    let block_loop = a.here_label();
+    let blocks_done = a.label();
+    a.li(11, blk_addr as i64);
+    a.load(Width::B8, false, 12, 11, 0);
+    a.bri(Cond::GeS, 12, BLOCKS as i32, blocks_done);
+
+    // Dezigzag + dequantize: X[zz[t]] = co[blk*64 + t] * q[t].
+    a.li(5, 0); // t
+    let dq = a.here_label();
+    let dq_done = a.label();
+    a.bri(Cond::GeS, 5, 64, dq_done);
+    a.opi(IntOp::Shl, 6, 12, 6);
+    a.op(IntOp::Add, 6, 6, 5);
+    a.opi(IntOp::Shl, 6, 6, 2);
+    a.li(7, co_addr as i64);
+    a.op(IntOp::Add, 6, 7, 6);
+    a.load(Width::B4, true, 6, 6, 0); // coeff
+    a.opi(IntOp::Shl, 7, 5, 2);
+    a.li(8, q_addr as i64);
+    a.op(IntOp::Add, 7, 8, 7);
+    a.load(Width::B4, false, 7, 7, 0);
+    a.op(IntOp::Mul, 6, 6, 7); // dequantized
+    a.opi(IntOp::Shl, 7, 5, 2);
+    a.li(8, zz_addr as i64);
+    a.op(IntOp::Add, 7, 8, 7);
+    a.load(Width::B4, false, 7, 7, 0); // zz[t]
+    a.opi(IntOp::Shl, 7, 7, 2);
+    a.li(8, x_addr as i64);
+    a.op(IntOp::Add, 7, 8, 7);
+    a.store(Width::B4, 6, 7, 0);
+    a.opi(IntOp::Add, 5, 5, 1);
+    a.jmp(dq);
+    a.bind(dq_done);
+
+    // IDCT: tmp = Cᵀ·X ; out = tmp·C.
+    a.li(0, ct_addr as i64);
+    a.li(1, x_addr as i64);
+    a.li(2, tmp_addr as i64);
+    a.call(mat8_label);
+    a.li(0, tmp_addr as i64);
+    a.li(1, c_addr as i64);
+    a.li(2, out_addr as i64);
+    a.call(mat8_label);
+
+    // Level-unshift with clamping into the image.
+    a.li(2, (DIM / 8) as i64);
+    a.op(IntOp::DivU, 3, 12, 2); // by
+    a.op(IntOp::RemU, 4, 12, 2); // bx
+    a.li(5, 0); // y
+    let sy = a.here_label();
+    let sy_done = a.label();
+    a.bri(Cond::GeS, 5, 8, sy_done);
+    a.li(6, 0); // x
+    let sx = a.here_label();
+    let sx_done = a.label();
+    a.bri(Cond::GeS, 6, 8, sx_done);
+    a.opi(IntOp::Shl, 7, 5, 3);
+    a.op(IntOp::Add, 7, 7, 6);
+    a.opi(IntOp::Shl, 7, 7, 2);
+    a.li(8, out_addr as i64);
+    a.op(IntOp::Add, 7, 8, 7);
+    a.load(Width::B4, true, 7, 7, 0);
+    a.opi(IntOp::Add, 7, 7, 128);
+    // clamp to 0..255
+    let not_low = a.label();
+    let not_high = a.label();
+    a.bri(Cond::GeS, 7, 0, not_low);
+    a.li(7, 0);
+    a.bind(not_low);
+    a.bri(Cond::LeS, 7, 255, not_high);
+    a.li(7, 255);
+    a.bind(not_high);
+    a.opi(IntOp::Shl, 8, 3, 3);
+    a.op(IntOp::Add, 8, 8, 5);
+    a.opi(IntOp::Mul, 8, 8, DIM as i32);
+    a.opi(IntOp::Shl, 9, 4, 3);
+    a.op(IntOp::Add, 8, 8, 9);
+    a.op(IntOp::Add, 8, 8, 6);
+    a.li(9, img_addr as i64);
+    a.op(IntOp::Add, 8, 9, 8);
+    a.store(Width::B1, 7, 8, 0);
+    a.opi(IntOp::Add, 6, 6, 1);
+    a.jmp(sx);
+    a.bind(sx_done);
+    a.opi(IntOp::Add, 5, 5, 1);
+    a.jmp(sy);
+    a.bind(sy_done);
+
+    a.li(11, blk_addr as i64);
+    a.load(Width::B8, false, 12, 11, 0);
+    a.opi(IntOp::Add, 12, 12, 1);
+    a.store(Width::B8, 12, 11, 0);
+    a.jmp(block_loop);
+    a.bind(blocks_done);
+
+    // Image checksum (weighted + plain).
+    a.li(3, img_addr as i64);
+    a.li(5, 0);
+    a.li(6, 0);
+    a.li(7, 0);
+    let ck = a.here_label();
+    let ck_done = a.label();
+    a.bri(Cond::GeS, 5, (DIM * DIM) as i32, ck_done);
+    a.op(IntOp::Add, 10, 3, 5);
+    a.load(Width::B1, false, 11, 10, 0);
+    a.op(IntOp::Add, 7, 7, 11);
+    a.opi(IntOp::And, 2, 5, 15);
+    a.opi(IntOp::Add, 2, 2, 1);
+    a.op(IntOp::Mul, 11, 11, 2);
+    a.op(IntOp::Add, 6, 6, 11);
+    a.opi(IntOp::Add, 5, 5, 1);
+    a.jmp(ck);
+    a.bind(ck_done);
+    a.write_int(6);
+    a.write_int(7);
+    a.exit(0);
+}
+
+/// Host djpeg reference output.
+pub fn reference_djpeg() -> Vec<u8> {
+    let coeffs = djpeg_coeffs();
+    let c = to64(&dct_matrix());
+    let ct = to64(&transpose(&dct_matrix()));
+    let mut img = vec![0u8; DIM * DIM];
+    for blk in 0..BLOCKS {
+        let mut x = [0i64; 64];
+        for t in 0..64 {
+            x[ZIGZAG[t] as usize] = coeffs[blk * 64 + t] as i64 * QTABLE[t] as i64;
+        }
+        let tmp = mat8(&ct, &x);
+        let out = mat8(&tmp, &c);
+        let (by, bx) = (blk / (DIM / 8), blk % (DIM / 8));
+        for y in 0..8 {
+            for xx in 0..8 {
+                let v = (out[y * 8 + xx] + 128).clamp(0, 255) as u8;
+                img[(by * 8 + y) * DIM + bx * 8 + xx] = v;
+            }
+        }
+    }
+    let mut weighted: u64 = 0;
+    let mut plain: u64 = 0;
+    for (i, &v) in img.iter().enumerate() {
+        weighted += ((i as u64 & 15) + 1) * v as u64;
+        plain += v as u64;
+    }
+    format!("{weighted}\n{plain}\n").into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dct_matrix_is_orthonormal_in_fixed_point() {
+        // C · Cᵀ ≈ FX²-scaled identity: mat8(C, Cᵀ) >> 12 ≈ FX on the
+        // diagonal, ~0 elsewhere.
+        let c = to64(&dct_matrix());
+        let ct = to64(&transpose(&dct_matrix()));
+        let prod = mat8(&c, &ct);
+        for i in 0..8 {
+            for j in 0..8 {
+                let v = prod[i * 8 + j];
+                if i == j {
+                    assert!((v - FX).abs() < 80, "diag {v}");
+                } else {
+                    assert!(v.abs() < 80, "off-diag {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cjpeg_stream_is_compressive() {
+        let s = cjpeg_stream(&data::image(SEED_C, DIM, DIM));
+        assert!(s.len() > BLOCKS * 2, "markers present");
+        assert!(s.len() < DIM * DIM * 3, "smaller than raw-ish");
+    }
+
+    #[test]
+    fn rle_stream_roundtrip_header() {
+        // Every block ends with 0xFF marker; count them.
+        let s = cjpeg_stream(&data::image(SEED_C, DIM, DIM));
+        let markers = s.iter().filter(|&&b| b == 0xFF).count();
+        assert!(markers >= BLOCKS);
+    }
+}

@@ -1,0 +1,163 @@
+//! `search` — Boyer–Moore–Horspool multi-pattern search over a 16 KiB text.
+//!
+//! MiBench's `search` (Pratt–Boyer–Moore) is dominated by byte compares and
+//! shift-table lookups. Four 8-byte patterns are searched; two are extracted
+//! from the text (guaranteed hits), two are synthetic (rare/absent).
+//!
+//! Output: per-pattern match counts, then the sum of all match positions.
+
+use crate::data;
+use difi_isa::asm::Asm;
+use difi_isa::uop::{Cond, IntOp, Width};
+
+const TEXT_LEN: usize = 32 * 1024;
+const M: usize = 8;
+const SEED: u64 = 0x5EA2_0002;
+
+fn patterns(text: &[u8]) -> Vec<Vec<u8>> {
+    vec![
+        text[1000..1000 + M].to_vec(),
+        text[9000..9000 + M].to_vec(),
+        b"etaoinsh".to_vec(),
+        b"zzqqxxjj".to_vec(),
+    ]
+}
+
+/// Emits the kernel.
+pub fn emit(a: &mut Asm) {
+    let text = data::text(SEED, TEXT_LEN);
+    let pats = patterns(&text);
+    let text_addr = a.data_bytes(&text);
+    let pat_addrs: Vec<u64> = pats.iter().map(|p| a.data_bytes(p)).collect();
+    let shift = a.bss(256 * 8, 8);
+    let possum_addr = a.bss(8, 8);
+
+    // r3 = text, r4 = pattern, r5 = shift table, r6 = pos, r7 = limit.
+    a.li(5, shift as i64);
+    a.li(10, 0);
+    a.store(Width::B8, 10, 5, 0); // (possum init below)
+    a.li(11, possum_addr as i64);
+    a.store(Width::B8, 10, 11, 0);
+
+    for &pat in &pat_addrs {
+        // Build the shift table: all = M, then pat bytes.
+        a.li(6, 0);
+        let fill = a.here_label();
+        let fill_done = a.label();
+        a.bri(Cond::GeS, 6, 256, fill_done);
+        a.opi(IntOp::Shl, 10, 6, 3);
+        a.op(IntOp::Add, 10, 5, 10);
+        a.li(11, M as i64);
+        a.store(Width::B8, 11, 10, 0);
+        a.opi(IntOp::Add, 6, 6, 1);
+        a.jmp(fill);
+        a.bind(fill_done);
+
+        a.li(4, pat as i64);
+        a.li(6, 0);
+        let pfill = a.here_label();
+        let pfill_done = a.label();
+        a.bri(Cond::GeS, 6, (M - 1) as i32, pfill_done);
+        a.op(IntOp::Add, 10, 4, 6);
+        a.load(Width::B1, false, 11, 10, 0); // pat[k]
+        a.opi(IntOp::Shl, 11, 11, 3);
+        a.op(IntOp::Add, 11, 5, 11);
+        a.li(2, (M - 1) as i64);
+        a.op(IntOp::Sub, 2, 2, 6); // M-1-k
+        a.store(Width::B8, 2, 11, 0);
+        a.opi(IntOp::Add, 6, 6, 1);
+        a.jmp(pfill);
+        a.bind(pfill_done);
+
+        // Search.
+        a.li(3, text_addr as i64);
+        a.li(6, 0); // pos
+        a.li(7, (TEXT_LEN - M) as i64); // inclusive limit
+        a.li(12, 0); // count
+        let scan = a.here_label();
+        let scan_done = a.label();
+        let no_match = a.label();
+        let advance = a.label();
+        a.br(Cond::GtS, 6, 7, scan_done);
+        // c = text[pos + M - 1]
+        a.op(IntOp::Add, 10, 3, 6);
+        a.load(Width::B1, false, 11, 10, (M - 1) as i32);
+        // Tail byte check then full backward compare.
+        a.load(Width::B1, false, 2, 4, (M - 1) as i32);
+        a.br(Cond::Ne, 11, 2, advance);
+        // Full compare, k = M-2 .. 0.
+        a.li(2, (M - 2) as i64);
+        let cmp = a.here_label();
+        let matched = a.label();
+        a.bri(Cond::LtS, 2, 0, matched);
+        a.op(IntOp::Add, 1, 10, 2);
+        a.load(Width::B1, false, 1, 1, 0); // text[pos+k] (r1 reused)
+        a.op(IntOp::Add, 0, 4, 2);
+        a.load(Width::B1, false, 0, 0, 0); // pat[k]
+        a.br(Cond::Ne, 1, 0, no_match);
+        a.opi(IntOp::Sub, 2, 2, 1);
+        a.jmp(cmp);
+        a.bind(matched);
+        a.opi(IntOp::Add, 12, 12, 1);
+        a.li(1, possum_addr as i64);
+        a.load(Width::B8, false, 0, 1, 0);
+        a.op(IntOp::Add, 0, 0, 6);
+        a.store(Width::B8, 0, 1, 0);
+        a.bind(no_match);
+        a.bind(advance);
+        // pos += shift[text[pos+M-1]] — reload the tail byte.
+        a.op(IntOp::Add, 10, 3, 6);
+        a.load(Width::B1, false, 11, 10, (M - 1) as i32);
+        a.opi(IntOp::Shl, 11, 11, 3);
+        a.op(IntOp::Add, 11, 5, 11);
+        a.load(Width::B8, false, 11, 11, 0);
+        a.op(IntOp::Add, 6, 6, 11);
+        a.jmp(scan);
+        a.bind(scan_done);
+        a.write_int(12);
+    }
+    a.li(1, possum_addr as i64);
+    a.load(Width::B8, false, 4, 1, 0);
+    a.write_int(4);
+    a.exit(0);
+}
+
+/// Host reference output.
+pub fn reference() -> Vec<u8> {
+    let text = data::text(SEED, TEXT_LEN);
+    let pats = patterns(&text);
+    let mut out = Vec::new();
+    let mut possum: u64 = 0;
+    for pat in &pats {
+        let mut shift = [M as u64; 256];
+        for (k, &b) in pat.iter().take(M - 1).enumerate() {
+            shift[b as usize] = (M - 1 - k) as u64;
+        }
+        let mut count: u64 = 0;
+        let mut pos: i64 = 0;
+        while pos <= (TEXT_LEN - M) as i64 {
+            let c = text[pos as usize + M - 1];
+            if c == pat[M - 1] && text[pos as usize..pos as usize + M] == pat[..] {
+                count += 1;
+                possum += pos as u64;
+            }
+            pos += shift[c as usize] as i64;
+        }
+        out.extend_from_slice(format!("{count}\n").as_bytes());
+    }
+    out.extend_from_slice(format!("{possum}\n").as_bytes());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn reference_finds_planted_patterns() {
+        let out = String::from_utf8(super::reference()).unwrap();
+        let counts: Vec<u64> = out.lines().map(|l| l.parse().unwrap()).collect();
+        assert_eq!(counts.len(), 5);
+        assert!(counts[0] >= 1, "extracted pattern 1 must match");
+        assert!(counts[1] >= 1, "extracted pattern 2 must match");
+        assert_eq!(counts[3], 0, "absent pattern must not match");
+    }
+}

@@ -1,0 +1,155 @@
+//! `qsort` — iterative quicksort of 1024 random `u32` words.
+//!
+//! MiBench's qsort is the classic branchy, swap-heavy, data-dependent
+//! kernel. This version uses Lomuto partitioning with an explicit stack in
+//! simulated memory (recursion depth → real stack traffic).
+//!
+//! Output: a position-weighted checksum of the sorted array, then the first,
+//! middle and last elements.
+
+use crate::data;
+use difi_isa::asm::Asm;
+use difi_isa::uop::{Cond, IntOp, Width};
+
+const N: usize = 4096;
+const SEED: u64 = 0x9071_0001;
+
+/// Emits the kernel.
+pub fn emit(a: &mut Asm) {
+    let arr = a.data_u32s(&data::words(SEED, N));
+    let stack = a.bss((4 * N) as u64 * 8, 8);
+
+    // r3 = arr, r12 = stack base, r4 = stack index (in entries).
+    a.li(3, arr as i64);
+    a.li(12, stack as i64);
+    a.li(4, 0);
+
+    // push (0, N-1)
+    a.li(10, 0);
+    a.store(Width::B8, 10, 12, 0);
+    a.li(10, (N - 1) as i64);
+    a.store(Width::B8, 10, 12, 8);
+    a.li(4, 2);
+
+    let main_loop = a.here_label();
+    let done = a.label();
+    let skip = a.label();
+    a.bri(Cond::Eq, 4, 0, done);
+    // pop hi, lo
+    a.opi(IntOp::Sub, 4, 4, 2);
+    a.opi(IntOp::Shl, 10, 4, 3); // byte offset = sp*8
+    a.op(IntOp::Add, 10, 12, 10);
+    a.load(Width::B8, false, 5, 10, 0); // lo
+    a.load(Width::B8, false, 6, 10, 8); // hi
+    a.br(Cond::GeS, 5, 6, main_loop); // lo >= hi → next
+
+    // pivot = arr[hi]
+    a.opi(IntOp::Shl, 10, 6, 2);
+    a.op(IntOp::Add, 10, 3, 10);
+    a.load(Width::B4, false, 9, 10, 0); // pivot
+    // i = lo - 1 ; j = lo
+    a.opi(IntOp::Sub, 7, 5, 1);
+    a.mov(8, 5);
+    let part_loop = a.here_label();
+    let no_swap = a.label();
+    a.br(Cond::GeS, 8, 6, skip); // j >= hi → partition done
+    a.opi(IntOp::Shl, 10, 8, 2);
+    a.op(IntOp::Add, 10, 3, 10);
+    a.load(Width::B4, false, 11, 10, 0); // arr[j]
+    a.br(Cond::GtU, 11, 9, no_swap);
+    // i++; swap arr[i], arr[j]
+    a.opi(IntOp::Add, 7, 7, 1);
+    a.opi(IntOp::Shl, 10, 7, 2);
+    a.op(IntOp::Add, 10, 3, 10);
+    a.load(Width::B4, false, 2, 10, 0); // arr[i] (r2 free between syscalls)
+    a.store(Width::B4, 11, 10, 0); // arr[i] = arr[j]
+    a.opi(IntOp::Shl, 10, 8, 2);
+    a.op(IntOp::Add, 10, 3, 10);
+    a.store(Width::B4, 2, 10, 0); // arr[j] = old arr[i]
+    a.bind(no_swap);
+    a.opi(IntOp::Add, 8, 8, 1);
+    a.jmp(part_loop);
+
+    a.bind(skip);
+    // i++; swap arr[i], arr[hi]
+    a.opi(IntOp::Add, 7, 7, 1);
+    a.opi(IntOp::Shl, 10, 7, 2);
+    a.op(IntOp::Add, 10, 3, 10);
+    a.load(Width::B4, false, 2, 10, 0); // arr[i]
+    a.opi(IntOp::Shl, 11, 6, 2);
+    a.op(IntOp::Add, 11, 3, 11);
+    a.load(Width::B4, false, 1, 11, 0); // arr[hi]
+    a.store(Width::B4, 1, 10, 0);
+    a.store(Width::B4, 2, 11, 0);
+
+    // push (lo, i-1)
+    a.opi(IntOp::Shl, 10, 4, 3);
+    a.op(IntOp::Add, 10, 12, 10);
+    a.store(Width::B8, 5, 10, 0);
+    a.opi(IntOp::Sub, 11, 7, 1);
+    a.store(Width::B8, 11, 10, 8);
+    // push (i+1, hi)
+    a.opi(IntOp::Add, 11, 7, 1);
+    a.store(Width::B8, 11, 10, 16);
+    a.store(Width::B8, 6, 10, 24);
+    a.opi(IntOp::Add, 4, 4, 4);
+    a.jmp(main_loop);
+
+    a.bind(done);
+    // Weighted checksum: sum arr[k] * (k+1).
+    a.li(5, 0); // k
+    a.li(6, 0); // sum
+    let ck = a.here_label();
+    let ck_done = a.label();
+    a.bri(Cond::GeS, 5, N as i32, ck_done);
+    a.opi(IntOp::Shl, 10, 5, 2);
+    a.op(IntOp::Add, 10, 3, 10);
+    a.load(Width::B4, false, 11, 10, 0);
+    a.opi(IntOp::Add, 2, 5, 1);
+    a.op(IntOp::Mul, 11, 11, 2);
+    a.op(IntOp::Add, 6, 6, 11);
+    a.opi(IntOp::Add, 5, 5, 1);
+    a.jmp(ck);
+    a.bind(ck_done);
+    a.write_int(6);
+    // arr[0], arr[N/2], arr[N-1]
+    a.load(Width::B4, false, 5, 3, 0);
+    a.write_int(5);
+    a.load(Width::B4, false, 5, 3, (N / 2 * 4) as i32);
+    a.write_int(5);
+    a.load(Width::B4, false, 5, 3, ((N - 1) * 4) as i32);
+    a.write_int(5);
+    a.exit(0);
+}
+
+/// Host reference output.
+pub fn reference() -> Vec<u8> {
+    let mut arr = data::words(SEED, N);
+    arr.sort_unstable();
+    let mut sum: u64 = 0;
+    for (k, &v) in arr.iter().enumerate() {
+        sum = sum.wrapping_add(v as u64 * (k as u64 + 1));
+    }
+    let mut out = Vec::new();
+    for v in [sum, arr[0] as u64, arr[N / 2] as u64, arr[N - 1] as u64] {
+        out.extend_from_slice(format!("{v}\n").as_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_is_sorted_checksum() {
+        let out = reference();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        let first: u64 = lines[1].parse().unwrap();
+        let mid: u64 = lines[2].parse().unwrap();
+        let last: u64 = lines[3].parse().unwrap();
+        assert!(first <= mid && mid <= last);
+    }
+}

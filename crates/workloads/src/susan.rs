@@ -1,0 +1,333 @@
+//! `smooth`, `edge`, `corner` — SUSAN-style image kernels on a 64×64
+//! grayscale image.
+//!
+//! MiBench's susan family is load-dominated neighbourhood processing:
+//! * **smooth** — 3×3 mean filter;
+//! * **edge** — Sobel gradient magnitude with a threshold;
+//! * **corner** — Harris-style response from windowed gradient products.
+//!
+//! Outputs are weighted checksums (plus feature counts for edge/corner).
+
+use crate::data;
+use difi_isa::asm::Asm;
+use difi_isa::uop::{Cond, IntOp, Width};
+
+const W: usize = 96;
+const H: usize = 96;
+const SEED: u64 = 0x1F4A_0004;
+
+fn img() -> Vec<u8> {
+    data::image(SEED, W, H)
+}
+
+/// Position-weighted checksum used by all three kernels.
+fn weight(i: usize) -> u64 {
+    ((i & 15) + 1) as u64
+}
+
+/// Emits the smoothing kernel.
+pub fn emit_smooth(a: &mut Asm) {
+    let src = a.data_bytes(&img());
+    let dst = a.bss((W * H) as u64, 8);
+    // r3 = src, r4 = dst, r5 = y, r6 = x.
+    a.li(3, src as i64);
+    a.li(4, dst as i64);
+    a.li(5, 1);
+    let yloop = a.here_label();
+    let ydone = a.label();
+    a.bri(Cond::GeS, 5, (H - 1) as i32, ydone);
+    a.li(6, 1);
+    let xloop = a.here_label();
+    let xdone = a.label();
+    a.bri(Cond::GeS, 6, (W - 1) as i32, xdone);
+    // sum 3×3 neighbourhood into r7.
+    a.li(7, 0);
+    a.opi(IntOp::Mul, 10, 5, W as i32);
+    a.op(IntOp::Add, 10, 10, 6);
+    a.op(IntOp::Add, 10, 3, 10); // &src[y*W+x]
+    for dy in -1i32..=1 {
+        for dx in -1i32..=1 {
+            a.load(Width::B1, false, 11, 10, dy * W as i32 + dx);
+            a.op(IntOp::Add, 7, 7, 11);
+        }
+    }
+    a.li(11, 9);
+    a.op(IntOp::DivU, 7, 7, 11);
+    a.opi(IntOp::Mul, 10, 5, W as i32);
+    a.op(IntOp::Add, 10, 10, 6);
+    a.op(IntOp::Add, 10, 4, 10);
+    a.store(Width::B1, 7, 10, 0);
+    a.opi(IntOp::Add, 6, 6, 1);
+    a.jmp(xloop);
+    a.bind(xdone);
+    a.opi(IntOp::Add, 5, 5, 1);
+    a.jmp(yloop);
+    a.bind(ydone);
+
+    // Checksum the interior of dst.
+    a.li(5, 0); // i
+    a.li(7, 0); // sum
+    a.li(8, 0); // plain sum
+    let ck = a.here_label();
+    let ck_done = a.label();
+    a.bri(Cond::GeS, 5, (W * H) as i32, ck_done);
+    a.op(IntOp::Add, 10, 4, 5);
+    a.load(Width::B1, false, 11, 10, 0);
+    a.op(IntOp::Add, 8, 8, 11);
+    a.opi(IntOp::And, 2, 5, 15);
+    a.opi(IntOp::Add, 2, 2, 1);
+    a.op(IntOp::Mul, 11, 11, 2);
+    a.op(IntOp::Add, 7, 7, 11);
+    a.opi(IntOp::Add, 5, 5, 1);
+    a.jmp(ck);
+    a.bind(ck_done);
+    a.write_int(7);
+    a.write_int(8);
+    a.exit(0);
+}
+
+/// Host reference for smooth.
+pub fn reference_smooth() -> Vec<u8> {
+    let src = img();
+    let mut dst = vec![0u8; W * H];
+    for y in 1..H - 1 {
+        for x in 1..W - 1 {
+            let mut sum = 0u64;
+            for dy in -1i64..=1 {
+                for dx in -1i64..=1 {
+                    sum += src[((y as i64 + dy) * W as i64 + x as i64 + dx) as usize] as u64;
+                }
+            }
+            dst[y * W + x] = (sum / 9) as u8;
+        }
+    }
+    let mut wsum = 0u64;
+    let mut psum = 0u64;
+    for (i, &v) in dst.iter().enumerate() {
+        wsum += v as u64 * weight(i);
+        psum += v as u64;
+    }
+    format!("{wsum}\n{psum}\n").into_bytes()
+}
+
+/// Emits the Sobel edge kernel.
+pub fn emit_edge(a: &mut Asm) {
+    let src = a.data_bytes(&img());
+    // r3 = src, r5 = y, r6 = x, r7 = count, r8 = checksum.
+    a.li(3, src as i64);
+    a.li(7, 0);
+    a.li(8, 0);
+    a.li(5, 1);
+    let yloop = a.here_label();
+    let ydone = a.label();
+    a.bri(Cond::GeS, 5, (H - 1) as i32, ydone);
+    a.li(6, 1);
+    let xloop = a.here_label();
+    let xdone = a.label();
+    a.bri(Cond::GeS, 6, (W - 1) as i32, xdone);
+    a.opi(IntOp::Mul, 10, 5, W as i32);
+    a.op(IntOp::Add, 10, 10, 6);
+    a.op(IntOp::Add, 10, 3, 10); // &src[y*W+x]
+    // gx = (p[-1-W]+2p[-1]+p[-1+W]) - (p[1-W]+2p[1]+p[1+W])  … r11
+    // (signed arithmetic in 64-bit registers; pixels are zero-extended)
+    let wi = W as i32;
+    a.load(Width::B1, false, 11, 10, -1 - wi);
+    a.load(Width::B1, false, 2, 10, -1);
+    a.opi(IntOp::Shl, 2, 2, 1);
+    a.op(IntOp::Add, 11, 11, 2);
+    a.load(Width::B1, false, 2, 10, -1 + wi);
+    a.op(IntOp::Add, 11, 11, 2);
+    a.load(Width::B1, false, 2, 10, 1 - wi);
+    a.op(IntOp::Sub, 11, 11, 2);
+    a.load(Width::B1, false, 2, 10, 1);
+    a.opi(IntOp::Shl, 2, 2, 1);
+    a.op(IntOp::Sub, 11, 11, 2);
+    a.load(Width::B1, false, 2, 10, 1 + wi);
+    a.op(IntOp::Sub, 11, 11, 2);
+    // gy similar (rows) … r12
+    a.load(Width::B1, false, 12, 10, -wi - 1);
+    a.load(Width::B1, false, 2, 10, -wi);
+    a.opi(IntOp::Shl, 2, 2, 1);
+    a.op(IntOp::Add, 12, 12, 2);
+    a.load(Width::B1, false, 2, 10, -wi + 1);
+    a.op(IntOp::Add, 12, 12, 2);
+    a.load(Width::B1, false, 2, 10, wi - 1);
+    a.op(IntOp::Sub, 12, 12, 2);
+    a.load(Width::B1, false, 2, 10, wi);
+    a.opi(IntOp::Shl, 2, 2, 1);
+    a.op(IntOp::Sub, 12, 12, 2);
+    a.load(Width::B1, false, 2, 10, wi + 1);
+    a.op(IntOp::Sub, 12, 12, 2);
+    // |gx| + |gy| via conditional negation.
+    for r in [11u8, 12] {
+        let nonneg = a.label();
+        a.bri(Cond::GeS, r, 0, nonneg);
+        a.li(2, 0);
+        a.op(IntOp::Sub, r, 2, r);
+        a.bind(nonneg);
+    }
+    a.op(IntOp::Add, 11, 11, 12);
+    a.op(IntOp::Add, 8, 8, 11); // checksum += mag
+    let below = a.label();
+    a.bri(Cond::LtS, 11, 96, below);
+    a.opi(IntOp::Add, 7, 7, 1);
+    a.bind(below);
+    a.opi(IntOp::Add, 6, 6, 1);
+    a.jmp(xloop);
+    a.bind(xdone);
+    a.opi(IntOp::Add, 5, 5, 1);
+    a.jmp(yloop);
+    a.bind(ydone);
+    a.write_int(7);
+    a.write_int(8);
+    a.exit(0);
+}
+
+/// Host reference for edge.
+pub fn reference_edge() -> Vec<u8> {
+    let src = img();
+    let p = |x: i64, y: i64| src[(y * W as i64 + x) as usize] as i64;
+    let mut count = 0u64;
+    let mut sum = 0u64;
+    for y in 1..(H - 1) as i64 {
+        for x in 1..(W - 1) as i64 {
+            let gx = p(x - 1, y - 1) + 2 * p(x - 1, y) + p(x - 1, y + 1)
+                - p(x + 1, y - 1)
+                - 2 * p(x + 1, y)
+                - p(x + 1, y + 1);
+            let gy = p(x - 1, y - 1) + 2 * p(x, y - 1) + p(x + 1, y - 1)
+                - p(x - 1, y + 1)
+                - 2 * p(x, y + 1)
+                - p(x + 1, y + 1);
+            let mag = gx.abs() + gy.abs();
+            sum += mag as u64;
+            if mag >= 96 {
+                count += 1;
+            }
+        }
+    }
+    format!("{count}\n{sum}\n").into_bytes()
+}
+
+/// Emits the Harris-style corner kernel.
+pub fn emit_corner(a: &mut Asm) {
+    let src = a.data_bytes(&img());
+    let sums = a.bss(3 * 8, 8); // sxx, syy, sxy scratch
+    // r3 = src, r5 = y, r6 = x, r7 = corner count, r8 = response checksum.
+    a.li(3, src as i64);
+    a.li(7, 0);
+    a.li(8, 0);
+    a.li(5, 2);
+    let yloop = a.here_label();
+    let ydone = a.label();
+    a.bri(Cond::GeS, 5, (H - 2) as i32, ydone);
+    a.li(6, 2);
+    let xloop = a.here_label();
+    let xdone = a.label();
+    a.bri(Cond::GeS, 6, (W - 2) as i32, xdone);
+    // Zero the windowed sums.
+    a.li(2, sums as i64);
+    a.li(1, 0);
+    a.store(Width::B8, 1, 2, 0);
+    a.store(Width::B8, 1, 2, 8);
+    a.store(Width::B8, 1, 2, 16);
+    let wi = W as i32;
+    for dy in -1i32..=1 {
+        for dx in -1i32..=1 {
+            // gx, gy by central differences at (x+dx, y+dy).
+            a.opi(IntOp::Mul, 10, 5, wi);
+            a.op(IntOp::Add, 10, 10, 6);
+            a.op(IntOp::Add, 10, 3, 10);
+            let off = dy * wi + dx;
+            a.load(Width::B1, false, 11, 10, off + 1);
+            a.load(Width::B1, false, 2, 10, off - 1);
+            a.op(IntOp::Sub, 11, 11, 2); // gx
+            a.load(Width::B1, false, 12, 10, off + wi);
+            a.load(Width::B1, false, 2, 10, off - wi);
+            a.op(IntOp::Sub, 12, 12, 2); // gy
+            a.li(2, sums as i64);
+            a.op(IntOp::Mul, 1, 11, 11);
+            a.load(Width::B8, false, 0, 2, 0);
+            a.op(IntOp::Add, 0, 0, 1);
+            a.store(Width::B8, 0, 2, 0); // sxx
+            a.op(IntOp::Mul, 1, 12, 12);
+            a.load(Width::B8, false, 0, 2, 8);
+            a.op(IntOp::Add, 0, 0, 1);
+            a.store(Width::B8, 0, 2, 8); // syy
+            a.op(IntOp::Mul, 1, 11, 12);
+            a.load(Width::B8, false, 0, 2, 16);
+            a.op(IntOp::Add, 0, 0, 1);
+            a.store(Width::B8, 0, 2, 16); // sxy
+        }
+    }
+    // response = sxx*syy - sxy^2 - ((sxx+syy)^2 >> 5)
+    a.li(2, sums as i64);
+    a.load(Width::B8, false, 10, 2, 0);
+    a.load(Width::B8, false, 11, 2, 8);
+    a.load(Width::B8, false, 12, 2, 16);
+    a.op(IntOp::Mul, 1, 10, 11);
+    a.op(IntOp::Mul, 0, 12, 12);
+    a.op(IntOp::Sub, 1, 1, 0);
+    a.op(IntOp::Add, 10, 10, 11);
+    a.op(IntOp::Mul, 10, 10, 10);
+    a.opi(IntOp::Sar, 10, 10, 5);
+    a.op(IntOp::Sub, 1, 1, 10); // response
+    let not_corner = a.label();
+    a.li(2, 500_000);
+    a.br(Cond::LtS, 1, 2, not_corner);
+    a.opi(IntOp::Add, 7, 7, 1);
+    a.op(IntOp::Add, 8, 8, 1); // checksum accumulates responses of corners
+    a.bind(not_corner);
+    a.opi(IntOp::Add, 6, 6, 1);
+    a.jmp(xloop);
+    a.bind(xdone);
+    a.opi(IntOp::Add, 5, 5, 1);
+    a.jmp(yloop);
+    a.bind(ydone);
+    a.write_int(7);
+    a.write_int(8);
+    a.exit(0);
+}
+
+/// Host reference for corner.
+pub fn reference_corner() -> Vec<u8> {
+    let src = img();
+    let p = |x: i64, y: i64| src[(y * W as i64 + x) as usize] as i64;
+    let mut count = 0u64;
+    let mut sum = 0u64;
+    for y in 2..(H - 2) as i64 {
+        for x in 2..(W - 2) as i64 {
+            let (mut sxx, mut syy, mut sxy) = (0i64, 0i64, 0i64);
+            for dy in -1..=1 {
+                for dx in -1..=1 {
+                    let gx = p(x + dx + 1, y + dy) - p(x + dx - 1, y + dy);
+                    let gy = p(x + dx, y + dy + 1) - p(x + dx, y + dy - 1);
+                    sxx += gx * gx;
+                    syy += gy * gy;
+                    sxy += gx * gy;
+                }
+            }
+            let response = sxx * syy - sxy * sxy - ((sxx + syy) * (sxx + syy) >> 5);
+            if response >= 500_000 {
+                count += 1;
+                sum = sum.wrapping_add(response as u64);
+            }
+        }
+    }
+    format!("{count}\n{sum}\n").into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn references_are_nontrivial() {
+        let e = String::from_utf8(super::reference_edge()).unwrap();
+        let edges: u64 = e.lines().next().unwrap().parse().unwrap();
+        assert!(edges > 20, "the image must contain edges (got {edges})");
+        let c = String::from_utf8(super::reference_corner()).unwrap();
+        let corners: u64 = c.lines().next().unwrap().parse().unwrap();
+        assert!(corners > 0, "the image must contain corners");
+        let s = super::reference_smooth();
+        assert!(!s.is_empty());
+    }
+}

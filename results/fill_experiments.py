@@ -1,0 +1,24 @@
+#!/usr/bin/env python3
+"""Fill EXPERIMENTS.md placeholders from results/experiments_raw.txt."""
+import re, sys, pathlib
+
+root = pathlib.Path(__file__).resolve().parent.parent
+raw = (root / "results/experiments_raw.txt").read_text()
+exp = (root / "EXPERIMENTS.md").read_text()
+
+# Figures: capture each "Fig. N — ..." block's AVERAGE lines + deltas.
+figs = []
+for m in re.finditer(r"(Fig\. \d — [^\n]+)\n(.*?)\n\[(\d+) injections/cell", raw, re.S):
+    title, body, n = m.group(1), m.group(2), m.group(3)
+    avg = [l for l in body.splitlines() if l.startswith("AVERAGE") or l.startswith("avg vulnerability") or l.startswith("deltas:")]
+    figs.append(f"### {title}  ({n} injections/cell)\n\n```\n" + "\n".join(avg) + "\n```\n")
+exp = exp.replace("<!-- MEASURED-FIGURES -->", "\n".join(figs) if figs else "_(run did not complete; see results/experiments_raw.txt)_")
+
+speed = "\n".join(l for l in raw.splitlines() if "saved" in l and "wall" in l)
+exp = exp.replace("<!-- MEASURED-SPEEDUP -->", f"```\n{speed}\n```" if speed else "_(not captured)_")
+
+over = "\n".join(l for l in raw.splitlines() if "perf-only" in l and "+" in l)
+exp = exp.replace("<!-- MEASURED-OVERHEAD -->", f"```\n{over}\n```" if over else "_(not captured)_")
+
+(root / "EXPERIMENTS.md").write_text(exp)
+print(f"filled: {len(figs)} figures, speedup={'y' if speed else 'n'}, overhead={'y' if over else 'n'}")

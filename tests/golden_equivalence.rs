@@ -1,0 +1,73 @@
+//! The workspace's central correctness gate: every benchmark of the study,
+//! run fault-free on every detailed simulator configuration, must be
+//! architecturally identical to the functional emulator (which the workload
+//! tests in turn pin to host-side reference implementations).
+
+use difi::prelude::*;
+use difi::isa::emu::{EmuExit, Emulator};
+
+fn golden_matches(bench: Bench, dispatcher: &dyn InjectorDispatcher) {
+    let program = build(bench, dispatcher.isa()).expect("benchmark assembles");
+    let emu = Emulator::new(&program).run(200_000_000);
+    assert_eq!(
+        emu.exit,
+        EmuExit::Exited(0),
+        "{bench}/{}: emulator reference must complete",
+        dispatcher.name()
+    );
+    let raw = golden_run(dispatcher, &program, 200_000_000);
+    assert_eq!(
+        raw.status,
+        RunStatus::Completed { exit_code: 0 },
+        "{bench}/{}: pipeline must complete (got {:?})",
+        dispatcher.name(),
+        raw.status
+    );
+    assert_eq!(
+        raw.output,
+        emu.output,
+        "{bench}/{}: pipeline output differs from architectural reference",
+        dispatcher.name()
+    );
+    assert_eq!(
+        raw.exceptions, emu.exceptions,
+        "{bench}/{}: exception counts differ",
+        dispatcher.name()
+    );
+    assert_eq!(
+        raw.instructions, emu.instructions,
+        "{bench}/{}: committed instruction counts differ",
+        dispatcher.name()
+    );
+    assert!(
+        raw.cycles > 1000,
+        "{bench}/{}: implausibly short run",
+        dispatcher.name()
+    );
+}
+
+macro_rules! golden_tests {
+    ($($name:ident => $bench:expr;)*) => {
+        $(
+            #[test]
+            fn $name() {
+                for d in setups::all() {
+                    golden_matches($bench, d.as_ref());
+                }
+            }
+        )*
+    };
+}
+
+golden_tests! {
+    golden_djpeg => Bench::Djpeg;
+    golden_search => Bench::Search;
+    golden_smooth => Bench::Smooth;
+    golden_edge => Bench::Edge;
+    golden_corner => Bench::Corner;
+    golden_sha => Bench::Sha;
+    golden_fft => Bench::Fft;
+    golden_qsort => Bench::Qsort;
+    golden_cjpeg => Bench::Cjpeg;
+    golden_caes => Bench::Caes;
+}
