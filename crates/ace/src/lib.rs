@@ -1,0 +1,27 @@
+//! # difi-ace
+//!
+//! Static ACE/AVF vulnerability analysis for the differential
+//! fault-injection study.
+//!
+//! Injection campaigns measure vulnerability by brute force; ACE analysis
+//! (Mukherjee et al., MICRO-36) bounds it by reasoning about which bits can
+//! affect Correct Execution. This crate provides both static passes the
+//! study compares against its measured campaigns:
+//!
+//! * [`liveness`] — µop-level dataflow over the decoded program: CFG
+//!   recovery, per-register def-use chains, and backward liveness marking
+//!   architectural register bits ACE/un-ACE at every program point.
+//! * [`residency`] — consumption of golden-run structure-residency traces
+//!   ([`difi_uarch::residency`]): per-site provably-masked queries used to
+//!   prune injection campaigns before dispatch, and occupancy-weighted
+//!   static AVF estimates per structure.
+//!
+//! Everything is conservative in the safe direction: a site this crate
+//! calls masked is masked along every execution the analysis models, so
+//! pruning never changes a campaign's verdict — only its cost.
+
+pub mod liveness;
+pub mod residency;
+
+pub use liveness::{ArchRegAvf, DefUseChain, InstInfo, Liveness, RegSet, NUM_REGS};
+pub use residency::{AceProfile, StaticAvf};

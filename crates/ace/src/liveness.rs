@@ -1,0 +1,606 @@
+//! µop-level dataflow and liveness analysis over assembled programs.
+//!
+//! This is the *static* half of the ACE methodology (Mukherjee et al.,
+//! MICRO-36): instead of measuring which faults matter by injecting them, we
+//! prove — from the program text alone — which architectural register bits
+//! are **un-ACE** (cannot affect Correct Execution) at each program point.
+//! The analysis is classic backward liveness over a CFG recovered from the
+//! decoded instruction stream, with def/use sets extracted from the cracked
+//! µops so both ISAs (x86e and arme) share one analyzer.
+//!
+//! Everything here is conservative in the safe direction: unknown control
+//! flow (indirect jumps, returns, branch targets that do not land on a
+//! decoded instruction boundary) is modeled as an exit with *all* registers
+//! live, so a register reported dead is dead along every real path.
+
+use difi_isa::program::Program;
+use difi_isa::uop::{BranchKind, Reg, Uop, UopKind};
+use std::collections::BTreeMap;
+
+/// Total architectural registers tracked (19 int + 9 fp).
+pub const NUM_REGS: usize = Reg::NUM_INT + Reg::NUM_FP;
+
+/// Dense index of an architectural register in [`RegSet`] order.
+#[inline]
+pub fn reg_index(r: Reg) -> usize {
+    if r.is_fp() {
+        Reg::NUM_INT + r.class_index()
+    } else {
+        r.class_index()
+    }
+}
+
+/// The register at dense index `i` (inverse of [`reg_index`]).
+///
+/// # Panics
+///
+/// Panics if `i >= NUM_REGS`.
+pub fn reg_at(i: usize) -> Reg {
+    assert!(i < NUM_REGS, "register index out of range");
+    if i < Reg::NUM_INT {
+        Reg(i as u8)
+    } else {
+        Reg(128 + (i - Reg::NUM_INT) as u8)
+    }
+}
+
+/// A set of architectural registers as a 28-bit bitset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RegSet(u32);
+
+impl RegSet {
+    /// The empty set.
+    pub const EMPTY: RegSet = RegSet(0);
+    /// Every tracked register (the conservative unknown-control-flow set).
+    pub const ALL: RegSet = RegSet((1 << NUM_REGS as u32) - 1);
+
+    /// True when `r` is in the set.
+    #[inline]
+    pub fn contains(self, r: Reg) -> bool {
+        self.0 & (1 << reg_index(r)) != 0
+    }
+
+    /// Adds `r`.
+    #[inline]
+    pub fn insert(&mut self, r: Reg) {
+        self.0 |= 1 << reg_index(r);
+    }
+
+    /// Set union.
+    #[inline]
+    pub fn union(self, other: RegSet) -> RegSet {
+        RegSet(self.0 | other.0)
+    }
+
+    /// Set difference (`self \ other`).
+    #[inline]
+    pub fn minus(self, other: RegSet) -> RegSet {
+        RegSet(self.0 & !other.0)
+    }
+
+    /// True when no register is in the set.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of registers in the set.
+    pub fn len(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Iterates the members in dense-index order.
+    pub fn iter(self) -> impl Iterator<Item = Reg> {
+        (0..NUM_REGS)
+            .filter(move |&i| self.0 & (1 << i) != 0)
+            .map(reg_at)
+    }
+}
+
+impl std::fmt::Display for RegSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        for (n, r) in self.iter().enumerate() {
+            if n > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{r}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// How control leaves an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Flow {
+    /// Falls through to the next instruction.
+    Next,
+    /// Conditional: taken target plus fall-through.
+    CondTo(u64),
+    /// Unconditional direct transfer (jump or call).
+    To(u64),
+    /// Direct call: target plus (conservatively) the fall-through, because
+    /// the callee is assumed to return.
+    CallTo(u64),
+    /// Statically unresolvable (indirect jump, return) — modeled as an exit
+    /// with all registers live.
+    Unknown,
+    /// Decode fault: execution terminates here (process crash), nothing is
+    /// read afterwards.
+    Halt,
+}
+
+/// One decoded instruction with its dataflow facts.
+#[derive(Debug, Clone)]
+pub struct InstInfo {
+    /// Address of the instruction.
+    pub pc: u64,
+    /// Encoded length in bytes.
+    pub len: u8,
+    /// Registers read before being written within the instruction.
+    pub uses: RegSet,
+    /// Registers written by the instruction.
+    pub defs: RegSet,
+    /// Registers live on entry.
+    pub live_in: RegSet,
+    /// Registers live on exit (along any successor).
+    pub live_out: RegSet,
+    flow: Flow,
+}
+
+/// Registers a µop reads, mirroring the emulator's `exec_uop` semantics.
+fn uop_uses(u: &Uop) -> RegSet {
+    let mut s = RegSet::EMPTY;
+    match u.kind {
+        UopKind::Alu | UopKind::Fp => {
+            if let Some(r) = u.ra {
+                s.insert(r);
+            }
+            if let Some(r) = u.rb {
+                s.insert(r);
+            }
+        }
+        UopKind::Load => {
+            if let Some(r) = u.ra {
+                s.insert(r);
+            }
+        }
+        UopKind::Store => {
+            if let Some(r) = u.ra {
+                s.insert(r);
+            }
+            if let Some(r) = u.rb {
+                s.insert(r);
+            }
+        }
+        UopKind::Branch => match u.branch {
+            BranchKind::CondDirect => {
+                if u.cond_on_flags {
+                    s.insert(Reg::FLAGS);
+                } else {
+                    if let Some(r) = u.ra {
+                        s.insert(r);
+                    }
+                    if let Some(r) = u.rb {
+                        s.insert(r);
+                    }
+                }
+            }
+            BranchKind::Ret | BranchKind::JumpInd => {
+                if let Some(r) = u.ra {
+                    s.insert(r);
+                }
+            }
+            BranchKind::Jump | BranchKind::Call => {}
+        },
+        UopKind::Syscall => {
+            // The nano-kernel ABI passes the call number and two arguments
+            // in r0..r2.
+            s.insert(Reg::gpr(0));
+            s.insert(Reg::gpr(1));
+            s.insert(Reg::gpr(2));
+        }
+        UopKind::Hint | UopKind::Nop => {}
+    }
+    s
+}
+
+/// Registers a µop writes.
+fn uop_defs(u: &Uop) -> RegSet {
+    let mut s = RegSet::EMPTY;
+    match u.kind {
+        UopKind::Alu | UopKind::Fp | UopKind::Load => {
+            if let Some(r) = u.rd {
+                s.insert(r);
+            }
+        }
+        // An arme call writes the link register through `rd`.
+        UopKind::Branch => {
+            if u.branch == BranchKind::Call {
+                if let Some(r) = u.rd {
+                    s.insert(r);
+                }
+            }
+        }
+        UopKind::Store | UopKind::Syscall | UopKind::Hint | UopKind::Nop => {}
+    }
+    s
+}
+
+/// One def site of a register together with every use it can reach.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DefUseChain {
+    /// The register being defined.
+    pub reg: Reg,
+    /// Address of the defining instruction.
+    pub def_pc: u64,
+    /// Addresses of instructions that may read this definition, in address
+    /// order. Empty for a dead write.
+    pub use_pcs: Vec<u64>,
+}
+
+/// Per-register static AVF estimate for the architectural register file.
+#[derive(Debug, Clone)]
+pub struct ArchRegAvf {
+    /// Fraction of instructions at which each register (dense index) is
+    /// live — the static ACE fraction of its bits.
+    pub per_reg: Vec<f64>,
+    /// Mean over the general-purpose registers actually referenced by the
+    /// program (registers never touched contribute 0).
+    pub overall: f64,
+}
+
+/// The result of liveness analysis over one program.
+#[derive(Debug)]
+pub struct Liveness {
+    insts: Vec<InstInfo>,
+    by_pc: BTreeMap<u64, usize>,
+}
+
+impl Liveness {
+    /// Decodes `program`'s code region, builds the CFG and runs backward
+    /// liveness to a fixpoint.
+    ///
+    /// Decode faults and unresolvable control flow are handled
+    /// conservatively (see module docs); the analysis never fails.
+    pub fn analyze(program: &Program) -> Liveness {
+        let base = program.map.code_base;
+        let code = &program.code;
+
+        // Pass 1: linear decode of the whole code region.
+        let mut insts: Vec<InstInfo> = Vec::new();
+        let mut by_pc: BTreeMap<u64, usize> = BTreeMap::new();
+        let mut off = 0usize;
+        while off < code.len() {
+            let pc = base + off as u64;
+            let d = difi_isa::decode(program.isa, &code[off..], pc);
+            let len = d.len.max(1);
+            let mut uses = RegSet::EMPTY;
+            let mut defs = RegSet::EMPTY;
+            let mut flow = Flow::Next;
+            if d.fault.is_some() {
+                flow = Flow::Halt;
+            } else {
+                for u in &d.uops {
+                    uses = uses.union(uop_uses(u).minus(defs));
+                    defs = defs.union(uop_defs(u));
+                    if u.kind == UopKind::Branch {
+                        flow = match u.branch {
+                            BranchKind::CondDirect => Flow::CondTo(u.target),
+                            BranchKind::Jump => Flow::To(u.target),
+                            BranchKind::Call => Flow::CallTo(u.target),
+                            BranchKind::Ret | BranchKind::JumpInd => Flow::Unknown,
+                        };
+                    }
+                }
+            }
+            by_pc.insert(pc, insts.len());
+            insts.push(InstInfo {
+                pc,
+                len,
+                uses,
+                defs,
+                live_in: RegSet::EMPTY,
+                live_out: RegSet::EMPTY,
+                flow,
+            });
+            off += len as usize;
+        }
+
+        let mut lv = Liveness { insts, by_pc };
+        lv.fixpoint();
+        lv
+    }
+
+    /// Successor indices of instruction `i`; `None` in the list marks an
+    /// exit/unknown edge whose live-out contribution is [`RegSet::ALL`]
+    /// (or empty for `Halt`).
+    fn successors(&self, i: usize) -> (Vec<usize>, RegSet) {
+        let inst = &self.insts[i];
+        let next = if i + 1 < self.insts.len() {
+            Some(i + 1)
+        } else {
+            None
+        };
+        let resolve = |t: u64| self.by_pc.get(&t).copied();
+        let mut succ = Vec::with_capacity(2);
+        let mut extra = RegSet::EMPTY;
+        // Falling off the end of the assembled bytes lands on the zero fill
+        // of the code region, which both decoders reject — a crash that
+        // reads nothing, so the edge contributes no liveness. A branch
+        // *target* off the decoded boundaries, by contrast, may re-decode
+        // the stream at a different alignment; that edge must stay
+        // all-live.
+        let mut goto = |t: u64, extra: &mut RegSet| match resolve(t) {
+            Some(ix) => succ.push(ix),
+            None => *extra = RegSet::ALL,
+        };
+        match inst.flow {
+            Flow::Next => succ.extend(next),
+            Flow::CondTo(t) => {
+                goto(t, &mut extra);
+                succ.extend(next);
+            }
+            Flow::To(t) => goto(t, &mut extra),
+            Flow::CallTo(t) => {
+                goto(t, &mut extra);
+                succ.extend(next);
+            }
+            Flow::Unknown => extra = RegSet::ALL,
+            Flow::Halt => {}
+        }
+        (succ, extra)
+    }
+
+    /// Backward worklist iteration to the liveness fixpoint.
+    fn fixpoint(&mut self) {
+        let n = self.insts.len();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in (0..n).rev() {
+                let (succ, extra) = self.successors(i);
+                let mut out = extra;
+                for s in succ {
+                    out = out.union(self.insts[s].live_in);
+                }
+                let inst = &mut self.insts[i];
+                let inn = inst.uses.union(out.minus(inst.defs));
+                if out != inst.live_out || inn != inst.live_in {
+                    inst.live_out = out;
+                    inst.live_in = inn;
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    /// The decoded instructions in address order.
+    pub fn instructions(&self) -> &[InstInfo] {
+        &self.insts
+    }
+
+    /// The instruction at `pc`, if `pc` is a decoded boundary.
+    pub fn at(&self, pc: u64) -> Option<&InstInfo> {
+        self.by_pc.get(&pc).map(|&i| &self.insts[i])
+    }
+
+    /// Registers live immediately *before* the instruction at `pc`.
+    pub fn live_before(&self, pc: u64) -> Option<RegSet> {
+        self.at(pc).map(|i| i.live_in)
+    }
+
+    /// Registers live immediately *after* the instruction at `pc`.
+    ///
+    /// A register written at `pc` that is absent here is **un-ACE** from
+    /// this write until its next definition: no path reads the value, so a
+    /// fault in it is provably masked.
+    pub fn live_after(&self, pc: u64) -> Option<RegSet> {
+        self.at(pc).map(|i| i.live_out)
+    }
+
+    /// True when the instruction at `pc` writes `reg` and the written value
+    /// can never be read (a dead write — its register bits are un-ACE until
+    /// the next definition).
+    pub fn is_dead_write(&self, pc: u64, reg: Reg) -> bool {
+        self.at(pc)
+            .is_some_and(|i| i.defs.contains(reg) && !i.live_out.contains(reg))
+    }
+
+    /// Per-register def-use chains: every def site paired with the uses its
+    /// value can reach, computed by forward reaching-definitions over the
+    /// same CFG.
+    pub fn def_use_chains(&self) -> Vec<DefUseChain> {
+        // Global def numbering.
+        let mut def_sites: Vec<(usize, Reg)> = Vec::new(); // def id -> (inst, reg)
+        let mut defs_at: Vec<Vec<u32>> = vec![Vec::new(); self.insts.len()];
+        for (i, inst) in self.insts.iter().enumerate() {
+            for r in inst.defs.iter() {
+                defs_at[i].push(def_sites.len() as u32);
+                def_sites.push((i, r));
+            }
+        }
+        let nd = def_sites.len();
+        let words = nd.div_ceil(64);
+        // Per-register kill masks.
+        let mut kill_by_reg: Vec<Vec<u64>> = vec![vec![0; words]; NUM_REGS];
+        for (id, &(_, r)) in def_sites.iter().enumerate() {
+            kill_by_reg[reg_index(r)][id / 64] |= 1 << (id % 64);
+        }
+
+        // Forward fixpoint: reach_in[i] = union over predecessors of
+        // gen/kill-transformed reach_in. Build predecessor lists first.
+        let n = self.insts.len();
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for i in 0..n {
+            let (succ, _) = self.successors(i);
+            for s in succ {
+                preds[s].push(i);
+            }
+        }
+        let mut reach_in: Vec<Vec<u64>> = vec![vec![0; words]; n];
+        let mut reach_out: Vec<Vec<u64>> = vec![vec![0; words]; n];
+        let transfer = |inp: &[u64], i: usize, out: &mut Vec<u64>| {
+            out.copy_from_slice(inp);
+            for &id in &defs_at[i] {
+                let (_, r) = def_sites[id as usize];
+                for (w, k) in out.iter_mut().zip(&kill_by_reg[reg_index(r)]) {
+                    *w &= !k;
+                }
+                out[id as usize / 64] |= 1 << (id % 64);
+            }
+        };
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in 0..n {
+                let mut inp = vec![0u64; words];
+                for &p in &preds[i] {
+                    for (w, v) in inp.iter_mut().zip(&reach_out[p]) {
+                        *w |= v;
+                    }
+                }
+                if inp != reach_in[i] {
+                    reach_in[i] = inp;
+                    changed = true;
+                }
+                let mut out = vec![0u64; words];
+                transfer(&reach_in[i], i, &mut out);
+                if out != reach_out[i] {
+                    reach_out[i] = out;
+                    changed = true;
+                }
+            }
+        }
+
+        // Collect uses per def.
+        let mut uses: Vec<Vec<u64>> = vec![Vec::new(); nd];
+        for (i, inst) in self.insts.iter().enumerate() {
+            for r in inst.uses.iter() {
+                let ri = reg_index(r);
+                for (id, &(_, dr)) in def_sites.iter().enumerate() {
+                    let _ = dr;
+                    if kill_by_reg[ri][id / 64] & (1 << (id % 64)) != 0
+                        && reach_in[i][id / 64] & (1 << (id % 64)) != 0
+                    {
+                        uses[id].push(inst.pc);
+                    }
+                }
+            }
+        }
+        def_sites
+            .iter()
+            .enumerate()
+            .map(|(id, &(i, reg))| DefUseChain {
+                reg,
+                def_pc: self.insts[i].pc,
+                use_pcs: uses[id].clone(),
+            })
+            .collect()
+    }
+
+    /// Static per-register AVF of the architectural register file: the
+    /// fraction of program points at which each register is live.
+    pub fn arch_reg_avf(&self) -> ArchRegAvf {
+        let n = self.insts.len().max(1) as f64;
+        let mut per_reg = vec![0f64; NUM_REGS];
+        let mut touched = RegSet::EMPTY;
+        for inst in &self.insts {
+            touched = touched.union(inst.uses).union(inst.defs);
+            for r in inst.live_in.iter() {
+                per_reg[reg_index(r)] += 1.0;
+            }
+        }
+        for v in &mut per_reg {
+            *v /= n;
+        }
+        let denom = touched.len().max(1) as f64;
+        let overall = touched.iter().map(|r| per_reg[reg_index(r)]).sum::<f64>() / denom;
+        ArchRegAvf { per_reg, overall }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use difi_isa::asm::Asm;
+    use difi_isa::uop::IntOp;
+    use difi_isa::Isa;
+
+    fn program(f: impl Fn(&mut Asm)) -> Program {
+        let mut a = Asm::new(Isa::X86e);
+        f(&mut a);
+        a.exit(0);
+        a.finish("liveness-test").expect("valid test program")
+    }
+
+    #[test]
+    fn straight_line_liveness() {
+        // r1 = 5; r2 = r1 + r1; exit(0). r1 is live between def and use.
+        let p = program(|a| {
+            a.li(1, 5);
+            a.op(IntOp::Add, 2, 1, 1);
+        });
+        let lv = Liveness::analyze(&p);
+        let first = &lv.instructions()[0];
+        assert!(first.defs.contains(Reg::gpr(1)));
+        assert!(
+            first.live_out.contains(Reg::gpr(1)),
+            "r1 live until its use"
+        );
+    }
+
+    #[test]
+    fn dead_write_is_unace_until_next_def() {
+        // r3 written, never read again before exit: un-ACE after the write.
+        let p = program(|a| {
+            a.li(3, 42);
+        });
+        let lv = Liveness::analyze(&p);
+        let def_pc = lv.instructions()[0].pc;
+        assert!(lv.is_dead_write(def_pc, Reg::gpr(3)));
+        assert!(!lv.live_after(def_pc).unwrap().contains(Reg::gpr(3)));
+    }
+
+    #[test]
+    fn syscall_args_are_live() {
+        // exit(0) reads r0..r2 (kernel ABI), so they are live at entry to it.
+        let p = program(|_| {});
+        let lv = Liveness::analyze(&p);
+        let last = lv
+            .instructions()
+            .iter()
+            .find(|i| !i.uses.is_empty())
+            .expect("syscall instruction");
+        assert!(last.uses.contains(Reg::gpr(0)));
+        assert!(last.uses.contains(Reg::gpr(1)));
+    }
+
+    #[test]
+    fn def_use_chain_links_def_to_use() {
+        let p = program(|a| {
+            a.li(1, 5);
+            a.op(IntOp::Add, 2, 1, 1);
+        });
+        let lv = Liveness::analyze(&p);
+        let chains = lv.def_use_chains();
+        let c = chains
+            .iter()
+            .find(|c| c.reg == Reg::gpr(1))
+            .expect("chain for r1");
+        assert_eq!(c.def_pc, lv.instructions()[0].pc);
+        // The x86e add cracks into two-operand form (mov + add), so the
+        // definition reaches both resulting instructions.
+        assert_eq!(
+            c.use_pcs,
+            vec![lv.instructions()[1].pc, lv.instructions()[2].pc]
+        );
+    }
+
+    #[test]
+    fn regset_roundtrip_all_indices() {
+        for i in 0..NUM_REGS {
+            assert_eq!(reg_index(reg_at(i)), i);
+        }
+        assert_eq!(RegSet::ALL.len() as usize, NUM_REGS);
+    }
+}

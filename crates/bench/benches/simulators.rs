@@ -1,4 +1,5 @@
-//! Criterion benchmarks over the simulation stack.
+//! Wall-clock benchmarks over the simulation stack (plain-`Instant` harness;
+//! the workspace builds without external crates, so no criterion).
 //!
 //! * `sim_throughput/*` — detailed-simulator and emulator throughput on the
 //!   `fft` benchmark (the study's wall-clock currency).
@@ -6,12 +7,16 @@
 //!   §III.B.2 early-stop optimizations (expected 30–70% per-run savings).
 //! * `data_arrays/*` — EXP-OVH: MarsSim with the cache data-array extension
 //!   vs. original-MARSS performance mode (paper: ≈40% overhead).
+//!
+//! Run with `cargo bench -p difi-bench` (harness = false).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use difi::isa::emu::Emulator;
 use difi::prelude::*;
 use difi::uarch::pipeline::engine::EngineLimits;
 use difi::uarch::pipeline::OoOCore;
+use std::time::Instant;
+
+const SAMPLES: u32 = 3;
 
 fn limits() -> EngineLimits {
     EngineLimits {
@@ -21,36 +26,44 @@ fn limits() -> EngineLimits {
     }
 }
 
-fn sim_throughput(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sim_throughput");
-    g.sample_size(10);
-    let bench = Bench::Fft;
-
-    let p86 = build(bench, Isa::X86e).unwrap();
-    let parm = build(bench, Isa::Arme).unwrap();
-
-    g.bench_function("emulator_x86e", |b| {
-        b.iter(|| Emulator::new(&p86).run(100_000_000))
-    });
-    g.bench_function("marssim_x86e", |b| {
-        b.iter(|| OoOCore::new(mars_config(), &p86).run(&[], &limits()))
-    });
-    g.bench_function("gemsim_x86e", |b| {
-        b.iter(|| OoOCore::new(gem_config(Isa::X86e), &p86).run(&[], &limits()))
-    });
-    g.bench_function("gemsim_arme", |b| {
-        b.iter(|| OoOCore::new(gem_config(Isa::Arme), &parm).run(&[], &limits()))
-    });
-    g.finish();
+/// Times `f` over [`SAMPLES`] iterations and prints the best (minimum) time,
+/// the conventional noise-resistant statistic for micro-benchmarks.
+fn bench(group: &str, name: &str, mut f: impl FnMut()) {
+    f(); // warm-up
+    let mut best = std::time::Duration::MAX;
+    for _ in 0..SAMPLES {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed());
+    }
+    println!("{group}/{name:<24} {:>10.3} ms", best.as_secs_f64() * 1e3);
 }
 
-fn early_stop(c: &mut Criterion) {
-    let mut g = c.benchmark_group("early_stop");
-    g.sample_size(10);
+fn sim_throughput() {
+    let bench_name = Bench::Fft;
+    let p86 = build(bench_name, Isa::X86e).expect("fft builds for x86e");
+    let parm = build(bench_name, Isa::Arme).expect("fft builds for arme");
+
+    bench("sim_throughput", "emulator_x86e", || {
+        Emulator::new(&p86).run(100_000_000);
+    });
+    bench("sim_throughput", "marssim_x86e", || {
+        OoOCore::new(mars_config(), &p86).run(&[], &limits());
+    });
+    bench("sim_throughput", "gemsim_x86e", || {
+        OoOCore::new(gem_config(Isa::X86e), &p86).run(&[], &limits());
+    });
+    bench("sim_throughput", "gemsim_arme", || {
+        OoOCore::new(gem_config(Isa::Arme), &parm).run(&[], &limits());
+    });
+}
+
+fn early_stop() {
     let mafin = MaFin::new();
-    let program = build(Bench::Fft, Isa::X86e).unwrap();
+    let program = build(Bench::Fft, Isa::X86e).expect("fft builds for x86e");
     let golden = golden_run(&mafin, &program, 100_000_000);
-    let desc = difi::core::dispatch::structure_desc(&mafin, StructureId::L2Data).unwrap();
+    let desc = difi::core::dispatch::structure_desc(&mafin, StructureId::L2Data)
+        .expect("MaFIN models the L2 data array");
     let masks = MaskGenerator::new(7).transient(&desc, golden.cycles, 20);
 
     for (name, early) in [("disabled", false), ("enabled", true)] {
@@ -59,27 +72,24 @@ fn early_stop(c: &mut Criterion) {
             early_stop: early,
             golden_max_cycles: 100_000_000,
         };
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                run_campaign(&mafin, &program, StructureId::L2Data, 7, &masks, &cfg)
-            })
+        bench("early_stop", name, || {
+            run_campaign(&mafin, &program, StructureId::L2Data, 7, &masks, &cfg);
         });
     }
-    g.finish();
 }
 
-fn data_arrays(c: &mut Criterion) {
-    let mut g = c.benchmark_group("data_arrays");
-    g.sample_size(10);
-    let program = build(Bench::Fft, Isa::X86e).unwrap();
-    g.bench_function("with_extension", |b| {
-        b.iter(|| OoOCore::new(mars_config(), &program).run(&[], &limits()))
+fn data_arrays() {
+    let program = build(Bench::Fft, Isa::X86e).expect("fft builds for x86e");
+    bench("data_arrays", "with_extension", || {
+        OoOCore::new(mars_config(), &program).run(&[], &limits());
     });
-    g.bench_function("perf_only", |b| {
-        b.iter(|| OoOCore::new(difi::mars::perf_only_config(), &program).run(&[], &limits()))
+    bench("data_arrays", "perf_only", || {
+        OoOCore::new(difi::mars::perf_only_config(), &program).run(&[], &limits());
     });
-    g.finish();
 }
 
-criterion_group!(benches, sim_throughput, early_stop, data_arrays);
-criterion_main!(benches);
+fn main() {
+    sim_throughput();
+    early_stop();
+    data_arrays();
+}

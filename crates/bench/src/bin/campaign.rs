@@ -26,10 +26,9 @@ fn main() {
     let injector = get("--injector").unwrap_or_else(|| "MaFIN-x86".into());
     let bench = Bench::from_name(&get("--bench").unwrap_or_else(|| "sha".into()))
         .expect("unknown benchmark");
-    let structure = StructureId::from_name(
-        &get("--structure").unwrap_or_else(|| "l1d_data".into()),
-    )
-    .expect("unknown structure");
+    let structure =
+        StructureId::from_name(&get("--structure").unwrap_or_else(|| "l1d_data".into()))
+            .expect("unknown structure");
     let injections: u64 = get("--injections").map_or(200, |s| s.parse().expect("number"));
     let seed: u64 = get("--seed").map_or(2015, |s| s.parse().expect("number"));
     let model = get("--model").unwrap_or_else(|| "transient".into());

@@ -70,11 +70,31 @@ fn main() {
     let cmd = args.first().map(String::as_str).unwrap_or("all");
     let opts = parse_opts(&args[1.min(args.len())..]);
     match cmd {
-        "fig2" => figure(StructureId::IntRegFile, "Fig. 2 — integer physical register file", &opts),
-        "fig3" => figure(StructureId::L1dData, "Fig. 3 — L1D cache (data arrays)", &opts),
-        "fig4" => figure(StructureId::L1iData, "Fig. 4 — L1I cache (instruction arrays)", &opts),
-        "fig5" => figure(StructureId::L2Data, "Fig. 5 — L2 cache (data arrays)", &opts),
-        "fig6" => figure(StructureId::LsqData, "Fig. 6 — Load/Store Queue (data field)", &opts),
+        "fig2" => figure(
+            StructureId::IntRegFile,
+            "Fig. 2 — integer physical register file",
+            &opts,
+        ),
+        "fig3" => figure(
+            StructureId::L1dData,
+            "Fig. 3 — L1D cache (data arrays)",
+            &opts,
+        ),
+        "fig4" => figure(
+            StructureId::L1iData,
+            "Fig. 4 — L1I cache (instruction arrays)",
+            &opts,
+        ),
+        "fig5" => figure(
+            StructureId::L2Data,
+            "Fig. 5 — L2 cache (data arrays)",
+            &opts,
+        ),
+        "fig6" => figure(
+            StructureId::LsqData,
+            "Fig. 6 — Load/Store Queue (data field)",
+            &opts,
+        ),
         "figs" => {
             for (s, title) in setups::figure_structures() {
                 figure(s, title, &opts);
@@ -116,8 +136,8 @@ fn figure(structure: StructureId, title: &str, opts: &Opts) {
         for dispatcher in setups::all() {
             let program = build(*bench, dispatcher.isa()).expect("assembles");
             let golden = golden_run(dispatcher.as_ref(), &program, 200_000_000);
-            let desc =
-                difi::core::dispatch::structure_desc(dispatcher.as_ref(), structure).unwrap();
+            let desc = difi::core::dispatch::structure_desc(dispatcher.as_ref(), structure)
+                .expect("figure structures are injectable");
             let masks = MaskGenerator::new(opts.seed ^ (*bench as u64) << 8 ^ structure as u64)
                 .transient(&desc, golden.cycles, opts.injections);
             let log = run_campaign(
@@ -168,12 +188,17 @@ fn figure(structure: StructureId, title: &str, opts: &Opts) {
         (m - gx).abs(),
         (gx - ga).abs()
     );
-    println!("[{} injections/cell, elapsed {:?}]", opts.injections, t0.elapsed());
+    println!(
+        "[{} injections/cell, elapsed {:?}]",
+        opts.injections,
+        t0.elapsed()
+    );
 }
 
 fn table2() {
     println!("\nTABLE II — simulator configurations");
-    let rows: Vec<(&str, Box<dyn Fn(&difi::uarch::CoreConfig) -> String>)> = vec![
+    type ConfigCell = Box<dyn Fn(&difi::uarch::CoreConfig) -> String>;
+    let rows: Vec<(&str, ConfigCell)> = vec![
         ("int PRF", Box::new(|c| c.int_prf.to_string())),
         ("fp PRF", Box::new(|c| c.fp_prf.to_string())),
         ("issue queue", Box::new(|c| c.iq_entries.to_string())),
@@ -183,11 +208,27 @@ fn table2() {
         ("mul/div", Box::new(|c| c.mul_div_units.to_string())),
         ("FP units", Box::new(|c| c.fp_units.to_string())),
         ("mem ports", Box::new(|c| c.mem_ports.to_string())),
-        ("L1 (each)", Box::new(|c| format!("{} KB {}x{}", c.l1d.capacity() / 1024, c.l1d.sets, c.l1d.ways))),
-        ("L2", Box::new(|c| format!("{} KB {}x{}", c.l2.capacity() / 1024, c.l2.sets, c.l2.ways))),
+        (
+            "L1 (each)",
+            Box::new(|c| {
+                format!(
+                    "{} KB {}x{}",
+                    c.l1d.capacity() / 1024,
+                    c.l1d.sets,
+                    c.l1d.ways
+                )
+            }),
+        ),
+        (
+            "L2",
+            Box::new(|c| format!("{} KB {}x{}", c.l2.capacity() / 1024, c.l2.sets, c.l2.ways)),
+        ),
         ("BTB", Box::new(|c| format!("{:?}", c.btb))),
         ("RAS", Box::new(|c| c.ras_depth.to_string())),
-        ("predictor chooser", Box::new(|c| format!("{:?}", c.predictor.chooser_index))),
+        (
+            "predictor chooser",
+            Box::new(|c| format!("{:?}", c.predictor.chooser_index)),
+        ),
     ];
     let configs = [
         ("MARSS/x86", mars_config()),
@@ -220,7 +261,10 @@ fn table4() {
     println!("\nTABLE IV — injectable structures per injector");
     for dispatcher in setups::all() {
         println!("\n{}:", dispatcher.name());
-        println!("  {:<12} {:>9} {:>7} {:>12}", "structure", "entries", "bits", "total bits");
+        println!(
+            "  {:<12} {:>9} {:>7} {:>12}",
+            "structure", "entries", "bits", "total bits"
+        );
         for d in dispatcher.structures() {
             println!(
                 "  {:<12} {:>9} {:>7} {:>12}",
@@ -237,8 +281,14 @@ fn sampling() {
     use difi::util::stats::{achieved_error_margin, sample_size};
     println!("\n§IV.A — statistical fault sampling (Leveugle et al. [20])");
     let pop = 32u64 * 1024 * 8 * 10_000_000; // representative population
-    println!("  99% confidence, 3% error margin → {} injections (paper: 1843)", sample_size(pop, 0.99, 0.03));
-    println!("  99% confidence, 5% error margin → {} injections (paper: 663)", sample_size(pop, 0.99, 0.05));
+    println!(
+        "  99% confidence, 3% error margin → {} injections (paper: 1843)",
+        sample_size(pop, 0.99, 0.03)
+    );
+    println!(
+        "  99% confidence, 5% error margin → {} injections (paper: 663)",
+        sample_size(pop, 0.99, 0.05)
+    );
     println!(
         "  2000 injections → {:.2}% error margin (paper: 2.88%)",
         100.0 * achieved_error_margin(pop, 0.99, 2000)
@@ -249,7 +299,16 @@ fn remarks(opts: &Opts) {
     println!("\nRuntime statistics behind Remarks 1–11 (fault-free runs)");
     println!(
         "{:<10} {:<10} {:>7} {:>11} {:>7} {:>8} {:>8} {:>8} {:>8} {:>8}",
-        "injector", "bench", "ipc", "ld iss/com", "replay", "mispred%", "l1d rh%", "l1d wh%", "l1i repl", "hyp"
+        "injector",
+        "bench",
+        "ipc",
+        "ld iss/com",
+        "replay",
+        "mispred%",
+        "l1d rh%",
+        "l1d wh%",
+        "l1i repl",
+        "hyp"
     );
     for dispatcher in setups::all() {
         for bench in &opts.benches {
@@ -295,10 +354,14 @@ fn speedup(opts: &Opts) {
     let bench = Bench::Sha;
     let program = build(bench, mafin.isa()).expect("assembles");
     let golden = golden_run(&mafin, &program, 200_000_000);
-    for structure in [StructureId::IntRegFile, StructureId::L1dData, StructureId::L2Data] {
-        let desc = difi::core::dispatch::structure_desc(&mafin, structure).unwrap();
-        let masks =
-            MaskGenerator::new(opts.seed).transient(&desc, golden.cycles, opts.injections);
+    for structure in [
+        StructureId::IntRegFile,
+        StructureId::L1dData,
+        StructureId::L2Data,
+    ] {
+        let desc = difi::core::dispatch::structure_desc(&mafin, structure)
+            .expect("figure structures are injectable");
+        let masks = MaskGenerator::new(opts.seed).transient(&desc, golden.cycles, opts.injections);
         let mut cfg = CampaignConfig {
             threads: 1,
             ..Default::default()
@@ -348,10 +411,7 @@ fn overhead(_opts: &Opts) {
                     deadlock_window: 200_000,
                 },
             );
-            assert!(matches!(
-                run.exit,
-                difi::uarch::SimExit::Exited(0)
-            ));
+            assert!(matches!(run.exit, difi::uarch::SimExit::Exited(0)));
             t0.elapsed()
         };
         let t_perf = wall(perf);

@@ -1,1 +1,1 @@
-//! Benchmark harness (binaries in src/bin, criterion benches in benches/).
+//! Benchmark harness (binaries in src/bin, plain-`Instant` benches in benches/).

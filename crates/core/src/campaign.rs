@@ -14,7 +14,9 @@
 
 use crate::dispatch::InjectorDispatcher;
 use crate::logs::{CampaignLog, RunLog};
-use crate::model::{InjectionSpec, RawRunResult, RunLimits, RunStatus};
+use crate::masks::partition_provably_masked;
+use crate::model::{EarlyStop, InjectionSpec, RawRunResult, RunLimits, RunStatus};
+use difi_ace::AceProfile;
 use difi_isa::program::Program;
 use difi_uarch::fault::StructureId;
 
@@ -105,6 +107,106 @@ pub fn run_campaign(
     }
 }
 
+/// A campaign run with static-ACE pre-dispatch pruning applied.
+#[derive(Debug)]
+pub struct PrunedCampaign {
+    /// The complete log: every mask appears exactly once, pruned ones as
+    /// [`EarlyStop::StaticallyPruned`] runs.
+    pub log: CampaignLog,
+    /// Spec ids classified Masked before dispatch (logged, not dropped).
+    pub pruned_ids: Vec<u64>,
+    /// Masks actually dispatched to the simulator (excluding the golden
+    /// run).
+    pub dispatched: usize,
+}
+
+/// Runs a campaign with ACE pruning: masks the golden-run residency
+/// `profile` proves masked are logged as
+/// [`EarlyStop::StaticallyPruned`] without booting a simulator; the rest
+/// run normally. Verdict totals are identical to [`run_campaign`] — only
+/// the dispatch count changes.
+///
+/// # Panics
+///
+/// Panics if the golden run does not complete (same contract as
+/// [`run_campaign`]).
+pub fn run_campaign_pruned(
+    dispatcher: &dyn InjectorDispatcher,
+    program: &Program,
+    structure: StructureId,
+    seed: u64,
+    masks: &[InjectionSpec],
+    cfg: &CampaignConfig,
+    profile: &AceProfile,
+) -> PrunedCampaign {
+    let golden = golden_run(dispatcher, program, cfg.golden_max_cycles);
+    assert!(
+        matches!(golden.status, RunStatus::Completed { .. }),
+        "golden run of {} on {} must complete, got {:?}",
+        program.name,
+        dispatcher.name(),
+        golden.status
+    );
+    let mut limits = RunLimits::campaign(golden.cycles);
+    limits.early_stop = cfg.early_stop;
+
+    let (pruned, dispatch) = partition_provably_masked(masks, profile);
+    let to_run: Vec<InjectionSpec> = dispatch.iter().map(|&i| masks[i].clone()).collect();
+
+    let threads = if cfg.threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        cfg.threads
+    };
+    let ran: Vec<RunLog> = if threads <= 1 || to_run.len() < 2 {
+        to_run
+            .iter()
+            .map(|spec| RunLog {
+                spec: spec.clone(),
+                result: dispatcher.run(program, spec, &limits),
+            })
+            .collect()
+    } else {
+        parallel_runs(dispatcher, program, &to_run, &limits, threads)
+    };
+
+    // Reassemble in original mask order so the log is indistinguishable in
+    // shape from an unpruned campaign.
+    let mut runs: Vec<Option<RunLog>> = (0..masks.len()).map(|_| None).collect();
+    for (slot, log) in dispatch.iter().zip(ran) {
+        runs[*slot] = Some(log);
+    }
+    for &i in &pruned {
+        runs[i] = Some(RunLog {
+            spec: masks[i].clone(),
+            result: RawRunResult {
+                status: RunStatus::EarlyStopMasked(EarlyStop::StaticallyPruned),
+                output: Vec::new(),
+                exceptions: 0,
+                cycles: 0,
+                instructions: 0,
+                fault_consumed: false,
+            },
+        });
+    }
+
+    PrunedCampaign {
+        log: CampaignLog {
+            injector: dispatcher.name().to_string(),
+            benchmark: program.name.clone(),
+            structure: structure.name().to_string(),
+            seed,
+            golden,
+            runs: runs
+                .into_iter()
+                .map(|r| r.expect("every slot filled"))
+                .collect(),
+        },
+        pruned_ids: pruned.iter().map(|&i| masks[i].id).collect(),
+        dispatched: dispatch.len(),
+    }
+}
+
 fn parallel_runs(
     dispatcher: &dyn InjectorDispatcher,
     program: &Program,
@@ -112,40 +214,39 @@ fn parallel_runs(
     limits: &RunLimits,
     threads: usize,
 ) -> Vec<RunLog> {
-    let (work_tx, work_rx) = crossbeam::channel::unbounded::<usize>();
-    let (done_tx, done_rx) = crossbeam::channel::unbounded::<(usize, RawRunResult)>();
-    for i in 0..masks.len() {
-        work_tx.send(i).expect("queue open");
-    }
-    drop(work_tx);
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    // Work-stealing by atomic index: each worker claims the next unclaimed
+    // mask; each slot is written exactly once, so the mutexes never contend.
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<RawRunResult>>> =
+        (0..masks.len()).map(|_| Mutex::new(None)).collect();
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            let work_rx = work_rx.clone();
-            let done_tx = done_tx.clone();
-            scope.spawn(move || {
-                while let Ok(i) = work_rx.recv() {
-                    let result = dispatcher.run(program, &masks[i], limits);
-                    if done_tx.send((i, result)).is_err() {
-                        return;
-                    }
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= masks.len() {
+                    return;
                 }
+                let result = dispatcher.run(program, &masks[i], limits);
+                *slots[i].lock().expect("slot lock") = Some(result);
             });
         }
-        drop(done_tx);
-        let mut slots: Vec<Option<RawRunResult>> = vec![None; masks.len()];
-        while let Ok((i, r)) = done_rx.recv() {
-            slots[i] = Some(r);
-        }
-        slots
-            .into_iter()
-            .enumerate()
-            .map(|(i, r)| RunLog {
-                spec: masks[i].clone(),
-                result: r.expect("every index completed"),
-            })
-            .collect()
-    })
+    });
+
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| RunLog {
+            spec: masks[i].clone(),
+            result: slot
+                .into_inner()
+                .expect("slot lock")
+                .expect("every index completed"),
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -187,7 +288,7 @@ mod tests {
             self.calls.fetch_add(1, Ordering::SeqCst);
             let status = if spec.faults.is_empty() {
                 RunStatus::Completed { exit_code: 0 }
-            } else if spec.id % 3 == 0 {
+            } else if spec.id.is_multiple_of(3) {
                 RunStatus::SimulatorAssert("x".into())
             } else {
                 RunStatus::Completed { exit_code: 0 }

@@ -15,10 +15,9 @@
 //!   crashes into the Assert class ([`Classifier::simulator_crash_as_assert`]).
 
 use crate::model::{RawRunResult, RunStatus};
-use serde::{Deserialize, Serialize};
 
 /// The paper's six fault-effect classes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Outcome {
     /// No program-visible effect.
     Masked,
@@ -65,7 +64,7 @@ impl std::fmt::Display for Outcome {
 }
 
 /// The fine-grained view (DUE split + crash subcategories).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FineOutcome {
     /// No visible effect.
     Masked,
@@ -89,7 +88,7 @@ pub enum FineOutcome {
 
 /// The parser. Holds the golden (fault-free) reference for one
 /// benchmark/injector pair plus the classification options.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Classifier {
     /// Fault-free console output.
     pub golden_output: Vec<u8>,
@@ -296,7 +295,10 @@ mod tests {
             c.classify(&run(RunStatus::SimulatorAssert("rob".into()), b"", 1)),
             Outcome::Assert
         );
-        assert_eq!(c.classify(&run(RunStatus::Timeout, b"4", 1)), Outcome::Timeout);
+        assert_eq!(
+            c.classify(&run(RunStatus::Timeout, b"4", 1)),
+            Outcome::Timeout
+        );
     }
 
     #[test]

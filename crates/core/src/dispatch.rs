@@ -10,7 +10,8 @@
 
 use crate::model::{InjectionSpec, RawRunResult, RunLimits};
 use difi_isa::program::{Isa, Program};
-use difi_uarch::fault::StructureDesc;
+use difi_uarch::fault::{StructureDesc, StructureId};
+use difi_uarch::residency::ResidencyLog;
 
 /// A stateless handle that can run one workload under one fault mask on a
 /// freshly booted simulator instance.
@@ -32,6 +33,22 @@ pub trait InjectorDispatcher: Sync {
     /// Boots a fresh simulator, loads `program`, injects per `spec`, and
     /// runs to a terminal state. `spec.faults` may be empty (a golden run).
     fn run(&self, program: &Program, spec: &InjectionSpec, limits: &RunLimits) -> RawRunResult;
+
+    /// Runs one golden (fault-free) execution with residency tracing
+    /// enabled on `structures`, returning the recorded per-structure traces
+    /// for the ACE analysis.
+    ///
+    /// The default returns no traces — a dispatcher without instrumentation
+    /// support simply yields nothing to prune with, which is always safe.
+    fn golden_residency(
+        &self,
+        program: &Program,
+        structures: &[StructureId],
+        max_cycles: u64,
+    ) -> Vec<ResidencyLog> {
+        let _ = (program, structures, max_cycles);
+        Vec::new()
+    }
 }
 
 /// Looks up a structure's geometry on a dispatcher.

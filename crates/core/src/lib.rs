@@ -31,8 +31,10 @@ pub mod masks;
 pub mod model;
 pub mod report;
 
+pub use campaign::{run_campaign_pruned, PrunedCampaign};
 pub use classify::{Classifier, Outcome};
 pub use dispatch::InjectorDispatcher;
 pub use model::{
     EarlyStop, FaultRecord, InjectTime, InjectionSpec, RawRunResult, RunLimits, RunStatus,
 };
+pub use report::{AvfComparison, AvfRow};

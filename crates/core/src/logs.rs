@@ -7,13 +7,13 @@
 //! without re-running campaigns.
 
 use crate::model::{InjectionSpec, RawRunResult};
+use difi_util::json::{self, Json};
 use difi_util::{Error, Result};
-use serde::{Deserialize, Serialize};
 use std::io::{BufRead, Write};
 use std::path::Path;
 
 /// One injection run: the mask that was applied and what happened.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunLog {
     /// The fault mask.
     pub spec: InjectionSpec,
@@ -21,8 +21,24 @@ pub struct RunLog {
     pub result: RawRunResult,
 }
 
+impl RunLog {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("spec", self.spec.to_json()),
+            ("result", self.result.to_json()),
+        ])
+    }
+
+    fn from_json(j: &Json) -> Result<RunLog> {
+        Ok(RunLog {
+            spec: InjectionSpec::from_json(j.req("spec")?)?,
+            result: RawRunResult::from_json(j.req("result")?)?,
+        })
+    }
+}
+
 /// A complete campaign log for one (injector, benchmark, structure) cell.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CampaignLog {
     /// Injector name (`"MaFIN-x86"` …).
     pub injector: String,
@@ -48,18 +64,16 @@ impl CampaignLog {
     pub fn save(&self, path: &Path) -> Result<()> {
         let file = std::fs::File::create(path)?;
         let mut w = std::io::BufWriter::new(file);
-        let header = serde_json::json!({
-            "injector": self.injector,
-            "benchmark": self.benchmark,
-            "structure": self.structure,
-            "seed": self.seed,
-            "golden": self.golden,
-        });
+        let header = Json::obj(vec![
+            ("injector", Json::Str(self.injector.clone())),
+            ("benchmark", Json::Str(self.benchmark.clone())),
+            ("structure", Json::Str(self.structure.clone())),
+            ("seed", Json::U64(self.seed)),
+            ("golden", self.golden.to_json()),
+        ]);
         writeln!(w, "{header}").map_err(Error::from)?;
         for run in &self.runs {
-            let line = serde_json::to_string(run)
-                .map_err(|e| Error::Parse(format!("serialize run: {e}")))?;
-            writeln!(w, "{line}").map_err(Error::from)?;
+            writeln!(w, "{}", run.to_json()).map_err(Error::from)?;
         }
         Ok(())
     }
@@ -77,29 +91,29 @@ impl CampaignLog {
             .next()
             .ok_or_else(|| Error::Parse("empty campaign log".into()))?
             .map_err(Error::from)?;
-        let header: serde_json::Value = serde_json::from_str(&header_line)
-            .map_err(|e| Error::Parse(format!("bad header: {e}")))?;
-        let golden: RawRunResult = serde_json::from_value(
-            header
-                .get("golden")
-                .cloned()
-                .ok_or_else(|| Error::Parse("header missing golden".into()))?,
-        )
-        .map_err(|e| Error::Parse(format!("bad golden: {e}")))?;
+        let header =
+            json::parse(&header_line).map_err(|e| Error::Parse(format!("bad header: {e}")))?;
+        let golden = RawRunResult::from_json(header.req("golden")?)
+            .map_err(|e| Error::Parse(format!("bad golden: {e}")))?;
         let get_str = |k: &str| -> Result<String> {
             header
-                .get(k)
-                .and_then(|v| v.as_str())
+                .req(k)?
+                .as_str()
                 .map(String::from)
-                .ok_or_else(|| Error::Parse(format!("header missing {k}")))
+                .ok_or_else(|| Error::Parse(format!("header field '{k}' is not a string")))
         };
+        let seed = header
+            .req("seed")?
+            .as_u64()
+            .ok_or_else(|| Error::Parse("header field 'seed' is not an integer".into()))?;
         let mut runs = Vec::new();
         for line in lines {
             let line = line.map_err(Error::from)?;
             if line.trim().is_empty() {
                 continue;
             }
-            let run: RunLog = serde_json::from_str(&line)
+            let run = json::parse(&line)
+                .and_then(|j| RunLog::from_json(&j))
                 .map_err(|e| Error::Parse(format!("bad run line: {e}")))?;
             runs.push(run);
         }
@@ -107,7 +121,7 @@ impl CampaignLog {
             injector: get_str("injector")?,
             benchmark: get_str("benchmark")?,
             structure: get_str("structure")?,
-            seed: header.get("seed").and_then(|v| v.as_u64()).unwrap_or(0),
+            seed,
             golden,
             runs,
         })
@@ -185,6 +199,24 @@ mod tests {
         let path = dir.join("garbage.jsonl");
         std::fs::write(&path, "not json\n").unwrap();
         assert!(CampaignLog::load(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_missing_seed() {
+        let dir = std::env::temp_dir().join("difi_logs_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("noseed.jsonl");
+        // A header without a seed must be rejected, not silently defaulted.
+        let mut log = sample_log();
+        log.runs.clear();
+        log.save(&path).unwrap();
+        let text = std::fs::read_to_string(&path)
+            .unwrap()
+            .replace("\"seed\":77,", "");
+        std::fs::write(&path, text).unwrap();
+        let err = CampaignLog::load(&path).unwrap_err();
+        assert!(err.to_string().contains("seed"));
         std::fs::remove_file(&path).ok();
     }
 }

@@ -12,6 +12,7 @@
 //! `(seed, parameters)` alone.
 
 use crate::model::{FaultDuration, FaultKindSer, FaultRecord, InjectTime, InjectionSpec};
+use difi_ace::AceProfile;
 use difi_uarch::fault::StructureDesc;
 use difi_util::rng::Xoshiro256;
 use difi_util::stats::sample_size;
@@ -47,12 +48,7 @@ impl MaskGenerator {
     /// Generates `n` single-bit transient masks for one structure over a
     /// benchmark whose fault-free execution takes `cycles` — the campaign
     /// shape used for every figure of the paper.
-    pub fn transient(
-        &mut self,
-        desc: &StructureDesc,
-        cycles: u64,
-        n: u64,
-    ) -> Vec<InjectionSpec> {
+    pub fn transient(&mut self, desc: &StructureDesc, cycles: u64, n: u64) -> Vec<InjectionSpec> {
         (0..n)
             .map(|_| {
                 let (entry, bit, cycle) = self.random_site(desc, cycles);
@@ -211,6 +207,51 @@ impl MaskGenerator {
     }
 }
 
+/// True when every fault in `spec` is **provably masked** by the golden-run
+/// ACE profile, so the run's outcome is known to be Masked without
+/// dispatching it.
+///
+/// The proof only covers the exact shape the profile reasons about:
+/// single-cycle transient flips, injected by cycle, into the profile's own
+/// (data-plane) structure. Any other fault — stuck-at kinds, intermittent
+/// or permanent durations, instruction-indexed injection, other structures
+/// — disqualifies the whole spec, which must then be dispatched normally.
+///
+/// Multi-fault specs are prunable when each fault is individually proven:
+/// by induction over cycles, a run whose every corrupt bit is overwritten
+/// (or never accessed) before any read follows the golden access sequence
+/// exactly, so the per-fault proofs compose.
+pub fn spec_provably_masked(spec: &InjectionSpec, profile: &AceProfile) -> bool {
+    !spec.faults.is_empty()
+        && spec.faults.iter().all(|f| {
+            f.kind == FaultKindSer::Flip
+                && f.duration == FaultDuration::Transient
+                && f.structure == profile.structure()
+                && matches!(f.at, InjectTime::Cycle(c)
+                    if profile.is_provably_masked(f.entry, f.bit, c))
+        })
+}
+
+/// Splits a masks repository into (provably-masked, must-dispatch) index
+/// sets. Pruned masks are returned, never dropped: the campaign controller
+/// logs each as an [`EarlyStop::StaticallyPruned`](crate::model::EarlyStop)
+/// run.
+pub fn partition_provably_masked(
+    masks: &[InjectionSpec],
+    profile: &AceProfile,
+) -> (Vec<usize>, Vec<usize>) {
+    let mut pruned = Vec::new();
+    let mut dispatch = Vec::new();
+    for (i, m) in masks.iter().enumerate() {
+        if spec_provably_masked(m, profile) {
+            pruned.push(i);
+        } else {
+            dispatch.push(i);
+        }
+    }
+    (pruned, dispatch)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -239,6 +280,66 @@ mod tests {
             assert_eq!(f.duration, FaultDuration::Transient);
         }
         assert_eq!(a.len(), 500);
+    }
+
+    #[test]
+    fn generator_determinism_across_seed_sweep() {
+        // Property (seeded sweep): for any seed, regenerating the masks
+        // repository — across every mask family, in the same call order —
+        // yields a byte-identical repository.
+        for seed in 0..50u64 {
+            let mut g1 = MaskGenerator::new(seed);
+            let mut g2 = MaskGenerator::new(seed);
+            let gen = |g: &mut MaskGenerator| {
+                let mut all = g.transient(&desc(), 5_000, 20);
+                all.extend(g.intermittent(&desc(), 5_000, 64, 10));
+                all.extend(g.permanent(&desc(), 5));
+                all.extend(g.multi_bit_same_entry(&desc(), 5_000, 2, 8));
+                all
+            };
+            let a = gen(&mut g1);
+            let b = gen(&mut g2);
+            assert_eq!(a, b, "seed {seed}: repository must be reproducible");
+            let mut ids: Vec<u64> = a.iter().map(|m| m.id).collect();
+            let n = ids.len();
+            ids.dedup();
+            assert_eq!(ids.len(), n, "seed {seed}: mask ids are unique");
+        }
+    }
+
+    #[test]
+    fn pruner_accepts_only_cycle_timed_transient_flips() {
+        use difi_ace::AceProfile;
+        use difi_uarch::residency::ResidencyTracker;
+
+        // Empty, complete trace of the whole structure: every in-range
+        // transient flip is provably masked (nothing is ever read).
+        let t = ResidencyTracker::new();
+        let profile = AceProfile::new(t.into_log(desc(), 1_000)).expect("data plane");
+        let transient = InjectionSpec::single_transient(0, StructureId::IntRegFile, 3, 7, 50);
+        assert!(spec_provably_masked(&transient, &profile));
+
+        // Instruction-timed, stuck, or foreign-structure faults never prune.
+        let mut by_instr = transient.clone();
+        by_instr.faults[0].at = InjectTime::Instruction(5);
+        assert!(!spec_provably_masked(&by_instr, &profile));
+        let mut stuck = transient.clone();
+        stuck.faults[0].kind = FaultKindSer::Stuck1;
+        stuck.faults[0].duration = FaultDuration::Permanent;
+        assert!(!spec_provably_masked(&stuck, &profile));
+        let mut other = transient.clone();
+        other.faults[0].structure = StructureId::L2Data;
+        assert!(!spec_provably_masked(&other, &profile));
+        let empty = InjectionSpec {
+            id: 9,
+            faults: vec![],
+        };
+        assert!(!spec_provably_masked(&empty, &profile));
+
+        let masks = vec![transient, by_instr];
+        let (pruned, dispatch) = partition_provably_masked(&masks, &profile);
+        assert_eq!(pruned, vec![0]);
+        assert_eq!(dispatch, vec![1]);
     }
 
     #[test]

@@ -7,12 +7,17 @@
 //! mask — a set of faults injected in one run, supporting every multiplicity
 //! combination of §III.A (multiple bits of one entry, multiple entries,
 //! multiple structures, and mixtures).
+//!
+//! Everything here serializes to/from the line-oriented JSON of the logs
+//! repository through `difi_util::json` — hand-rolled because the build
+//! environment pins the workspace to the standard library.
 
 use difi_uarch::fault::{FaultKind, StructureId};
-use serde::{Deserialize, Serialize};
+use difi_util::json::Json;
+use difi_util::{Error, Result};
 
 /// When a fault is injected.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InjectTime {
     /// At a simulated cycle (the usual sampling dimension).
     Cycle(u64),
@@ -20,8 +25,27 @@ pub enum InjectTime {
     Instruction(u64),
 }
 
+impl InjectTime {
+    fn to_json(self) -> Json {
+        match self {
+            InjectTime::Cycle(c) => Json::obj(vec![("Cycle", Json::U64(c))]),
+            InjectTime::Instruction(n) => Json::obj(vec![("Instruction", Json::U64(n))]),
+        }
+    }
+
+    fn from_json(j: &Json) -> Result<InjectTime> {
+        if let Some(c) = j.get("Cycle").and_then(Json::as_u64) {
+            Ok(InjectTime::Cycle(c))
+        } else if let Some(n) = j.get("Instruction").and_then(Json::as_u64) {
+            Ok(InjectTime::Instruction(n))
+        } else {
+            Err(Error::Parse(format!("bad inject time: {j}")))
+        }
+    }
+}
+
 /// How long a fault persists (Table III).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultDuration {
     /// Transient: a single bit flip at the injection time.
     Transient,
@@ -34,14 +58,42 @@ pub enum FaultDuration {
     Permanent,
 }
 
+impl FaultDuration {
+    fn to_json(self) -> Json {
+        match self {
+            FaultDuration::Transient => Json::Str("Transient".into()),
+            FaultDuration::Intermittent { cycles } => Json::obj(vec![(
+                "Intermittent",
+                Json::obj(vec![("cycles", Json::U64(cycles))]),
+            )]),
+            FaultDuration::Permanent => Json::Str("Permanent".into()),
+        }
+    }
+
+    fn from_json(j: &Json) -> Result<FaultDuration> {
+        match j.as_str() {
+            Some("Transient") => return Ok(FaultDuration::Transient),
+            Some("Permanent") => return Ok(FaultDuration::Permanent),
+            _ => {}
+        }
+        if let Some(cycles) = j
+            .get("Intermittent")
+            .and_then(|v| v.get("cycles"))
+            .and_then(Json::as_u64)
+        {
+            return Ok(FaultDuration::Intermittent { cycles });
+        }
+        Err(Error::Parse(format!("bad fault duration: {j}")))
+    }
+}
+
 /// One bit-level fault to inject.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultRecord {
     /// Target core (always 0 in the single-core study; kept for the
     /// multicore-capable mask format of the paper).
     pub core: u32,
     /// Target structure.
-    #[serde(with = "structure_id_serde")]
     pub structure: StructureId,
     /// Entry (row) within the structure.
     pub entry: u64,
@@ -57,8 +109,57 @@ pub struct FaultRecord {
     pub duration: FaultDuration,
 }
 
+impl FaultRecord {
+    /// JSON form used by the mask repository.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("core", Json::U64(u64::from(self.core))),
+            ("structure", Json::Str(self.structure.name().into())),
+            ("entry", Json::U64(self.entry)),
+            ("bit", Json::U64(u64::from(self.bit))),
+            ("kind", Json::Str(self.kind.name().into())),
+            ("at", self.at.to_json()),
+            ("duration", self.duration.to_json()),
+        ])
+    }
+
+    /// Parses the repository JSON form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Parse`] when a field is missing or malformed.
+    pub fn from_json(j: &Json) -> Result<FaultRecord> {
+        let field_u64 = |key: &str| -> Result<u64> {
+            j.req(key)?
+                .as_u64()
+                .ok_or_else(|| Error::Parse(format!("field '{key}' is not an integer")))
+        };
+        let structure_name = j
+            .req("structure")?
+            .as_str()
+            .ok_or_else(|| Error::Parse("field 'structure' is not a string".into()))?;
+        let structure = StructureId::from_name(structure_name)
+            .ok_or_else(|| Error::Parse(format!("unknown structure {structure_name}")))?;
+        let kind_name = j
+            .req("kind")?
+            .as_str()
+            .ok_or_else(|| Error::Parse("field 'kind' is not a string".into()))?;
+        Ok(FaultRecord {
+            core: u32::try_from(field_u64("core")?)
+                .map_err(|_| Error::Parse("field 'core' out of range".into()))?,
+            structure,
+            entry: field_u64("entry")?,
+            bit: u32::try_from(field_u64("bit")?)
+                .map_err(|_| Error::Parse("field 'bit' out of range".into()))?,
+            kind: FaultKindSer::from_name(kind_name)?,
+            at: InjectTime::from_json(j.req("at")?)?,
+            duration: FaultDuration::from_json(j.req("duration")?)?,
+        })
+    }
+}
+
 /// Serializable mirror of [`FaultKind`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultKindSer {
     /// Transient bit flip.
     Flip,
@@ -66,6 +167,31 @@ pub enum FaultKindSer {
     Stuck0,
     /// Stuck at one.
     Stuck1,
+}
+
+impl FaultKindSer {
+    /// Stable name used in persisted masks.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKindSer::Flip => "Flip",
+            FaultKindSer::Stuck0 => "Stuck0",
+            FaultKindSer::Stuck1 => "Stuck1",
+        }
+    }
+
+    /// Inverse of [`FaultKindSer::name`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Parse`] for an unknown name.
+    pub fn from_name(s: &str) -> Result<FaultKindSer> {
+        match s {
+            "Flip" => Ok(FaultKindSer::Flip),
+            "Stuck0" => Ok(FaultKindSer::Stuck0),
+            "Stuck1" => Ok(FaultKindSer::Stuck1),
+            _ => Err(Error::Parse(format!("unknown fault kind {s}"))),
+        }
+    }
 }
 
 impl From<FaultKindSer> for FaultKind {
@@ -78,22 +204,8 @@ impl From<FaultKindSer> for FaultKind {
     }
 }
 
-mod structure_id_serde {
-    use difi_uarch::fault::StructureId;
-    use serde::{de::Error, Deserialize, Deserializer, Serializer};
-
-    pub fn serialize<S: Serializer>(id: &StructureId, s: S) -> Result<S::Ok, S::Error> {
-        s.serialize_str(id.name())
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<StructureId, D::Error> {
-        let s = String::deserialize(d)?;
-        StructureId::from_name(&s).ok_or_else(|| D::Error::custom(format!("unknown structure {s}")))
-    }
-}
-
 /// A complete fault mask for one injection run.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InjectionSpec {
     /// Identifier within the campaign (mask repository index).
     pub id: u64,
@@ -124,10 +236,41 @@ impl InjectionSpec {
             }],
         }
     }
+
+    /// JSON form used by the mask repository.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("id", Json::U64(self.id)),
+            (
+                "faults",
+                Json::Arr(self.faults.iter().map(FaultRecord::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Parses the repository JSON form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Parse`] when a field is missing or malformed.
+    pub fn from_json(j: &Json) -> Result<InjectionSpec> {
+        let id = j
+            .req("id")?
+            .as_u64()
+            .ok_or_else(|| Error::Parse("field 'id' is not an integer".into()))?;
+        let faults = j
+            .req("faults")?
+            .as_arr()
+            .ok_or_else(|| Error::Parse("field 'faults' is not an array".into()))?
+            .iter()
+            .map(FaultRecord::from_json)
+            .collect::<Result<Vec<_>>>()?;
+        Ok(InjectionSpec { id, faults })
+    }
 }
 
 /// Execution limits for one run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunLimits {
     /// Hard cycle budget. The campaign sets this to 3× the fault-free cycle
     /// count, the paper's timeout threshold.
@@ -163,7 +306,7 @@ impl RunLimits {
 
 /// Why a run ended — the raw, unclassified record written to the logs
 /// repository.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RunStatus {
     /// The workload ran to completion (exit code attached). Whether it is
     /// Masked / SDC / DUE is the parser's decision, not the simulator's.
@@ -185,17 +328,105 @@ pub enum RunStatus {
     EarlyStopMasked(EarlyStop),
 }
 
-/// Which early-stop rule fired (§III.B.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+impl RunStatus {
+    /// JSON form used by the logs repository.
+    pub fn to_json(&self) -> Json {
+        match self {
+            RunStatus::Completed { exit_code } => Json::obj(vec![(
+                "Completed",
+                Json::obj(vec![("exit_code", Json::U64(*exit_code))]),
+            )]),
+            RunStatus::Timeout => Json::Str("Timeout".into()),
+            RunStatus::ProcessCrash(m) => Json::obj(vec![("ProcessCrash", Json::Str(m.clone()))]),
+            RunStatus::SystemCrash(m) => Json::obj(vec![("SystemCrash", Json::Str(m.clone()))]),
+            RunStatus::SimulatorAssert(m) => {
+                Json::obj(vec![("SimulatorAssert", Json::Str(m.clone()))])
+            }
+            RunStatus::SimulatorCrash(m) => {
+                Json::obj(vec![("SimulatorCrash", Json::Str(m.clone()))])
+            }
+            RunStatus::EarlyStopMasked(e) => {
+                Json::obj(vec![("EarlyStopMasked", Json::Str(e.name().into()))])
+            }
+        }
+    }
+
+    /// Parses the logs-repository JSON form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Parse`] on an unknown or malformed status.
+    pub fn from_json(j: &Json) -> Result<RunStatus> {
+        if j.as_str() == Some("Timeout") {
+            return Ok(RunStatus::Timeout);
+        }
+        if let Some(c) = j.get("Completed") {
+            let exit_code = c
+                .req("exit_code")?
+                .as_u64()
+                .ok_or_else(|| Error::Parse("bad exit_code".into()))?;
+            return Ok(RunStatus::Completed { exit_code });
+        }
+        let str_variant = |key: &str| j.get(key).and_then(Json::as_str).map(String::from);
+        if let Some(m) = str_variant("ProcessCrash") {
+            return Ok(RunStatus::ProcessCrash(m));
+        }
+        if let Some(m) = str_variant("SystemCrash") {
+            return Ok(RunStatus::SystemCrash(m));
+        }
+        if let Some(m) = str_variant("SimulatorAssert") {
+            return Ok(RunStatus::SimulatorAssert(m));
+        }
+        if let Some(m) = str_variant("SimulatorCrash") {
+            return Ok(RunStatus::SimulatorCrash(m));
+        }
+        if let Some(name) = j.get("EarlyStopMasked").and_then(Json::as_str) {
+            return Ok(RunStatus::EarlyStopMasked(EarlyStop::from_name(name)?));
+        }
+        Err(Error::Parse(format!("bad run status: {j}")))
+    }
+}
+
+/// Which early-stop rule fired (§III.B.2), or whether the static pruner
+/// classified the mask before dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EarlyStop {
     /// Rule (i): the fault landed in an invalid/unused entry.
     DeadEntry,
     /// Rule (ii): the faulty entry was overwritten before ever being read.
     OverwrittenBeforeRead,
+    /// The static ACE analysis proved the fault site dead before dispatch;
+    /// the run was never executed (`difi-ace` pruning).
+    StaticallyPruned,
+}
+
+impl EarlyStop {
+    /// Stable name used in persisted logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            EarlyStop::DeadEntry => "DeadEntry",
+            EarlyStop::OverwrittenBeforeRead => "OverwrittenBeforeRead",
+            EarlyStop::StaticallyPruned => "StaticallyPruned",
+        }
+    }
+
+    /// Inverse of [`EarlyStop::name`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Parse`] for an unknown name.
+    pub fn from_name(s: &str) -> Result<EarlyStop> {
+        match s {
+            "DeadEntry" => Ok(EarlyStop::DeadEntry),
+            "OverwrittenBeforeRead" => Ok(EarlyStop::OverwrittenBeforeRead),
+            "StaticallyPruned" => Ok(EarlyStop::StaticallyPruned),
+            _ => Err(Error::Parse(format!("unknown early-stop rule {s}"))),
+        }
+    }
 }
 
 /// Everything one injection run reports back to the campaign controller.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RawRunResult {
     /// Terminal status.
     pub status: RunStatus,
@@ -209,6 +440,64 @@ pub struct RawRunResult {
     pub instructions: u64,
     /// True if any injected fault was read after injection.
     pub fault_consumed: bool,
+}
+
+impl RawRunResult {
+    /// JSON form used by the logs repository.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("status", self.status.to_json()),
+            (
+                "output",
+                Json::Arr(
+                    self.output
+                        .iter()
+                        .map(|b| Json::U64(u64::from(*b)))
+                        .collect(),
+                ),
+            ),
+            ("exceptions", Json::U64(self.exceptions)),
+            ("cycles", Json::U64(self.cycles)),
+            ("instructions", Json::U64(self.instructions)),
+            ("fault_consumed", Json::Bool(self.fault_consumed)),
+        ])
+    }
+
+    /// Parses the logs-repository JSON form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Parse`] when a field is missing or malformed.
+    pub fn from_json(j: &Json) -> Result<RawRunResult> {
+        let field_u64 = |key: &str| -> Result<u64> {
+            j.req(key)?
+                .as_u64()
+                .ok_or_else(|| Error::Parse(format!("field '{key}' is not an integer")))
+        };
+        let output = j
+            .req("output")?
+            .as_arr()
+            .ok_or_else(|| Error::Parse("field 'output' is not an array".into()))?
+            .iter()
+            .map(|b| {
+                b.as_u64()
+                    .and_then(|v| u8::try_from(v).ok())
+                    .ok_or_else(|| Error::Parse("bad output byte".into()))
+            })
+            .collect::<Result<Vec<u8>>>()?;
+        let fault_consumed = j
+            .req("fault_consumed")?
+            .as_bool()
+            .ok_or_else(|| Error::Parse("field 'fault_consumed' is not a bool".into()))?;
+        Ok(RawRunResult {
+            status: RunStatus::from_json(j.req("status")?)?,
+            output,
+            exceptions: field_u64("exceptions")?,
+            cycles: field_u64("cycles")?,
+            instructions: field_u64("instructions")?,
+            fault_consumed,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -228,9 +517,9 @@ mod tests {
     #[test]
     fn spec_json_roundtrip() {
         let s = InjectionSpec::single_transient(1, StructureId::IntRegFile, 3, 63, 9);
-        let j = serde_json::to_string(&s).unwrap();
+        let j = s.to_json().to_string();
         assert!(j.contains("int_prf"));
-        let back: InjectionSpec = serde_json::from_str(&j).unwrap();
+        let back = InjectionSpec::from_json(&difi_util::json::parse(&j).unwrap()).unwrap();
         assert_eq!(back, s);
     }
 
@@ -251,8 +540,23 @@ mod tests {
             instructions: 120,
             fault_consumed: true,
         };
-        let j = serde_json::to_string(&r).unwrap();
-        let back: RawRunResult = serde_json::from_str(&j).unwrap();
+        let j = r.to_json().to_string();
+        let back = RawRunResult::from_json(&difi_util::json::parse(&j).unwrap()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn early_stop_names_roundtrip() {
+        for e in [
+            EarlyStop::DeadEntry,
+            EarlyStop::OverwrittenBeforeRead,
+            EarlyStop::StaticallyPruned,
+        ] {
+            assert_eq!(EarlyStop::from_name(e.name()).unwrap(), e);
+        }
+        let r = RunStatus::EarlyStopMasked(EarlyStop::StaticallyPruned);
+        let j = r.to_json().to_string();
+        let back = RunStatus::from_json(&difi_util::json::parse(&j).unwrap()).unwrap();
         assert_eq!(back, r);
     }
 

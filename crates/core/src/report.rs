@@ -4,10 +4,9 @@
 use crate::classify::{Classifier, Outcome};
 use crate::logs::CampaignLog;
 use difi_util::stats::Proportion;
-use serde::{Deserialize, Serialize};
 
 /// Counts per fault-effect class for one campaign cell.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ClassCounts {
     /// Masked runs.
     pub masked: u64,
@@ -111,7 +110,7 @@ pub fn classify_log_with(log: &CampaignLog, classifier: &Classifier) -> ClassCou
 
 /// One row of a figure: a benchmark with its three per-injector cells
 /// (MaFIN-x86, GeFIN-x86, GeFIN-ARM — the paper's three stacked bars).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FigureRow {
     /// Benchmark name.
     pub benchmark: String,
@@ -120,7 +119,7 @@ pub struct FigureRow {
 }
 
 /// A full figure: one hardware structure across benchmarks and injectors.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Figure {
     /// Figure title (e.g. "Fig. 3 — L1D cache (data arrays)").
     pub title: String,
@@ -178,6 +177,97 @@ impl Figure {
     }
 }
 
+/// One cell of the static-vs-measured AVF comparison: a structure on a
+/// benchmark under one injector backend.
+#[derive(Debug, Clone)]
+pub struct AvfRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Injector backend (`"MaFIN-x86"`, `"GeFIN-ARM"`, …).
+    pub injector: String,
+    /// Structure name (`"int_prf"`, `"l1d_data"`, …).
+    pub structure: String,
+    /// Static AVF from the golden-run residency trace (`difi-ace`).
+    pub static_avf: f64,
+    /// Measured non-Masked rate of the matching injection campaign.
+    pub measured: f64,
+    /// Injection runs behind the measured estimate.
+    pub runs: u64,
+    /// False when the residency trace was truncated, making `static_avf` a
+    /// lower bound.
+    pub exact: bool,
+}
+
+/// The differential study's third axis: static ACE-derived AVF against the
+/// measured non-Masked rate, per structure × benchmark × backend.
+///
+/// Static AVF over-approximates measured vulnerability (ACE counts every
+/// consumed bit; the machine masks many consumed corruptions downstream),
+/// so `static ≥ measured` is the expected relation — rows violating it
+/// localize modeling disagreements exactly like the paper's cross-simulator
+/// comparison does.
+#[derive(Debug, Clone, Default)]
+pub struct AvfComparison {
+    /// Comparison rows, in insertion order.
+    pub rows: Vec<AvfRow>,
+}
+
+impl AvfComparison {
+    /// An empty comparison.
+    pub fn new() -> AvfComparison {
+        AvfComparison::default()
+    }
+
+    /// Adds one cell, deriving the measured rate from campaign counts.
+    pub fn push(
+        &mut self,
+        benchmark: &str,
+        injector: &str,
+        structure: &str,
+        static_avf: f64,
+        exact: bool,
+        counts: &ClassCounts,
+    ) {
+        self.rows.push(AvfRow {
+            benchmark: benchmark.to_string(),
+            injector: injector.to_string(),
+            structure: structure.to_string(),
+            static_avf,
+            measured: counts.vulnerability(),
+            runs: counts.total(),
+            exact,
+        });
+    }
+
+    /// Renders the comparison as an aligned text table (percentages).
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str(
+            "Static ACE/AVF vs. measured non-Masked rate
+",
+        );
+        s.push_str(&format!(
+            "{:<10} {:<11} {:<10} {:>9} {:>9} {:>6}
+",
+            "benchmark", "injector", "structure", "static%", "meas%", "runs"
+        ));
+        for r in &self.rows {
+            s.push_str(&format!(
+                "{:<10} {:<11} {:<10} {:>8.2}{} {:>9.2} {:>6}
+",
+                r.benchmark,
+                r.injector,
+                r.structure,
+                100.0 * r.static_avf,
+                if r.exact { " " } else { "+" },
+                100.0 * r.measured,
+                r.runs,
+            ));
+        }
+        s
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,13 +313,7 @@ mod tests {
                 .into_iter()
                 .enumerate()
                 .map(|(i, result)| RunLog {
-                    spec: InjectionSpec::single_transient(
-                        i as u64,
-                        StructureId::L1dData,
-                        0,
-                        0,
-                        0,
-                    ),
+                    spec: InjectionSpec::single_transient(i as u64, StructureId::L1dData, 0, 0, 0),
                     result,
                 })
                 .collect(),

@@ -30,6 +30,7 @@
 //! # }
 //! ```
 
+pub use difi_ace as ace;
 pub use difi_core as core;
 pub use difi_gem as gem;
 pub use difi_isa as isa;
@@ -69,20 +70,26 @@ pub mod setups {
 /// One-stop imports for examples and tools.
 pub mod prelude {
     pub use crate::setups;
-    pub use difi_core::campaign::{golden_run, run_campaign, CampaignConfig};
+    pub use difi_ace::{AceProfile, ArchRegAvf, Liveness, RegSet, StaticAvf};
+    pub use difi_core::campaign::{
+        golden_run, run_campaign, run_campaign_pruned, CampaignConfig, PrunedCampaign,
+    };
     pub use difi_core::classify::{Classifier, FineOutcome, Outcome};
     pub use difi_core::logs::{CampaignLog, RunLog};
-    pub use difi_core::masks::MaskGenerator;
+    pub use difi_core::masks::{partition_provably_masked, spec_provably_masked, MaskGenerator};
     pub use difi_core::model::{
         EarlyStop, FaultDuration, FaultKindSer, FaultRecord, InjectTime, InjectionSpec,
         RawRunResult, RunLimits, RunStatus,
     };
-    pub use difi_core::report::{classify_log, classify_log_with, ClassCounts, Figure, FigureRow};
+    pub use difi_core::report::{
+        classify_log, classify_log_with, AvfComparison, AvfRow, ClassCounts, Figure, FigureRow,
+    };
     pub use difi_core::InjectorDispatcher;
     pub use difi_gem::{gem_config, GeFin};
     pub use difi_isa::program::{Isa, Program};
     pub use difi_mars::{mars_config, MaFin};
     pub use difi_uarch::fault::{StructureDesc, StructureId};
+    pub use difi_uarch::residency::{Instrument, ResidencyLog};
     pub use difi_workloads::{build, reference_output, Bench};
 }
 

@@ -48,10 +48,11 @@ use difi_core::InjectorDispatcher;
 use difi_isa::program::{Isa, Program};
 use difi_mars::{to_engine_faults, to_run_status};
 use difi_uarch::cache::CacheConfig;
-use difi_uarch::fault::StructureDesc;
+use difi_uarch::fault::{StructureDesc, StructureId};
 use difi_uarch::pipeline::engine::EngineLimits;
 use difi_uarch::pipeline::{BtbOrg, CoreConfig, CorePolicy, LsqOrg, OoOCore};
 use difi_uarch::predictor::TournamentConfig;
+use difi_uarch::residency::ResidencyLog;
 
 /// The GemSim core configuration for one ISA (Table II, gem5 columns).
 pub fn gem_config(isa: Isa) -> CoreConfig {
@@ -176,6 +177,24 @@ impl InjectorDispatcher for GeFin {
             instructions: run.stats.committed_instructions,
             fault_consumed: run.fault_consumed,
         }
+    }
+
+    fn golden_residency(
+        &self,
+        program: &Program,
+        structures: &[StructureId],
+        max_cycles: u64,
+    ) -> Vec<ResidencyLog> {
+        assert_eq!(program.isa, self.isa, "program ISA must match the model");
+        let mut core = OoOCore::new(self.cfg, program);
+        core.enable_residency(structures);
+        let elim = EngineLimits {
+            max_cycles,
+            early_stop: false,
+            deadlock_window: RunLimits::golden(max_cycles).deadlock_window,
+        };
+        core.run(&[], &elim);
+        core.take_residency()
     }
 }
 

@@ -56,7 +56,7 @@ fn field(w: u32, hi: u32, lo: u32) -> u32 {
 }
 
 fn gpr5(v: u32) -> Option<Reg> {
-    (v < 16).then(|| Reg(v as u8))
+    (v < 16).then_some(Reg(v as u8))
 }
 
 fn fpr5(v: u32) -> Option<Reg> {
@@ -235,7 +235,11 @@ pub fn decode(bytes: &[u8], pc: u64) -> Decoded {
             ) else {
                 return illegal();
             };
-            let width = if w >> 6 & 1 != 0 { Width::B4 } else { Width::B8 };
+            let width = if w >> 6 & 1 != 0 {
+                Width::B4
+            } else {
+                Width::B8
+            };
             // Mov uses only ra.
             let (ra, rb) = if op == IntOp::Mov {
                 (Some(ra), None)
@@ -255,7 +259,11 @@ pub fn decode(bytes: &[u8], pc: u64) -> Decoded {
             let (Some(rd), Some(ra)) = (gpr5(field(w, 25, 21)), gpr5(field(w, 20, 16))) else {
                 return illegal();
             };
-            let width = if w >> 11 & 1 != 0 { Width::B4 } else { Width::B8 };
+            let width = if w >> 11 & 1 != 0 {
+                Width::B4
+            } else {
+                Width::B8
+            };
             let imm = sext(field(w, 10, 0), 11);
             let ra = if op == IntOp::Mov { None } else { Some(ra) };
             // Immediate-form Mov ignores ra and loads the immediate.

@@ -179,7 +179,7 @@ impl Asm {
     // -- data section ------------------------------------------------------
 
     fn data_align(&mut self, align: usize) {
-        while self.data.len() % align != 0 {
+        while !self.data.len().is_multiple_of(align) {
             self.data.push(0);
         }
     }
@@ -403,7 +403,13 @@ impl Asm {
                     self.emit_w(arme::encode_load(w, signed, rd, base, off));
                 } else {
                     self.li_any(SCRATCH, off as i64);
-                    self.emit_w(arme::encode_alu_rrr(IntOp::Add, false, SCRATCH, base, SCRATCH));
+                    self.emit_w(arme::encode_alu_rrr(
+                        IntOp::Add,
+                        false,
+                        SCRATCH,
+                        base,
+                        SCRATCH,
+                    ));
                     self.emit_w(arme::encode_load(w, signed, rd, SCRATCH, 0));
                 }
             }
@@ -424,7 +430,13 @@ impl Asm {
                     self.emit_w(arme::encode_store(w, rs, base, off));
                 } else {
                     self.li_any(SCRATCH, off as i64);
-                    self.emit_w(arme::encode_alu_rrr(IntOp::Add, false, SCRATCH, base, SCRATCH));
+                    self.emit_w(arme::encode_alu_rrr(
+                        IntOp::Add,
+                        false,
+                        SCRATCH,
+                        base,
+                        SCRATCH,
+                    ));
                     self.emit_w(arme::encode_store(w, rs, SCRATCH, 0));
                 }
             }
@@ -539,10 +551,7 @@ impl Asm {
     fn emit_bcond_raw(&mut self, c: Cond, ra: u8, rb: u8, target: Label) {
         let at = self.code.len();
         // Encode with a placeholder offset; register fields are final.
-        let w = (0x08u32 << 26)
-            | (c.index() as u32) << 22
-            | (ra as u32) << 17
-            | (rb as u32) << 12;
+        let w = (0x08u32 << 26) | (c.index() as u32) << 22 | (ra as u32) << 17 | (rb as u32) << 12;
         self.emit_w(w);
         self.fixups.push(Fixup {
             at,
@@ -761,7 +770,13 @@ impl Asm {
                     self.emit_w(arme::encode_fload(fd, base, off));
                 } else {
                     self.li_any(SCRATCH, off as i64);
-                    self.emit_w(arme::encode_alu_rrr(IntOp::Add, false, SCRATCH, base, SCRATCH));
+                    self.emit_w(arme::encode_alu_rrr(
+                        IntOp::Add,
+                        false,
+                        SCRATCH,
+                        base,
+                        SCRATCH,
+                    ));
                     self.emit_w(arme::encode_fload(fd, SCRATCH, 0));
                 }
             }
@@ -782,7 +797,13 @@ impl Asm {
                     self.emit_w(arme::encode_fstore(fs, base, off));
                 } else {
                     self.li_any(SCRATCH, off as i64);
-                    self.emit_w(arme::encode_alu_rrr(IntOp::Add, false, SCRATCH, base, SCRATCH));
+                    self.emit_w(arme::encode_alu_rrr(
+                        IntOp::Add,
+                        false,
+                        SCRATCH,
+                        base,
+                        SCRATCH,
+                    ));
                     self.emit_w(arme::encode_fstore(fs, SCRATCH, 0));
                 }
             }
@@ -838,9 +859,12 @@ impl Asm {
                 let b = x86e::encode_movif(fd, SCRATCH);
                 self.emit(&b);
             }
-            Isa::Arme => {
-                self.emit_w(arme::encode_fpalu(crate::uop::FpOp::FromBits, fd, SCRATCH, 0))
-            }
+            Isa::Arme => self.emit_w(arme::encode_fpalu(
+                crate::uop::FpOp::FromBits,
+                fd,
+                SCRATCH,
+                0,
+            )),
         }
     }
 
@@ -923,7 +947,11 @@ impl Asm {
                             "bcond displacement {disp} out of range in {name}"
                         )));
                     }
-                    let mut w = u32::from_le_bytes(code[f.at..f.at + 4].try_into().unwrap());
+                    let mut w = u32::from_le_bytes(
+                        code[f.at..f.at + 4]
+                            .try_into()
+                            .expect("fixup slice is 4 bytes"),
+                    );
                     w |= (words as u32) & 0xFFF;
                     code[f.at..f.at + 4].copy_from_slice(&w.to_le_bytes());
                 }
@@ -934,7 +962,11 @@ impl Asm {
                             "b/bl displacement out of range in {name}"
                         )));
                     }
-                    let mut w = u32::from_le_bytes(code[f.at..f.at + 4].try_into().unwrap());
+                    let mut w = u32::from_le_bytes(
+                        code[f.at..f.at + 4]
+                            .try_into()
+                            .expect("fixup slice is 4 bytes"),
+                    );
                     w |= (words as u32) & 0x3FF_FFFF;
                     code[f.at..f.at + 4].copy_from_slice(&w.to_le_bytes());
                 }

@@ -10,8 +10,7 @@
 use crate::kernel::{self, FlatMem, KernelOutcome};
 use crate::program::{Isa, MemoryMap, Program};
 use crate::uop::{
-    compare_flags, fp_compare_flags, BranchKind, Fault, FpOp, IntOp, Reg, Uop, UopKind,
-    Width,
+    compare_flags, fp_compare_flags, BranchKind, Fault, FpOp, IntOp, Reg, Uop, UopKind, Width,
 };
 
 /// Why an emulation ended.
@@ -292,16 +291,28 @@ impl Emulator {
         if !self.map.contains(addr, len) {
             return Err(Fault::OutOfBounds(addr));
         }
-        if self.isa == Isa::Arme && addr % len != 0 {
+        if self.isa == Isa::Arme && !addr.is_multiple_of(len) {
             // Alignment trap: the nano-kernel fixes it up and logs it.
             self.note_alignment()?;
         }
         let a = addr as usize;
         let raw = match w {
             Width::B1 => self.mem[a] as u64,
-            Width::B2 => u16::from_le_bytes(self.mem[a..a + 2].try_into().unwrap()) as u64,
-            Width::B4 => u32::from_le_bytes(self.mem[a..a + 4].try_into().unwrap()) as u64,
-            Width::B8 => u64::from_le_bytes(self.mem[a..a + 8].try_into().unwrap()),
+            Width::B2 => u16::from_le_bytes(
+                self.mem[a..a + 2]
+                    .try_into()
+                    .expect("bounds-checked 2-byte slice"),
+            ) as u64,
+            Width::B4 => u32::from_le_bytes(
+                self.mem[a..a + 4]
+                    .try_into()
+                    .expect("bounds-checked 4-byte slice"),
+            ) as u64,
+            Width::B8 => u64::from_le_bytes(
+                self.mem[a..a + 8]
+                    .try_into()
+                    .expect("bounds-checked 8-byte slice"),
+            ),
         };
         Ok(extend(raw, w, signed))
     }
@@ -314,7 +325,7 @@ impl Emulator {
         if self.map.in_code(addr, len) {
             return Err(Fault::CodeWrite(addr));
         }
-        if self.isa == Isa::Arme && addr % len != 0 {
+        if self.isa == Isa::Arme && !addr.is_multiple_of(len) {
             self.note_alignment()?;
         }
         let a = addr as usize;

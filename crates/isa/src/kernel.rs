@@ -16,8 +16,8 @@
 //! the paper's Remark 3), while GemSim implements it with *through-cache
 //! accesses* (gem5 handles the whole system internally).
 
-use crate::uop::Fault;
 use crate::program::MemoryMap;
+use crate::uop::Fault;
 
 /// Magic word at the base of the kernel region; checked on every kernel
 /// entry. A corrupted magic is an unrecoverable kernel panic.
@@ -193,7 +193,10 @@ fn note_console<M: KernelMem + ?Sized>(
 /// unknown syscall). Returns a panic outcome if the kernel state itself is
 /// broken. Every successful call increments the exception counter that the
 /// fault classifier later compares against the golden run (the DUE signal).
-pub fn log_exception<M: KernelMem + ?Sized>(mem: &mut M, map: &MemoryMap) -> Result<(), KernelOutcome> {
+pub fn log_exception<M: KernelMem + ?Sized>(
+    mem: &mut M,
+    map: &MemoryMap,
+) -> Result<(), KernelOutcome> {
     check_magic(mem, map)?;
     let addr = map.kernel_base + EXC_COUNT_OFF;
     let v = mem

@@ -593,7 +593,14 @@ impl Uop {
     }
 
     /// Builds an integer ALU µop `rd = ra op rb`.
-    pub fn alu(op: IntOp, width: Width, rd: Reg, ra: Option<Reg>, rb: Option<Reg>, imm: i64) -> Uop {
+    pub fn alu(
+        op: IntOp,
+        width: Width,
+        rd: Reg,
+        ra: Option<Reg>,
+        rb: Option<Reg>,
+        imm: i64,
+    ) -> Uop {
         Uop {
             kind: UopKind::Alu,
             alu: op,
@@ -791,7 +798,14 @@ mod tests {
         let s = Uop::store(Width::B8, Reg::gpr(1), Reg::gpr(3), 16);
         assert_eq!(s.rb, Some(Reg::gpr(1)));
         assert!(!s.writes_int());
-        let a = Uop::alu(IntOp::Add, Width::B8, Reg::gpr(0), Some(Reg::gpr(1)), Some(Reg::gpr(2)), 0);
+        let a = Uop::alu(
+            IntOp::Add,
+            Width::B8,
+            Reg::gpr(0),
+            Some(Reg::gpr(1)),
+            Some(Reg::gpr(2)),
+            0,
+        );
         assert!(a.writes_int() && !a.writes_fp() && !a.is_branch());
     }
 }

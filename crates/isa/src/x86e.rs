@@ -62,9 +62,7 @@
 //! displacements are relative to the *end* of the instruction. All other
 //! opcode bytes are illegal.
 
-use crate::uop::{
-    BranchKind, Cond, Decoded, FpOp, IntOp, Reg, Uop, UopKind, Width,
-};
+use crate::uop::{BranchKind, Cond, Decoded, FpOp, IntOp, Reg, Uop, UopKind, Width};
 
 /// Opcode of `nop`.
 pub const OPC_NOP: u8 = 0x01;
@@ -169,7 +167,10 @@ pub fn encode_store(w: Width, rs: u8, base: u8, disp: i32) -> Vec<u8> {
 ///
 /// Panics if `op` is not one of the five foldable operations.
 pub fn encode_alu_mem(op: IntOp, rd: u8, base: u8, disp: i32) -> Vec<u8> {
-    assert!(op.index() <= 4, "only add/sub/and/or/xor fold a memory operand");
+    assert!(
+        op.index() <= 4,
+        "only add/sub/and/or/xor fold a memory operand"
+    );
     if (-128..=127).contains(&disp) {
         vec![0xA0 + op.index(), mr(rd, base), disp as i8 as u8]
     } else {
@@ -421,8 +422,12 @@ pub fn decode(bytes: &[u8], pc: u64) -> Decoded {
         }
         // ALU register-register forms.
         0x10..=0x1E | 0x40..=0x4E => {
-            let op = IntOp::from_index(opc & 0xF).unwrap();
-            let w = if opc & 0xF0 == 0x40 { Width::B4 } else { Width::B8 };
+            let op = IntOp::from_index(opc & 0xF).expect("masked ALU opcode index is in table");
+            let w = if opc & 0xF0 == 0x40 {
+                Width::B4
+            } else {
+                Width::B8
+            };
             let Some(&m) = bytes.get(1) else {
                 return Decoded::illegal(1);
             };
@@ -431,8 +436,12 @@ pub fn decode(bytes: &[u8], pc: u64) -> Decoded {
         }
         // ALU register-imm8 forms.
         0x20..=0x2E | 0x50..=0x5E => {
-            let op = IntOp::from_index(opc & 0xF).unwrap();
-            let w = if opc & 0xF0 == 0x50 { Width::B4 } else { Width::B8 };
+            let op = IntOp::from_index(opc & 0xF).expect("masked ALU opcode index is in table");
+            let w = if opc & 0xF0 == 0x50 {
+                Width::B4
+            } else {
+                Width::B8
+            };
             let (Some(&m), Some(imm)) = (bytes.get(1), i8_at(bytes, 2)) else {
                 return Decoded::illegal(1);
             };
@@ -440,8 +449,12 @@ pub fn decode(bytes: &[u8], pc: u64) -> Decoded {
         }
         // ALU register-imm32 forms.
         0x30..=0x3E | 0x60..=0x6E => {
-            let op = IntOp::from_index(opc & 0xF).unwrap();
-            let w = if opc & 0xF0 == 0x60 { Width::B4 } else { Width::B8 };
+            let op = IntOp::from_index(opc & 0xF).expect("masked ALU opcode index is in table");
+            let w = if opc & 0xF0 == 0x60 {
+                Width::B4
+            } else {
+                Width::B8
+            };
             let (Some(&m), Some(imm)) = (bytes.get(1), i32_at(bytes, 2)) else {
                 return Decoded::illegal(1);
             };
@@ -449,7 +462,7 @@ pub fn decode(bytes: &[u8], pc: u64) -> Decoded {
         }
         // jcc rel16
         0x70..=0x79 => {
-            let cond = Cond::from_index(opc & 0xF).unwrap();
+            let cond = Cond::from_index(opc & 0xF).expect("masked jcc opcode index is in table");
             let Some(d) = i16_at(bytes, 1) else {
                 return Decoded::illegal(1);
             };
@@ -515,7 +528,7 @@ pub fn decode(bytes: &[u8], pc: u64) -> Decoded {
         }
         // Memory-operand ALU (cracked into load + op).
         0xA0..=0xA4 | 0xA8..=0xAC => {
-            let op = IntOp::from_index(opc & 0x7).unwrap();
+            let op = IntOp::from_index(opc & 0x7).expect("masked ALU opcode index is in table");
             let wide_disp = opc & 0x08 != 0;
             let Some(&m) = bytes.get(1) else {
                 return Decoded::illegal(1);
@@ -638,7 +651,7 @@ pub fn decode(bytes: &[u8], pc: u64) -> Decoded {
             };
             let mut u = Uop::nop();
             u.kind = UopKind::Fp;
-            u.fp = FpOp::from_index(opc - 0xC0).unwrap();
+            u.fp = FpOp::from_index(opc - 0xC0).expect("FP opcode range is in table");
             u.rd = Some(fd);
             u.ra = Some(fd);
             u.rb = Some(fb);

@@ -1,101 +1,149 @@
-//! Property-based tests over the ISA layer: encoder/decoder round-trips,
-//! decoder totality (never panics, any input), and cross-ISA architectural
-//! equivalence of randomly generated straight-line programs.
+//! Randomized property tests over the ISA layer: encoder/decoder
+//! round-trips, decoder totality (never panics, any input), and cross-ISA
+//! architectural equivalence of randomly generated straight-line programs.
+//!
+//! Each test drives a fixed-seed xoshiro256\*\* stream over a few hundred
+//! cases, so the suite is deterministic yet explores the same input space a
+//! property-testing framework would (the workspace builds without external
+//! crates).
 
 use difi_isa::asm::Asm;
 use difi_isa::emu::{EmuExit, Emulator};
 use difi_isa::program::Isa;
 use difi_isa::uop::{Cond, IntOp, UopKind, Width};
 use difi_isa::{arme, decode, x86e};
-use proptest::prelude::*;
+use difi_util::rng::Xoshiro256;
 
-fn arb_gpr() -> impl Strategy<Value = u8> {
-    0u8..16
+fn gpr(r: &mut Xoshiro256) -> u8 {
+    r.gen_range(0, 16) as u8
 }
 
-fn arb_intop() -> impl Strategy<Value = IntOp> {
-    (0u8..IntOp::COUNT).prop_map(|i| IntOp::from_index(i).expect("in range"))
+fn intop(r: &mut Xoshiro256) -> IntOp {
+    IntOp::from_index(r.gen_range(0, u64::from(IntOp::COUNT)) as u8).expect("in range")
 }
 
-fn arb_width() -> impl Strategy<Value = Width> {
-    (0u8..4).prop_map(Width::from_code)
+fn width(r: &mut Xoshiro256) -> Width {
+    Width::from_code(r.gen_range(0, 4) as u8)
 }
 
-proptest! {
-    #[test]
-    fn x86e_alu_rr_roundtrip(op in arb_intop(), w32 in any::<bool>(), rd in arb_gpr(), rb in arb_gpr()) {
+#[test]
+fn x86e_alu_rr_roundtrip() {
+    let mut r = Xoshiro256::seed_from(0xA1);
+    for _ in 0..500 {
+        let (op, w32, rd, rb) = (intop(&mut r), r.gen_bool(0.5), gpr(&mut r), gpr(&mut r));
         let bytes = x86e::encode_alu_rr(op, w32, rd, rb);
         let d = decode(Isa::X86e, &bytes, 0x10_000);
-        prop_assert!(d.fault.is_none());
-        prop_assert_eq!(d.len as usize, bytes.len());
+        assert!(d.fault.is_none());
+        assert_eq!(d.len as usize, bytes.len());
         let u = &d.uops[0];
-        prop_assert_eq!(u.alu, op);
-        prop_assert_eq!(u.width, if w32 { Width::B4 } else { Width::B8 });
+        assert_eq!(u.alu, op);
+        assert_eq!(u.width, if w32 { Width::B4 } else { Width::B8 });
     }
+}
 
-    #[test]
-    fn x86e_load_store_roundtrip(w in arb_width(), signed in any::<bool>(),
-                                 rd in arb_gpr(), base in arb_gpr(), disp in -100_000i32..100_000) {
+#[test]
+fn x86e_load_store_roundtrip() {
+    let mut r = Xoshiro256::seed_from(0xA2);
+    for _ in 0..500 {
+        let w = width(&mut r);
+        let signed = r.gen_bool(0.5);
+        let (rd, base) = (gpr(&mut r), gpr(&mut r));
+        let disp = r.gen_range(0, 200_000) as i32 - 100_000;
+
         let bytes = x86e::encode_load(w, signed, rd, base, disp);
         let d = decode(Isa::X86e, &bytes, 0);
-        prop_assert!(d.fault.is_none());
+        assert!(d.fault.is_none());
         let u = &d.uops[0];
-        prop_assert_eq!(u.kind, UopKind::Load);
-        prop_assert_eq!(u.imm, disp as i64);
-        prop_assert_eq!(u.signed, signed);
-        prop_assert_eq!(u.width, w);
+        assert_eq!(u.kind, UopKind::Load);
+        assert_eq!(u.imm, i64::from(disp));
+        assert_eq!(u.signed, signed);
+        assert_eq!(u.width, w);
 
         let bytes = x86e::encode_store(w, rd, base, disp);
         let d = decode(Isa::X86e, &bytes, 0);
-        prop_assert!(d.fault.is_none());
-        prop_assert_eq!(d.uops[0].kind, UopKind::Store);
-        prop_assert_eq!(d.uops[0].imm, disp as i64);
+        assert!(d.fault.is_none());
+        assert_eq!(d.uops[0].kind, UopKind::Store);
+        assert_eq!(d.uops[0].imm, i64::from(disp));
     }
+}
 
-    #[test]
-    fn x86e_decoder_total(bytes in proptest::collection::vec(any::<u8>(), 1..16)) {
-        // Any byte soup decodes to something or a fault — never panics, and
-        // the consumed length always moves the stream forward.
+#[test]
+fn x86e_decoder_total() {
+    // Any byte soup decodes to something or a fault — never panics, and the
+    // consumed length always moves the stream forward.
+    let mut r = Xoshiro256::seed_from(0xA3);
+    for _ in 0..2000 {
+        let len = r.gen_range(1, 16) as usize;
+        let bytes: Vec<u8> = (0..len).map(|_| r.gen_range(0, 256) as u8).collect();
         let d = decode(Isa::X86e, &bytes, 0x12_345);
-        prop_assert!(d.len >= 1);
+        assert!(d.len >= 1);
     }
+}
 
-    #[test]
-    fn arme_decoder_total(word in any::<u32>()) {
+#[test]
+fn arme_decoder_total() {
+    let mut r = Xoshiro256::seed_from(0xA4);
+    for _ in 0..2000 {
+        let word = r.next_u64() as u32;
         let d = decode(Isa::Arme, &word.to_le_bytes(), 0x10_000);
-        prop_assert_eq!(d.len, 4);
+        assert_eq!(d.len, 4);
     }
+}
 
-    #[test]
-    fn arme_alu_roundtrip(op in arb_intop(), w32 in any::<bool>(),
-                          rd in arb_gpr(), ra in arb_gpr(), rb in arb_gpr()) {
-        prop_assume!(op != IntOp::CmpFlags); // arme has no FLAGS
+#[test]
+fn arme_alu_roundtrip() {
+    let mut r = Xoshiro256::seed_from(0xA5);
+    for _ in 0..500 {
+        let op = intop(&mut r);
+        if op == IntOp::CmpFlags {
+            continue; // arme has no FLAGS
+        }
+        let (w32, rd, ra, rb) = (r.gen_bool(0.5), gpr(&mut r), gpr(&mut r), gpr(&mut r));
         let w = arme::encode_alu_rrr(op, w32, rd, ra, rb);
         let d = decode(Isa::Arme, &w.to_le_bytes(), 0);
-        prop_assert!(d.fault.is_none());
-        prop_assert_eq!(d.uops[0].alu, op);
+        assert!(d.fault.is_none());
+        assert_eq!(d.uops[0].alu, op);
     }
+}
 
-    #[test]
-    fn arme_mem_roundtrip(w in arb_width(), signed in any::<bool>(),
-                          rd in arb_gpr(), base in arb_gpr(), imm in -256i32..256) {
+#[test]
+fn arme_mem_roundtrip() {
+    let mut r = Xoshiro256::seed_from(0xA6);
+    for _ in 0..500 {
+        let w = width(&mut r);
+        let signed = r.gen_bool(0.5);
+        let (rd, base) = (gpr(&mut r), gpr(&mut r));
+        let imm = r.gen_range(0, 512) as i32 - 256;
         let word = arme::encode_load(w, signed, rd, base, imm);
         let d = decode(Isa::Arme, &word.to_le_bytes(), 0);
-        prop_assert!(d.fault.is_none());
-        prop_assert_eq!(d.uops[0].imm, imm as i64);
-        prop_assert_eq!(d.uops[0].width, w);
+        assert!(d.fault.is_none());
+        assert_eq!(d.uops[0].imm, i64::from(imm));
+        assert_eq!(d.uops[0].width, w);
     }
+}
 
-    /// Random straight-line ALU programs produce identical architectural
-    /// results on both ISAs (the cross-compilation contract the whole
-    /// differential study rests on).
-    #[test]
-    fn cross_isa_alu_equivalence(seeds in proptest::collection::vec((0u8..8, 0u8..13, -500i32..500), 1..40)) {
+/// Random straight-line ALU programs produce identical architectural results
+/// on both ISAs (the cross-compilation contract the whole differential study
+/// rests on).
+#[test]
+fn cross_isa_alu_equivalence() {
+    let mut r = Xoshiro256::seed_from(0xA7);
+    for _ in 0..60 {
+        let n = r.gen_range(1, 40) as usize;
+        let seeds: Vec<(u8, u8, i32)> = (0..n)
+            .map(|_| {
+                (
+                    r.gen_range(0, 8) as u8,
+                    r.gen_range(0, 13) as u8,
+                    r.gen_range(0, 1000) as i32 - 500,
+                )
+            })
+            .collect();
         let build = |isa: Isa| {
             let mut a = Asm::new(isa);
             // Deterministic initial values in r4..r11.
-            for r in 4u8..12 {
-                a.li(r, (r as i64) * 1_234_567 + 89);
+            for reg in 4u8..12 {
+                a.li(reg, i64::from(reg) * 1_234_567 + 89);
             }
             for &(rsel, opsel, imm) in &seeds {
                 let rd = 4 + (rsel % 8);
@@ -105,15 +153,19 @@ proptest! {
                 match op {
                     IntOp::DivS | IntOp::DivU | IntOp::RemS | IntOp::RemU => {
                         // Guard divisors away from zero.
-                        let d = if imm % 7 == 0 { 3 } else { imm.unsigned_abs() as i32 % 1000 + 1 };
+                        let d = if imm % 7 == 0 {
+                            3
+                        } else {
+                            imm.unsigned_abs() as i32 % 1000 + 1
+                        };
                         a.opi(op, rd, ra, d);
                     }
                     _ => a.op(op, rd, ra, rb),
                 }
             }
             let mut acc = 4u8;
-            for r in 5u8..12 {
-                a.op(IntOp::Xor, acc, acc, r);
+            for reg in 5u8..12 {
+                a.op(IntOp::Xor, acc, acc, reg);
                 acc = 4;
             }
             a.write_int(4);
@@ -122,20 +174,30 @@ proptest! {
         };
         let x = Emulator::new(&build(Isa::X86e)).run(1_000_000);
         let m = Emulator::new(&build(Isa::Arme)).run(1_000_000);
-        prop_assert_eq!(x.exit, EmuExit::Exited(0));
-        prop_assert_eq!(m.exit, EmuExit::Exited(0));
-        prop_assert_eq!(x.output, m.output);
+        assert_eq!(x.exit, EmuExit::Exited(0));
+        assert_eq!(m.exit, EmuExit::Exited(0));
+        assert_eq!(x.output, m.output);
     }
+}
 
-    /// Branches with random conditions take identical paths on both ISAs
-    /// (FLAGS-based vs register-compare evaluation agree).
-    #[test]
-    fn cross_isa_branch_equivalence(a_val in any::<i32>(), b_val in any::<i32>(), cond_i in 0u8..Cond::COUNT) {
+/// Branches with random conditions take identical paths on both ISAs
+/// (FLAGS-based vs register-compare evaluation agree).
+#[test]
+fn cross_isa_branch_equivalence() {
+    let mut r = Xoshiro256::seed_from(0xA8);
+    for _ in 0..300 {
+        let a_val = r.next_u64() as i32;
+        let b_val = if r.gen_bool(0.2) {
+            a_val
+        } else {
+            r.next_u64() as i32
+        };
+        let cond_i = r.gen_range(0, u64::from(Cond::COUNT)) as u8;
         let cond = Cond::from_index(cond_i).expect("in range");
         let build = |isa: Isa| {
             let mut a = Asm::new(isa);
-            a.li(4, a_val as i64);
-            a.li(5, b_val as i64);
+            a.li(4, i64::from(a_val));
+            a.li(5, i64::from(b_val));
             let taken = a.label();
             a.br(cond, 4, 5, taken);
             a.li(6, 0);
@@ -150,9 +212,9 @@ proptest! {
         };
         let x = Emulator::new(&build(Isa::X86e)).run(100_000);
         let m = Emulator::new(&build(Isa::Arme)).run(100_000);
-        prop_assert_eq!(&x.output, &m.output);
+        assert_eq!(&x.output, &m.output);
         // And both agree with the host evaluation.
         let expect = cond.eval_regs(a_val as i64 as u64, b_val as i64 as u64);
-        prop_assert_eq!(x.output, format!("{}\n", expect as u8).into_bytes());
+        assert_eq!(x.output, format!("{}\n", u8::from(expect)).into_bytes());
     }
 }

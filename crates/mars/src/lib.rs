@@ -47,10 +47,11 @@ use difi_core::model::{
 use difi_core::InjectorDispatcher;
 use difi_isa::program::{Isa, Program};
 use difi_uarch::cache::CacheConfig;
-use difi_uarch::fault::StructureDesc;
+use difi_uarch::fault::{StructureDesc, StructureId};
 use difi_uarch::pipeline::engine::{EarlyWhy, EngineFault, EngineLimits};
 use difi_uarch::pipeline::{BtbOrg, CoreConfig, CorePolicy, LsqOrg, OoOCore, SimExit};
 use difi_uarch::predictor::TournamentConfig;
+use difi_uarch::residency::ResidencyLog;
 
 /// The MarsSim core configuration (Table II, MARSS/x86 column).
 pub fn mars_config() -> CoreConfig {
@@ -203,6 +204,24 @@ impl InjectorDispatcher for MaFin {
             instructions: run.stats.committed_instructions,
             fault_consumed: run.fault_consumed,
         }
+    }
+
+    fn golden_residency(
+        &self,
+        program: &Program,
+        structures: &[StructureId],
+        max_cycles: u64,
+    ) -> Vec<ResidencyLog> {
+        assert_eq!(program.isa, Isa::X86e, "MaFIN simulates x86e programs");
+        let mut core = OoOCore::new(self.cfg, program);
+        core.enable_residency(structures);
+        let elim = EngineLimits {
+            max_cycles,
+            early_stop: false,
+            deadlock_window: RunLimits::golden(max_cycles).deadlock_window,
+        };
+        core.run(&[], &elim);
+        core.take_residency()
     }
 }
 

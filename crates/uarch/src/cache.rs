@@ -12,6 +12,7 @@
 //! when a dirty line's tag is corrupted.
 
 use crate::fault::FaultHook;
+use crate::residency::{Instrument, ResidencyTracker};
 use difi_util::bits::{self, BitPlane};
 
 /// Static geometry of one cache.
@@ -95,6 +96,7 @@ pub struct Cache {
     pub valid_hook: FaultHook,
     /// Access statistics.
     pub stats: CacheStats,
+    residency: Option<Box<ResidencyTracker>>,
 }
 
 impl Cache {
@@ -127,6 +129,7 @@ impl Cache {
             data_hook: FaultHook::new(),
             valid_hook: FaultHook::new(),
             stats: CacheStats::default(),
+            residency: None,
         }
     }
 
@@ -214,6 +217,9 @@ impl Cache {
         assert!(off + buf.len() <= self.cfg.line);
         self.data_hook
             .note_read(line as u64, (off * 8) as u32, (buf.len() * 8) as u32);
+        if let Some(t) = &mut self.residency {
+            t.on_read(line as u64, (off * 8) as u32, (buf.len() * 8) as u32);
+        }
         let base = line * self.cfg.line + off;
         buf.copy_from_slice(&self.data[base..base + buf.len()]);
     }
@@ -225,6 +231,9 @@ impl Cache {
         let needs_fixup =
             self.data_hook
                 .note_write(line as u64, (off * 8) as u32, (bytes.len() * 8) as u32);
+        if let Some(t) = &mut self.residency {
+            t.on_write(line as u64, (off * 8) as u32, (bytes.len() * 8) as u32);
+        }
         let base = line * self.cfg.line + off;
         self.data[base..base + bytes.len()].copy_from_slice(bytes);
         if needs_fixup {
@@ -299,6 +308,9 @@ impl Cache {
         let data_fix = self
             .data_hook
             .note_write(line as u64, 0, (self.cfg.line * 8) as u32);
+        if let Some(t) = &mut self.residency {
+            t.on_write(line as u64, 0, (self.cfg.line * 8) as u32);
+        }
         let base = line * self.cfg.line;
         self.data[base..base + self.cfg.line].copy_from_slice(data);
         if data_fix {
@@ -382,6 +394,26 @@ impl Cache {
         self.tag_hook.any_fault_consumed()
             || self.data_hook.any_fault_consumed()
             || self.valid_hook.any_fault_consumed()
+    }
+}
+
+/// Residency instrumentation of the **data** plane only. Tag and valid
+/// planes are control state whose faults act through lookup behavior, not
+/// through the recorded access trace, so tracing them would invite unsound
+/// conclusions (see `residency::residency_prune_safe`).
+impl Instrument for Cache {
+    fn enable_residency(&mut self) {
+        self.residency = Some(Box::new(ResidencyTracker::new()));
+    }
+
+    fn residency_tick(&mut self, cycle: u64) {
+        if let Some(t) = &mut self.residency {
+            t.set_cycle(cycle);
+        }
+    }
+
+    fn take_residency(&mut self) -> Option<ResidencyTracker> {
+        self.residency.take().map(|b| *b)
     }
 }
 

@@ -298,11 +298,7 @@ impl FaultHook {
     /// before being read, and no stuck faults remain active. A campaign may
     /// then stop the run and classify it Masked.
     pub fn all_faults_dead(&self) -> bool {
-        self.stuck.is_empty()
-            && self
-                .watches
-                .iter()
-                .all(|w| w.overwritten && !w.read_after)
+        self.stuck.is_empty() && self.watches.iter().all(|w| w.overwritten && !w.read_after)
     }
 
     /// True when any fault has been read after injection (the run must then

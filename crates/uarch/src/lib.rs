@@ -40,9 +40,11 @@ pub mod pipeline;
 pub mod predictor;
 pub mod queues;
 pub mod regfile;
+pub mod residency;
 pub mod stats;
 pub mod tlb;
 
 pub use fault::{FaultHook, FaultKind, StructureDesc, StructureId};
 pub use pipeline::engine::{EarlyWhy, EngineFault, EngineLimits};
 pub use pipeline::{CoreConfig, CorePolicy, OoOCore, SimExit, SimRun};
+pub use residency::{Instrument, ResidencyEvent, ResidencyLog, ResidencyTracker};

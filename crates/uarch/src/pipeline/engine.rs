@@ -58,6 +58,7 @@ impl OoOCore {
         let mut applied_any = false;
 
         while self.exit.is_none() {
+            self.residency_tick_all();
             if self.cycle >= limits.max_cycles {
                 self.exit = Some(SimExit::Timeout);
                 break;
@@ -78,11 +79,13 @@ impl OoOCore {
                     i += 1;
                 }
             }
-            if applied_any && pending.is_empty() && limits.early_stop {
-                if dead_entry_all || (self.faults_dead() && !self.faults_consumed()) {
-                    self.exit = Some(SimExit::EarlyMasked);
-                    break;
-                }
+            if applied_any
+                && pending.is_empty()
+                && limits.early_stop
+                && (dead_entry_all || (self.faults_dead() && !self.faults_consumed()))
+            {
+                self.exit = Some(SimExit::EarlyMasked);
+                break;
             }
 
             let committed_before = self.stats.committed_instructions;
@@ -354,17 +357,20 @@ impl OoOCore {
 
     // ---------------------------------------------------------------- kernel
 
-    fn kernel_call<R>(
-        &mut self,
-        f: impl FnOnce(&mut dyn KernelMem, &MemoryMap) -> R,
-    ) -> R {
+    fn kernel_call<R>(&mut self, f: impl FnOnce(&mut dyn KernelMem, &MemoryMap) -> R) -> R {
         let map = self.map;
         if self.cfg.policy.hypervisor_kernel {
             self.stats.hypervisor_calls += 1;
-            let mut adapter = BypassKernelMem { sys: &mut self.sys, map };
+            let mut adapter = BypassKernelMem {
+                sys: &mut self.sys,
+                map,
+            };
             f(&mut adapter, &map)
         } else {
-            let mut adapter = CachedKernelMem { sys: &mut self.sys, map };
+            let mut adapter = CachedKernelMem {
+                sys: &mut self.sys,
+                map,
+            };
             f(&mut adapter, &map)
         }
     }
@@ -385,17 +391,19 @@ impl OoOCore {
             let slot = self.rob[head].clone().expect("checked above");
             // Deferred ISA fault reaching commit (architecturally real).
             if let Some(f) = slot.fault {
-                self.exit = Some(if slot.from_decoder && self.cfg.policy.decode_fault_asserts {
-                    // MARSS-style: the model cannot represent the corrupted
-                    // instruction and stops with an assertion (Remark 8).
-                    SimExit::SimAssert(format!(
-                        "decoder: cannot decode instruction at {:#x} ({f})",
-                        slot.pc
-                    ))
-                } else {
-                    // gem5-style: surface the ISA fault to the guest.
-                    SimExit::ProcessCrash(f)
-                });
+                self.exit = Some(
+                    if slot.from_decoder && self.cfg.policy.decode_fault_asserts {
+                        // MARSS-style: the model cannot represent the corrupted
+                        // instruction and stops with an assertion (Remark 8).
+                        SimExit::SimAssert(format!(
+                            "decoder: cannot decode instruction at {:#x} ({f})",
+                            slot.pc
+                        ))
+                    } else {
+                        // gem5-style: surface the ISA fault to the guest.
+                        SimExit::ProcessCrash(f)
+                    },
+                );
                 return;
             }
             // Alignment fixups are handled + logged by the kernel.
@@ -411,10 +419,8 @@ impl OoOCore {
                 }
             }
             match slot.uop.kind {
-                UopKind::Store => {
-                    if self.commit_store(&slot).is_err() {
-                        return;
-                    }
+                UopKind::Store if self.commit_store(&slot).is_err() => {
+                    return;
                 }
                 UopKind::Syscall => {
                     self.syscalls_in_rob = self.syscalls_in_rob.saturating_sub(1);
@@ -446,7 +452,10 @@ impl OoOCore {
                 UopKind::Load => self.stats.committed_loads += 1,
                 _ => {}
             }
-            if matches!(self.exit, Some(SimExit::SystemCrash(_) | SimExit::ProcessCrash(_))) {
+            if matches!(
+                self.exit,
+                Some(SimExit::SystemCrash(_) | SimExit::ProcessCrash(_))
+            ) {
                 return;
             }
             // Release the previous mapping of the destination.
@@ -510,7 +519,10 @@ impl OoOCore {
             KernelOutcome::Continue(bytes) => {
                 // Unknown syscall numbers are the ENOSYS path: the kernel
                 // logged an exception before resuming the process.
-                if !matches!(r0, kernel::sys::EXIT | kernel::sys::WRITE | kernel::sys::WRITE_INT) {
+                if !matches!(
+                    r0,
+                    kernel::sys::EXIT | kernel::sys::WRITE | kernel::sys::WRITE_INT
+                ) {
                     self.stats.exceptions += 1;
                 }
                 self.output.extend_from_slice(&bytes);
@@ -664,8 +676,7 @@ impl OoOCore {
                 };
                 if self.cfg.policy.rich_asserts
                     && !self.massert(
-                        Some((newp, dest.is_fp()))
-                            == slot.uop.pd.map(|(p, f)| (p, f)),
+                        Some((newp, dest.is_fp())) == slot.uop.pd,
                         "rename walk-back mismatch",
                     )
                 {
@@ -877,7 +888,9 @@ impl OoOCore {
             UopKind::Fp => {
                 let a = self.read_src(u.pa, 0);
                 let b = self.read_src(u.pb, 0);
-                let value = if u.fp == FpOp::CmpFlags && u.pd.is_some_and(|(_, fp)| !fp) && !self.flags_dest(u)
+                let value = if u.fp == FpOp::CmpFlags
+                    && u.pd.is_some_and(|(_, fp)| !fp)
+                    && !self.flags_dest(u)
                 {
                     eval_fp_predicate(u.imm, a, b)
                 } else {
@@ -918,9 +931,7 @@ impl OoOCore {
     /// here by the destination's *architectural* identity, recorded in the
     /// ROB slot.
     fn flags_dest(&self, u: &RenamedUop) -> bool {
-        self.rob[u.rob as usize]
-            .as_ref()
-            .and_then(|s| s.dest_arch)
+        self.rob[u.rob as usize].as_ref().and_then(|s| s.dest_arch)
             == Some(difi_isa::uop::Reg::FLAGS)
     }
 
@@ -1218,11 +1229,7 @@ impl OoOCore {
             if self.ifree.available() < int_dests || self.ffree.available() < fp_dests {
                 break;
             }
-            let loads = inst
-                .uops
-                .iter()
-                .filter(|u| u.kind == UopKind::Load)
-                .count();
+            let loads = inst.uops.iter().filter(|u| u.kind == UopKind::Load).count();
             let stores = inst
                 .uops
                 .iter()

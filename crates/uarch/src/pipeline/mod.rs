@@ -24,6 +24,7 @@ use crate::mem::{MemPolicy, MemSystem};
 use crate::predictor::{Btb, BtbConfig, Ras, Tournament, TournamentConfig};
 use crate::queues::{IssueQueue, LsqDataArray, PayloadLimits, RenamedUop};
 use crate::regfile::{FreeList, PhysRegFile, RenameMap};
+use crate::residency::{Instrument, ResidencyLog};
 use crate::stats::SimStats;
 use crate::tlb::{Tlb, TlbConfig};
 use difi_isa::program::{Isa, MemoryMap, Program};
@@ -457,6 +458,7 @@ pub struct OoOCore {
     /// Runtime statistics (public: dispatchers snapshot it).
     pub stats: SimStats,
     pub(crate) injected: Vec<StructureId>,
+    pub(crate) residency_enabled: Vec<StructureId>,
 }
 
 impl OoOCore {
@@ -526,6 +528,7 @@ impl OoOCore {
             exit: None,
             stats: SimStats::default(),
             injected: Vec::new(),
+            residency_enabled: Vec::new(),
             cfg,
         }
     }
@@ -538,9 +541,8 @@ impl OoOCore {
         let l2_lines = (cfg.l2.sets * cfg.l2.ways) as u64;
         let line_bits = (cfg.l1d.line * 8) as u64;
         // Tag widths per the cache's 32-bit physical space.
-        let tag_bits = |sets: usize, line: usize| {
-            (32 - sets.trailing_zeros() - line.trailing_zeros()) as u64
-        };
+        let tag_bits =
+            |sets: usize, line: usize| (32 - sets.trailing_zeros() - line.trailing_zeros()) as u64;
         let tlb = Tlb::new(TlbConfig::default());
         let btb_unit = BtbUnit::new(cfg.btb);
         vec![
@@ -640,5 +642,76 @@ impl OoOCore {
                 bits: crate::predictor::RAS_ENTRY_BITS as u64,
             },
         ]
+    }
+
+    /// The instrumented component backing a data-plane structure, if any.
+    fn instrumented(&mut self, s: StructureId) -> Option<&mut dyn Instrument> {
+        Some(match s {
+            StructureId::IntRegFile => &mut self.iprf,
+            StructureId::FpRegFile => &mut self.fprf,
+            StructureId::IssueQueue => &mut self.iq,
+            StructureId::LsqData => &mut self.lsq_data,
+            StructureId::L1dData => &mut self.sys.l1d,
+            StructureId::L1iData => &mut self.sys.l1i,
+            StructureId::L2Data => &mut self.sys.l2,
+            _ => return None,
+        })
+    }
+
+    /// Enables residency tracing (golden-run instrumentation for the ACE
+    /// analysis) on every data-plane structure in `which`.
+    ///
+    /// Structures for which
+    /// [`residency_prune_safe`](crate::residency::residency_prune_safe) is
+    /// false are silently skipped: their traces could not license any
+    /// pruning or AVF conclusion, so recording them would only mislead.
+    pub fn enable_residency(&mut self, which: &[StructureId]) {
+        for &s in which {
+            if !crate::residency::residency_prune_safe(s) || self.residency_enabled.contains(&s) {
+                continue;
+            }
+            let Some(c) = self.instrumented(s) else {
+                continue;
+            };
+            c.enable_residency();
+            self.residency_enabled.push(s);
+        }
+    }
+
+    /// Advances every attached tracker's cycle stamp (called once per cycle
+    /// at the top of the run loop).
+    pub(crate) fn residency_tick_all(&mut self) {
+        if self.residency_enabled.is_empty() {
+            return;
+        }
+        let cycle = self.cycle;
+        for i in 0..self.residency_enabled.len() {
+            let s = self.residency_enabled[i];
+            if let Some(c) = self.instrumented(s) {
+                c.residency_tick(cycle);
+            }
+        }
+    }
+
+    /// Detaches all residency trackers, sealing each into a
+    /// [`ResidencyLog`] stamped with this run's cycle count.
+    pub fn take_residency(&mut self) -> Vec<ResidencyLog> {
+        let descs = Self::structures(&self.cfg);
+        let cycles = self.cycle;
+        let enabled = std::mem::take(&mut self.residency_enabled);
+        let mut logs = Vec::new();
+        for s in enabled {
+            let Some(c) = self.instrumented(s) else {
+                continue;
+            };
+            let Some(t) = c.take_residency() else {
+                continue;
+            };
+            let Some(desc) = descs.iter().find(|d| d.id == s) else {
+                continue;
+            };
+            logs.push(t.into_log(*desc, cycles));
+        }
+        logs
     }
 }

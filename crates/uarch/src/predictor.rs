@@ -448,7 +448,9 @@ mod tests {
         // differs — smoke-check they diverge on at least some state.
         assert!(marss.predict(0x1000));
         assert!(!marss.predict(0x2004));
-        assert!(gem5.stats.lookups == 0 || true);
+        assert!(gem5.predict(0x1000));
+        assert!(!gem5.predict(0x2004));
+        assert!(gem5.stats.lookups > 0, "gem5 predictor must have trained");
     }
 
     #[test]
@@ -484,10 +486,8 @@ mod tests {
     fn btb_target_fault_redirects_prediction() {
         let mut b = Btb::new(BtbConfig::GEM5);
         b.update(0x4000, 0x5000);
-        let e = {
-            // entry index = set for direct-mapped
-            ((0x4000u64 >> 2) & 2047) as u64
-        };
+        // entry index = set for direct-mapped
+        let e = (0x4000u64 >> 2) & 2047;
         b.inject_flip(e, (1 + BTB_TAG_BITS) as u32); // target bit 0
         assert_eq!(b.lookup(0x4000), Some(0x5001));
         assert!(b.hook.any_fault_consumed());
@@ -497,7 +497,7 @@ mod tests {
     fn btb_valid_fault_erases_entry() {
         let mut b = Btb::new(BtbConfig::GEM5);
         b.update(0x4000, 0x5000);
-        let e = ((0x4000u64 >> 2) & 2047) as u64;
+        let e = (0x4000u64 >> 2) & 2047;
         b.inject_flip(e, 0);
         assert_eq!(b.lookup(0x4000), None);
     }

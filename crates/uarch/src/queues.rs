@@ -14,6 +14,7 @@
 //! a unified 32×64-bit array in MaFIN, the 16×64-bit store queue in GeFIN.
 
 use crate::fault::FaultHook;
+use crate::residency::{Instrument, ResidencyTracker};
 use difi_isa::uop::{BranchKind, Cond, FpOp, IntOp, UopKind, Width};
 use difi_util::bits::BitPlane;
 
@@ -117,7 +118,10 @@ const KIND_TABLE: [UopKind; 8] = [
 ];
 
 fn kind_index(k: UopKind) -> u64 {
-    KIND_TABLE.iter().position(|&x| x == k).unwrap() as u64
+    KIND_TABLE
+        .iter()
+        .position(|&x| x == k)
+        .expect("every UopKind is in KIND_TABLE") as u64
 }
 
 const BRANCH_TABLE: [BranchKind; 5] = [
@@ -129,7 +133,10 @@ const BRANCH_TABLE: [BranchKind; 5] = [
 ];
 
 fn branch_index(b: BranchKind) -> u64 {
-    BRANCH_TABLE.iter().position(|&x| x == b).unwrap() as u64
+    BRANCH_TABLE
+        .iter()
+        .position(|&x| x == b)
+        .expect("every BranchKind is in BRANCH_TABLE") as u64
 }
 
 /// Payload width in bits (three 64-bit words per entry).
@@ -262,6 +269,7 @@ pub struct IssueQueue {
     lim: PayloadLimits,
     /// Fault hook over the payload plane.
     pub hook: FaultHook,
+    residency: Option<Box<ResidencyTracker>>,
 }
 
 impl IssueQueue {
@@ -272,6 +280,7 @@ impl IssueQueue {
             mirror: vec![None; entries],
             lim,
             hook: FaultHook::new(),
+            residency: None,
         }
     }
 
@@ -304,6 +313,9 @@ impl IssueQueue {
         assert!(self.mirror[slot].is_none(), "issue-queue slot in use");
         let words = encode_payload(&u);
         let fix = self.hook.note_write(slot as u64, 0, IQ_ENTRY_BITS as u32);
+        if let Some(t) = &mut self.residency {
+            t.on_write(slot as u64, 0, IQ_ENTRY_BITS as u32);
+        }
         for (i, w) in words.iter().enumerate() {
             self.plane.set_field(slot, i * 64, 64, *w);
         }
@@ -329,7 +341,13 @@ impl IssueQueue {
     ///
     /// Panics if the slot is empty.
     pub fn read(&mut self, slot: usize) -> Result<RenamedUop, PayloadError> {
-        assert!(self.mirror[slot].is_some(), "reading empty issue-queue slot");
+        assert!(
+            self.mirror[slot].is_some(),
+            "reading empty issue-queue slot"
+        );
+        if let Some(t) = &mut self.residency {
+            t.on_read(slot as u64, 0, IQ_ENTRY_BITS as u32);
+        }
         if self.hook.is_idle() {
             return Ok(self.mirror[slot].expect("checked occupied"));
         }
@@ -372,12 +390,29 @@ impl IssueQueue {
     }
 }
 
+impl Instrument for IssueQueue {
+    fn enable_residency(&mut self) {
+        self.residency = Some(Box::new(ResidencyTracker::new()));
+    }
+
+    fn residency_tick(&mut self, cycle: u64) {
+        if let Some(t) = &mut self.residency {
+            t.set_cycle(cycle);
+        }
+    }
+
+    fn take_residency(&mut self) -> Option<ResidencyTracker> {
+        self.residency.take().map(|b| *b)
+    }
+}
+
 /// The load/store-queue data array — Fig. 6's injection target.
 #[derive(Debug)]
 pub struct LsqDataArray {
     plane: BitPlane,
     /// Fault hook over the data bits.
     pub hook: FaultHook,
+    residency: Option<Box<ResidencyTracker>>,
 }
 
 impl LsqDataArray {
@@ -386,6 +421,7 @@ impl LsqDataArray {
         LsqDataArray {
             plane: BitPlane::new(entries, 64),
             hook: FaultHook::new(),
+            residency: None,
         }
     }
 
@@ -398,6 +434,9 @@ impl LsqDataArray {
     #[inline]
     pub fn read(&mut self, i: u16) -> u64 {
         self.hook.note_read(i as u64, 0, 64);
+        if let Some(t) = &mut self.residency {
+            t.on_read(i as u64, 0, 64);
+        }
         self.plane.get_field(i as usize, 0, 64)
     }
 
@@ -405,6 +444,9 @@ impl LsqDataArray {
     #[inline]
     pub fn write(&mut self, i: u16, v: u64) {
         let fix = self.hook.note_write(i as u64, 0, 64);
+        if let Some(t) = &mut self.residency {
+            t.on_write(i as u64, 0, 64);
+        }
         self.plane.set_field(i as usize, 0, 64, v);
         if fix {
             let fixes: Vec<(u32, bool)> = self.hook.stuck_fixups(i as u64).collect();
@@ -424,6 +466,22 @@ impl LsqDataArray {
     pub fn inject_stuck(&mut self, entry: u64, bit: u32, value: bool) {
         self.plane.set(entry as usize, bit as usize, value);
         self.hook.arm_stuck(entry, bit, value);
+    }
+}
+
+impl Instrument for LsqDataArray {
+    fn enable_residency(&mut self) {
+        self.residency = Some(Box::new(ResidencyTracker::new()));
+    }
+
+    fn residency_tick(&mut self, cycle: u64) {
+        if let Some(t) = &mut self.residency {
+            t.set_cycle(cycle);
+        }
+    }
+
+    fn take_residency(&mut self) -> Option<ResidencyTracker> {
+        self.residency.take().map(|b| *b)
     }
 }
 
@@ -481,10 +539,7 @@ mod tests {
         let mut w = encode_payload(&u);
         // Flip alu bit 0: 14 → 15 (reserved).
         w[1] ^= 1 << 3;
-        assert_eq!(
-            decode_payload(w, &limits()),
-            Err(PayloadError::BadAlu(15))
-        );
+        assert_eq!(decode_payload(w, &limits()), Err(PayloadError::BadAlu(15)));
     }
 
     #[test]

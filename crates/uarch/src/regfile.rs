@@ -8,6 +8,7 @@
 //! vulnerability the paper reports.
 
 use crate::fault::FaultHook;
+use crate::residency::{Instrument, ResidencyTracker};
 use difi_util::bits::BitPlane;
 
 /// A physical register file of `n` 64-bit registers.
@@ -17,6 +18,7 @@ pub struct PhysRegFile {
     ready: Vec<bool>,
     /// Fault hook over the data bits.
     pub hook: FaultHook,
+    residency: Option<Box<ResidencyTracker>>,
 }
 
 impl PhysRegFile {
@@ -26,6 +28,7 @@ impl PhysRegFile {
             plane: BitPlane::new(n, 64),
             ready: vec![true; n],
             hook: FaultHook::new(),
+            residency: None,
         }
     }
 
@@ -43,6 +46,9 @@ impl PhysRegFile {
     #[inline]
     pub fn read(&mut self, p: u16) -> u64 {
         self.hook.note_read(p as u64, 0, 64);
+        if let Some(t) = &mut self.residency {
+            t.on_read(p as u64, 0, 64);
+        }
         self.plane.get_field(p as usize, 0, 64)
     }
 
@@ -50,6 +56,9 @@ impl PhysRegFile {
     #[inline]
     pub fn write(&mut self, p: u16, v: u64) {
         let fix = self.hook.note_write(p as u64, 0, 64);
+        if let Some(t) = &mut self.residency {
+            t.on_write(p as u64, 0, 64);
+        }
         self.plane.set_field(p as usize, 0, 64, v);
         if fix {
             let fixes: Vec<(u32, bool)> = self.hook.stuck_fixups(p as u64).collect();
@@ -86,6 +95,22 @@ impl PhysRegFile {
     pub fn inject_stuck(&mut self, p: u64, bit: u32, value: bool) {
         self.plane.set(p as usize, bit as usize, value);
         self.hook.arm_stuck(p, bit, value);
+    }
+}
+
+impl Instrument for PhysRegFile {
+    fn enable_residency(&mut self) {
+        self.residency = Some(Box::new(ResidencyTracker::new()));
+    }
+
+    fn residency_tick(&mut self, cycle: u64) {
+        if let Some(t) = &mut self.residency {
+            t.set_cycle(cycle);
+        }
+    }
+
+    fn take_residency(&mut self) -> Option<ResidencyTracker> {
+        self.residency.take().map(|b| *b)
     }
 }
 

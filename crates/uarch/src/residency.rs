@@ -1,0 +1,265 @@
+//! Structure-residency instrumentation: per-entry access traces recorded
+//! during one golden run, the raw material of static AVF estimation and of
+//! provably-sound fault-site pruning (`difi-ace`).
+//!
+//! A [`ResidencyTracker`] rides alongside a structure's
+//! [`FaultHook`](crate::fault::FaultHook): the owning component mirrors every
+//! `note_read`/`note_write` pair into [`ResidencyTracker::on_read`] /
+//! [`ResidencyTracker::on_write`], stamped with the simulated cycle the core
+//! advances via [`Instrument::residency_tick`]. Peek paths (injector
+//! diagnostics, unused-entry checks) are deliberately *not* recorded — they
+//! are not machine behavior.
+//!
+//! ## Soundness contract
+//!
+//! The recorded trace must over-approximate nothing and miss nothing that
+//! the simulated machine does to the structure's **data plane**: a consumer
+//! may conclude "a transient flip of bit *b* of entry *e* at cycle *c* is
+//! masked" only if the first recorded access at cycle ≥ *c* overlapping *b*
+//! is a write, or no such access exists *and* the trace is
+//! [`complete`](ResidencyLog::complete). Event recording therefore fails
+//! safe: if the event cap is hit, `complete` turns false and "no further
+//! access" no longer licenses any conclusion, while "write seen first"
+//! remains valid (the prefix of the trace is still exact).
+
+use crate::fault::{StructureDesc, StructureId};
+use std::collections::BTreeMap;
+
+/// One recorded access to a structure entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResidencyEvent {
+    /// Simulated cycle of the access (top-of-cycle stamp).
+    pub cycle: u64,
+    /// First bit touched.
+    pub bit_lo: u32,
+    /// Number of bits touched.
+    pub len: u32,
+    /// `true` for a write (the whole `bit_lo..bit_lo+len` range is
+    /// overwritten), `false` for a read.
+    pub write: bool,
+}
+
+impl ResidencyEvent {
+    /// True when the event touches `bit`.
+    #[inline]
+    pub fn covers(&self, bit: u32) -> bool {
+        bit >= self.bit_lo && bit < self.bit_lo + self.len
+    }
+}
+
+/// Default cap on recorded events per structure (~24 MiB worst case).
+pub const DEFAULT_EVENT_CAP: usize = 1_500_000;
+
+/// Records the access trace of one structure during a run.
+#[derive(Debug)]
+pub struct ResidencyTracker {
+    now: u64,
+    count: usize,
+    cap: usize,
+    complete: bool,
+    events: BTreeMap<u64, Vec<ResidencyEvent>>,
+}
+
+impl Default for ResidencyTracker {
+    fn default() -> Self {
+        ResidencyTracker::new()
+    }
+}
+
+impl ResidencyTracker {
+    /// A tracker with the default event cap.
+    pub fn new() -> ResidencyTracker {
+        ResidencyTracker::with_capacity(DEFAULT_EVENT_CAP)
+    }
+
+    /// A tracker that stops recording (and marks the trace incomplete) after
+    /// `cap` events.
+    pub fn with_capacity(cap: usize) -> ResidencyTracker {
+        ResidencyTracker {
+            now: 0,
+            count: 0,
+            cap,
+            complete: true,
+            events: BTreeMap::new(),
+        }
+    }
+
+    /// Stamps subsequent events with `cycle`.
+    #[inline]
+    pub fn set_cycle(&mut self, cycle: u64) {
+        self.now = cycle;
+    }
+
+    #[inline]
+    fn push(&mut self, entry: u64, bit_lo: u32, len: u32, write: bool) {
+        if self.count >= self.cap {
+            self.complete = false;
+            return;
+        }
+        self.count += 1;
+        self.events.entry(entry).or_default().push(ResidencyEvent {
+            cycle: self.now,
+            bit_lo,
+            len,
+            write,
+        });
+    }
+
+    /// Records a read of `len` bits at `bit_lo` of `entry`.
+    #[inline]
+    pub fn on_read(&mut self, entry: u64, bit_lo: u32, len: u32) {
+        self.push(entry, bit_lo, len, false);
+    }
+
+    /// Records a write of `len` bits at `bit_lo` of `entry`.
+    #[inline]
+    pub fn on_write(&mut self, entry: u64, bit_lo: u32, len: u32) {
+        self.push(entry, bit_lo, len, true);
+    }
+
+    /// Events recorded so far.
+    pub fn event_count(&self) -> usize {
+        self.count
+    }
+
+    /// False once the cap was hit and events were dropped.
+    pub fn is_complete(&self) -> bool {
+        self.complete
+    }
+
+    /// Seals the trace into a [`ResidencyLog`].
+    pub fn into_log(self, desc: StructureDesc, cycles: u64) -> ResidencyLog {
+        ResidencyLog {
+            structure: desc.id,
+            entries: desc.entries,
+            bits: desc.bits,
+            cycles,
+            complete: self.complete,
+            events: self.events,
+        }
+    }
+}
+
+/// The sealed access trace of one structure over one (golden) run.
+#[derive(Debug, Clone)]
+pub struct ResidencyLog {
+    /// Which structure was traced.
+    pub structure: StructureId,
+    /// Entries (rows) of the structure.
+    pub entries: u64,
+    /// Bits per entry.
+    pub bits: u64,
+    /// Total simulated cycles of the traced run.
+    pub cycles: u64,
+    /// True when no events were dropped; required for "never accessed
+    /// again ⇒ masked" conclusions.
+    pub complete: bool,
+    /// Per-entry event lists, in cycle order.
+    pub events: BTreeMap<u64, Vec<ResidencyEvent>>,
+}
+
+impl ResidencyLog {
+    /// Events of one entry (empty slice when the entry was never touched).
+    pub fn events_for(&self, entry: u64) -> &[ResidencyEvent] {
+        self.events.get(&entry).map_or(&[], Vec::as_slice)
+    }
+
+    /// Total recorded events.
+    pub fn event_count(&self) -> usize {
+        self.events.values().map(Vec::len).sum()
+    }
+}
+
+/// Lightweight instrumentation implemented by every residency-traceable
+/// storage component (register files, cache data arrays, queues).
+///
+/// Tracing is off by default and costs one `Option` check per access when
+/// enabled on a *different* component; a component with no tracker attached
+/// pays nothing beyond that check.
+pub trait Instrument {
+    /// Attaches a fresh tracker, discarding any previous recording.
+    fn enable_residency(&mut self);
+
+    /// Advances the attached tracker's cycle stamp (no-op when disabled).
+    fn residency_tick(&mut self, cycle: u64);
+
+    /// Detaches and returns the tracker recorded so far.
+    fn take_residency(&mut self) -> Option<ResidencyTracker>;
+}
+
+/// True when `structure` is a pure data plane whose access trace licenses
+/// masked-fault pruning.
+///
+/// Control planes (tags, valid bits, TLB entries, predictor state) influence
+/// machine behavior even when "not read" through their hooks — e.g. a
+/// flipped tag redirects a writeback — so residency-based pruning is
+/// restricted to the same data-plane set for which the paper's dead-entry
+/// early stop is safe.
+pub fn residency_prune_safe(structure: StructureId) -> bool {
+    structure.dead_entry_stop_safe()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn desc() -> StructureDesc {
+        StructureDesc {
+            id: StructureId::IntRegFile,
+            entries: 8,
+            bits: 64,
+        }
+    }
+
+    #[test]
+    fn events_are_stamped_and_ordered() {
+        let mut t = ResidencyTracker::new();
+        t.set_cycle(5);
+        t.on_write(3, 0, 64);
+        t.set_cycle(9);
+        t.on_read(3, 0, 64);
+        let log = t.into_log(desc(), 100);
+        let ev = log.events_for(3);
+        assert_eq!(ev.len(), 2);
+        assert_eq!((ev[0].cycle, ev[0].write), (5, true));
+        assert_eq!((ev[1].cycle, ev[1].write), (9, false));
+        assert!(log.complete);
+        assert_eq!(log.cycles, 100);
+        assert!(log.events_for(4).is_empty());
+    }
+
+    #[test]
+    fn cap_overflow_marks_incomplete_but_keeps_prefix() {
+        let mut t = ResidencyTracker::with_capacity(2);
+        t.on_write(0, 0, 1);
+        t.on_write(0, 1, 1);
+        t.on_write(0, 2, 1); // dropped
+        assert!(!t.is_complete());
+        let log = t.into_log(desc(), 10);
+        assert!(!log.complete);
+        assert_eq!(log.event_count(), 2);
+        assert_eq!(log.events_for(0)[1].bit_lo, 1);
+    }
+
+    #[test]
+    fn covers_is_half_open() {
+        let e = ResidencyEvent {
+            cycle: 0,
+            bit_lo: 8,
+            len: 8,
+            write: false,
+        };
+        assert!(!e.covers(7));
+        assert!(e.covers(8));
+        assert!(e.covers(15));
+        assert!(!e.covers(16));
+    }
+
+    #[test]
+    fn prune_safety_matches_dead_entry_rule() {
+        assert!(residency_prune_safe(StructureId::IntRegFile));
+        assert!(residency_prune_safe(StructureId::L1dData));
+        assert!(!residency_prune_safe(StructureId::L1dTag));
+        assert!(!residency_prune_safe(StructureId::Btb));
+    }
+}

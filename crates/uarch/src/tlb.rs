@@ -221,7 +221,7 @@ mod tests {
     fn ppn_fault_redirects_translation() {
         let mut t = Tlb::new(TlbConfig::default());
         t.translate(0x5000); // install vpn 5 at idx 5
-        // Flip PPN bit 0 (plane layout: [tag | ppn]).
+                             // Flip PPN bit 0 (plane layout: [tag | ppn]).
         let tag_bits = t.entry_bits() - (32 - 12);
         t.inject_entry_flip(5, tag_bits);
         let (p, hit) = t.translate(0x5042);

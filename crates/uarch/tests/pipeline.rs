@@ -114,10 +114,7 @@ fn check_equivalence(build: impl Fn(&mut Asm)) {
             }
             other => panic!("exit mismatch ({label}): {other:?}"),
         }
-        assert_eq!(
-            run.output, golden.output,
-            "output mismatch ({label})"
-        );
+        assert_eq!(run.output, golden.output, "output mismatch ({label})");
         assert_eq!(
             run.exceptions, golden.exceptions,
             "exception count mismatch ({label})"
@@ -392,7 +389,7 @@ fn simple_sum_program(isa: Isa) -> Program {
     a.bri(Cond::LeS, 5, 200, top);
     a.write_int(4);
     a.exit(0);
-    a.finish("sum").unwrap()
+    a.finish("sum").expect("assembles")
 }
 
 #[test]
@@ -500,9 +497,8 @@ fn l1i_fault_asserts_on_mars_crashes_on_gem() {
                 duration_cycles: None,
             };
             let mut mars = OoOCore::new(mars_cfg(), &prog);
-            match mars.run(&[f], &limits()).exit {
-                SimExit::SimAssert(_) => mars_asserts += 1,
-                _ => {}
+            if let SimExit::SimAssert(_) = mars.run(&[f], &limits()).exit {
+                mars_asserts += 1
             }
             let mut gem = OoOCore::new(gem_cfg(), &prog);
             match gem.run(&[f], &limits()).exit {
@@ -634,10 +630,16 @@ fn debug_l1i_fault_outcomes() {
             };
             let mut mars = OoOCore::new(mars_cfg(), &prog);
             let r = mars.run(&[f], &limits());
-            println!("line={line} bit={bit} consumed={} exit={:?}", r.fault_consumed, r.exit);
+            println!(
+                "line={line} bit={bit} consumed={} exit={:?}",
+                r.fault_consumed, r.exit
+            );
             let mut gem = OoOCore::new(gem_cfg(), &prog);
             let g = gem.run(&[f], &limits());
-            println!("GEM line={line} bit={bit} consumed={} exit={:?}", g.fault_consumed, g.exit);
+            println!(
+                "GEM line={line} bit={bit} consumed={} exit={:?}",
+                g.fault_consumed, g.exit
+            );
         }
     }
 }

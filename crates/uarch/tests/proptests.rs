@@ -1,13 +1,13 @@
-//! Property-based tests over the fault-injectable components.
+//! Randomized property tests over the fault-injectable components, driven by
+//! fixed-seed xoshiro256\*\* streams (the workspace builds without external
+//! crates, so no property-testing framework).
 
 use difi_isa::uop::{BranchKind, Cond, FpOp, IntOp, UopKind, Width};
 use difi_uarch::cache::{Cache, CacheConfig};
-use difi_uarch::queues::{
-    decode_payload, encode_payload, PayloadLimits, RenamedUop,
-};
+use difi_uarch::queues::{decode_payload, encode_payload, PayloadLimits, RenamedUop};
 use difi_uarch::regfile::PhysRegFile;
 use difi_util::bits::BitPlane;
-use proptest::prelude::*;
+use difi_util::rng::Xoshiro256;
 
 fn limits() -> PayloadLimits {
     PayloadLimits {
@@ -18,122 +18,147 @@ fn limits() -> PayloadLimits {
     }
 }
 
-fn arb_uop() -> impl Strategy<Value = RenamedUop> {
-    (
-        0u8..8,
-        0u8..IntOp::COUNT,
-        0u8..FpOp::COUNT,
-        0u8..4,
-        any::<bool>(),
-        0u8..Cond::COUNT,
-        any::<bool>(),
-        0u8..5,
-        any::<i64>(),
-        0u64..(1 << 40),
-    )
-        .prop_flat_map(|(kind, alu, fp, width, signed, cond, cof, br, imm, target)| {
-            (
-                proptest::option::of((0u16..256, any::<bool>())),
-                proptest::option::of((0u16..256, any::<bool>())),
-                proptest::option::of((0u16..256, any::<bool>())),
-                0u16..64,
-                proptest::option::of(0u16..32),
-            )
-                .prop_map(move |(pd, pa, pb, rob, lsq)| {
-                    let clamp = |r: Option<(u16, bool)>| {
-                        r.map(|(p, f)| if f { (p % 128, true) } else { (p, false) })
-                    };
-                    RenamedUop {
-                        kind: [
-                            UopKind::Alu,
-                            UopKind::Load,
-                            UopKind::Store,
-                            UopKind::Branch,
-                            UopKind::Fp,
-                            UopKind::Syscall,
-                            UopKind::Hint,
-                            UopKind::Nop,
-                        ][kind as usize],
-                        alu: IntOp::from_index(alu).expect("in range"),
-                        fp: FpOp::from_index(fp).expect("in range"),
-                        width: Width::from_code(width),
-                        signed,
-                        cond: Cond::from_index(cond).expect("in range"),
-                        cond_on_flags: cof,
-                        branch: [
-                            BranchKind::CondDirect,
-                            BranchKind::Jump,
-                            BranchKind::JumpInd,
-                            BranchKind::Call,
-                            BranchKind::Ret,
-                        ][br as usize],
-                        pd: clamp(pd),
-                        pa: clamp(pa),
-                        pb: clamp(pb),
-                        imm,
-                        target,
-                        rob,
-                        lsq,
-                    }
-                })
-        })
+fn random_uop(r: &mut Xoshiro256) -> RenamedUop {
+    let reg = |r: &mut Xoshiro256| -> Option<(u16, bool)> {
+        if r.gen_bool(0.5) {
+            let fp = r.gen_bool(0.5);
+            let p = if fp {
+                r.gen_range(0, 128)
+            } else {
+                r.gen_range(0, 256)
+            };
+            Some((p as u16, fp))
+        } else {
+            None
+        }
+    };
+    RenamedUop {
+        kind: [
+            UopKind::Alu,
+            UopKind::Load,
+            UopKind::Store,
+            UopKind::Branch,
+            UopKind::Fp,
+            UopKind::Syscall,
+            UopKind::Hint,
+            UopKind::Nop,
+        ][r.gen_range(0, 8) as usize],
+        alu: IntOp::from_index(r.gen_range(0, u64::from(IntOp::COUNT)) as u8).expect("in range"),
+        fp: FpOp::from_index(r.gen_range(0, u64::from(FpOp::COUNT)) as u8).expect("in range"),
+        width: Width::from_code(r.gen_range(0, 4) as u8),
+        signed: r.gen_bool(0.5),
+        cond: Cond::from_index(r.gen_range(0, u64::from(Cond::COUNT)) as u8).expect("in range"),
+        cond_on_flags: r.gen_bool(0.5),
+        branch: [
+            BranchKind::CondDirect,
+            BranchKind::Jump,
+            BranchKind::JumpInd,
+            BranchKind::Call,
+            BranchKind::Ret,
+        ][r.gen_range(0, 5) as usize],
+        pd: reg(r),
+        pa: reg(r),
+        pb: reg(r),
+        imm: r.next_u64() as i64,
+        target: r.gen_range(0, 1 << 40),
+        rob: r.gen_range(0, 64) as u16,
+        lsq: if r.gen_bool(0.5) {
+            Some(r.gen_range(0, 32) as u16)
+        } else {
+            None
+        },
+    }
 }
 
-proptest! {
-    /// Issue-queue payload encode/decode is lossless for every valid µop.
-    #[test]
-    fn payload_roundtrip(u in arb_uop()) {
+/// Issue-queue payload encode/decode is lossless for every valid µop.
+#[test]
+fn payload_roundtrip() {
+    let mut r = Xoshiro256::seed_from(0xB1);
+    for _ in 0..2000 {
+        let u = random_uop(&mut r);
         let decoded = decode_payload(encode_payload(&u), &limits()).expect("valid µop");
-        prop_assert_eq!(decoded, u);
+        assert_eq!(decoded, u);
     }
+}
 
-    /// Decoding arbitrary payload words never panics; it either produces a
-    /// µop or a structured error (the Assert/SimCrash raw material).
-    #[test]
-    fn payload_decode_total(w0 in any::<u64>(), w1 in any::<u64>(), w2 in any::<u64>()) {
-        let _ = decode_payload([w0, w1, w2], &limits());
+/// Decoding arbitrary payload words never panics; it either produces a µop
+/// or a structured error (the Assert/SimCrash raw material).
+#[test]
+fn payload_decode_total() {
+    let mut r = Xoshiro256::seed_from(0xB2);
+    for _ in 0..5000 {
+        let words = [r.next_u64(), r.next_u64(), r.next_u64()];
+        let _ = decode_payload(words, &limits());
     }
+}
 
-    /// BitPlane field writes affect exactly the targeted bits.
-    #[test]
-    fn bitplane_field_isolation(bit in 0usize..100, len in 1usize..65, v in any::<u64>()) {
-        prop_assume!(bit + len <= 160);
+/// BitPlane field writes affect exactly the targeted bits.
+#[test]
+fn bitplane_field_isolation() {
+    let mut r = Xoshiro256::seed_from(0xB3);
+    for _ in 0..500 {
+        let bit = r.gen_range(0, 100) as usize;
+        let len = r.gen_range(1, 65) as usize;
+        if bit + len > 160 {
+            continue;
+        }
+        let v = r.next_u64();
         let mut p = BitPlane::new(4, 160);
         // Paint the row with ones, write the field, check the neighbours.
         for b in 0..160 {
             p.set(2, b, true);
         }
         p.set_field(2, bit, len, v);
-        let mask = if len == 64 { u64::MAX } else { (1u64 << len) - 1 };
-        prop_assert_eq!(p.get_field(2, bit, len), v & mask);
+        let mask = if len == 64 {
+            u64::MAX
+        } else {
+            (1u64 << len) - 1
+        };
+        assert_eq!(p.get_field(2, bit, len), v & mask);
         if bit > 0 {
-            prop_assert!(p.get(2, bit - 1), "bit below the field must be untouched");
+            assert!(p.get(2, bit - 1), "bit below the field must be untouched");
         }
         if bit + len < 160 {
-            prop_assert!(p.get(2, bit + len), "bit above the field must be untouched");
+            assert!(p.get(2, bit + len), "bit above the field must be untouched");
         }
         // Other rows untouched.
-        prop_assert_eq!(p.count_ones(1), 0);
+        assert_eq!(p.count_ones(1), 0);
     }
+}
 
-    /// Register-file faults flip exactly one bit of exactly one register.
-    #[test]
-    fn regfile_flip_is_local(reg in 0u64..256, bit in 0u32..64, val in any::<u64>()) {
+/// Register-file faults flip exactly one bit of exactly one register.
+#[test]
+fn regfile_flip_is_local() {
+    let mut r = Xoshiro256::seed_from(0xB4);
+    for _ in 0..1000 {
+        let reg = r.gen_range(0, 256);
+        let bit = r.gen_range(0, 64) as u32;
+        let val = r.next_u64();
         let mut f = PhysRegFile::new(256);
         f.write(reg as u16, val);
         f.inject_flip(reg, bit);
-        prop_assert_eq!(f.read(reg as u16), val ^ (1 << bit));
+        assert_eq!(f.read(reg as u16), val ^ (1 << bit));
         let other = (reg + 1) % 256;
-        prop_assert_eq!(f.read(other as u16), 0);
+        assert_eq!(f.read(other as u16), 0);
     }
+}
 
-    /// Cache write-then-read returns the written bytes for arbitrary
-    /// (address, data) patterns, through fills and evictions.
-    #[test]
-    fn cache_write_read_consistency(ops in proptest::collection::vec((0u64..64, any::<u8>()), 1..50)) {
-        let mut c = Cache::new(CacheConfig { sets: 4, ways: 2, line: 16 });
+/// Cache write-then-read returns the written bytes for arbitrary
+/// (address, data) patterns, through fills and evictions.
+#[test]
+fn cache_write_read_consistency() {
+    let mut r = Xoshiro256::seed_from(0xB5);
+    for _ in 0..100 {
+        let n = r.gen_range(1, 50) as usize;
+        let mut c = Cache::new(CacheConfig {
+            sets: 4,
+            ways: 2,
+            line: 16,
+        });
         let mut shadow = std::collections::HashMap::new();
-        for (slot, byte) in ops {
+        for _ in 0..n {
+            let slot = r.gen_range(0, 64);
+            let byte = r.gen_range(0, 256) as u8;
             let addr = slot * 16; // line-aligned slots over 1 KiB
             let line = match c.lookup(addr) {
                 Some(l) => l,
@@ -151,17 +176,21 @@ proptest! {
             shadow.insert(addr, byte);
             let mut rb = [0u8; 1];
             c.read(line, 0, &mut rb);
-            prop_assert_eq!(rb[0], byte);
+            assert_eq!(rb[0], byte);
         }
     }
+}
 
-    /// Tag reconstruction (the writeback address) inverts tag extraction
-    /// for every line-aligned address in the 32-bit space.
-    #[test]
-    fn cache_line_addr_roundtrip(addr in (0u64..(1 << 26)).prop_map(|a| a << 6)) {
+/// Tag reconstruction (the writeback address) inverts tag extraction for
+/// every line-aligned address in the 32-bit space.
+#[test]
+fn cache_line_addr_roundtrip() {
+    let mut r = Xoshiro256::seed_from(0xB6);
+    for _ in 0..1000 {
+        let addr = r.gen_range(0, 1 << 26) << 6;
         let mut c = Cache::new(CacheConfig::L1);
         c.fill(addr, &[0u8; 64]);
         let line = c.lookup(addr).expect("filled");
-        prop_assert_eq!(c.line_addr(line), addr);
+        assert_eq!(c.line_addr(line), addr);
     }
 }

@@ -68,10 +68,7 @@ impl BitPlane {
     fn index(&self, entry: usize, bit: usize) -> (usize, u64) {
         debug_assert!(entry < self.entries, "entry {entry} out of range");
         debug_assert!(bit < self.width, "bit {bit} out of range");
-        (
-            entry * self.words_per_entry + bit / 64,
-            1u64 << (bit % 64),
-        )
+        (entry * self.words_per_entry + bit / 64, 1u64 << (bit % 64))
     }
 
     /// Reads one bit.
@@ -112,7 +109,11 @@ impl BitPlane {
         let base = entry * self.words_per_entry;
         let w = base + bit / 64;
         let off = bit % 64;
-        let mask = if len == 64 { u64::MAX } else { (1u64 << len) - 1 };
+        let mask = if len == 64 {
+            u64::MAX
+        } else {
+            (1u64 << len) - 1
+        };
         let lo = self.words[w] >> off;
         let v = if off + len <= 64 {
             lo
@@ -129,14 +130,17 @@ impl BitPlane {
         let base = entry * self.words_per_entry;
         let w = base + bit / 64;
         let off = bit % 64;
-        let mask = if len == 64 { u64::MAX } else { (1u64 << len) - 1 };
+        let mask = if len == 64 {
+            u64::MAX
+        } else {
+            (1u64 << len) - 1
+        };
         let value = value & mask;
         self.words[w] = (self.words[w] & !(mask << off)) | (value << off);
         if off + len > 64 {
             let hi_bits = off + len - 64;
             let hi_mask = (1u64 << hi_bits) - 1;
-            self.words[w + 1] =
-                (self.words[w + 1] & !hi_mask) | (value >> (64 - off));
+            self.words[w + 1] = (self.words[w + 1] & !hi_mask) | (value >> (64 - off));
         }
     }
 

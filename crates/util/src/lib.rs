@@ -23,6 +23,7 @@
 //! ```
 
 pub mod bits;
+pub mod json;
 pub mod rng;
 pub mod stats;
 

@@ -51,7 +51,7 @@ pub fn text(seed: u64, n: usize) -> Vec<u8> {
     (0..n)
         .map(|_| {
             let v = r.next_u64();
-            if v % 7 == 0 {
+            if v.is_multiple_of(7) {
                 b' '
             } else {
                 common[(v % common.len() as u64) as usize]

@@ -125,15 +125,15 @@ pub fn emit(a: &mut Asm) {
     a.fload(1, 10, 8); // u_im
     a.fload(2, 11, 0); // x_re
     a.fload(3, 11, 8); // x_im
-    // v_re = x_re*w_re - x_im*w_im ; v_im = x_re*w_im + x_im*w_re
-    // (f0 u_re, f1 u_im, f2 x_re, f3 x_im, f4 w_re, f5 w_im, f6 scratch)
+                       // v_re = x_re*w_re - x_im*w_im ; v_im = x_re*w_im + x_im*w_re
+                       // (f0 u_re, f1 u_im, f2 x_re, f3 x_im, f4 w_re, f5 w_im, f6 scratch)
     a.falu(FpOp::Mul, 6, 2, 4); // f6 = x_re*w_re
     a.falu(FpOp::Mul, 2, 2, 5); // f2 = x_re*w_im  (x_re consumed)
     a.falu(FpOp::Mul, 5, 3, 5); // f5 = x_im*w_im  (w_im consumed!)
     a.falu(FpOp::Sub, 6, 6, 5); // f6 = v_re
     a.falu(FpOp::Mul, 3, 3, 4); // f3 = x_im*w_re
     a.falu(FpOp::Add, 2, 2, 3); // f2 = v_im
-    // data[idx] = u + v ; data[idx+half] = u - v
+                                // data[idx] = u + v ; data[idx+half] = u - v
     a.falu(FpOp::Add, 3, 0, 6);
     a.fstore(3, 10, 0);
     a.falu(FpOp::Add, 3, 1, 2);

@@ -21,8 +21,8 @@ use difi_isa::uop::{Cond, IntOp, Width};
 const DIM: usize = 48;
 const BLOCKS: usize = (DIM / 8) * (DIM / 8);
 const FX: i64 = 1 << 12;
-const SEED_C: u64 = 0xC1Ae_0006;
-const SEED_D: u64 = 0xD1Ae_0007;
+const SEED_C: u64 = 0xC1AE_0006;
+const SEED_D: u64 = 0xD1AE_0007;
 
 /// The 8×8 DCT basis, scaled by `FX`.
 fn dct_matrix() -> Vec<i32> {
@@ -34,8 +34,8 @@ fn dct_matrix() -> Vec<i32> {
             } else {
                 (2.0f64 / 8.0).sqrt()
             };
-            let val = scale
-                * ((2.0 * j as f64 + 1.0) * i as f64 * std::f64::consts::PI / 16.0).cos();
+            let val =
+                scale * ((2.0 * j as f64 + 1.0) * i as f64 * std::f64::consts::PI / 16.0).cos();
             *v = (val * FX as f64).round() as i32;
         }
     }
@@ -54,16 +54,16 @@ fn transpose(m: &[i32]) -> Vec<i32> {
 
 /// JPEG luminance quantization table (quality ~50).
 const QTABLE: [i32; 64] = [
-    16, 11, 10, 16, 24, 40, 51, 61, 12, 12, 14, 19, 26, 58, 60, 55, 14, 13, 16, 24, 40, 57, 69,
-    56, 14, 17, 22, 29, 51, 87, 80, 62, 18, 22, 37, 56, 68, 109, 103, 77, 24, 35, 55, 64, 81,
-    104, 113, 92, 49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99,
+    16, 11, 10, 16, 24, 40, 51, 61, 12, 12, 14, 19, 26, 58, 60, 55, 14, 13, 16, 24, 40, 57, 69, 56,
+    14, 17, 22, 29, 51, 87, 80, 62, 18, 22, 37, 56, 68, 109, 103, 77, 24, 35, 55, 64, 81, 104, 113,
+    92, 49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99,
 ];
 
 /// Zigzag scan order.
 const ZIGZAG: [i32; 64] = [
-    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
-    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
-    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27, 20,
+    13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58, 59,
+    52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
 ];
 
 /// Host 8×8 fixed-point matmul: `out = (a · b) >> 12` (i64 accumulate).
@@ -99,8 +99,7 @@ fn cjpeg_stream(image: &[u8]) -> Vec<u8> {
             let mut block = [0i64; 64];
             for y in 0..8 {
                 for x in 0..8 {
-                    block[y * 8 + x] =
-                        image[(by * 8 + y) * DIM + bx * 8 + x] as i64 - 128;
+                    block[y * 8 + x] = image[(by * 8 + y) * DIM + bx * 8 + x] as i64 - 128;
                 }
             }
             let tmp = mat8(&c, &block);
@@ -108,7 +107,11 @@ fn cjpeg_stream(image: &[u8]) -> Vec<u8> {
             // Quantize + zigzag + RLE.
             let mut run = 0u8;
             for &zz in ZIGZAG.iter() {
-                let q = dct[zz as usize] / QTABLE[ZIGZAG.iter().position(|&z| z == zz).unwrap()] as i64;
+                let q = dct[zz as usize]
+                    / QTABLE[ZIGZAG
+                        .iter()
+                        .position(|&z| z == zz)
+                        .expect("zig-zag order is a permutation")] as i64;
                 if q == 0 {
                     run = run.saturating_add(1);
                 } else {
@@ -216,7 +219,7 @@ pub fn emit_cjpeg(a: &mut Asm) {
     a.li(2, (DIM / 8) as i64);
     a.op(IntOp::DivU, 3, 12, 2); // by
     a.op(IntOp::RemU, 4, 12, 2); // bx
-    // Load the block: block[y*8+x] = img[(by*8+y)*DIM + bx*8+x] - 128.
+                                 // Load the block: block[y*8+x] = img[(by*8+y)*DIM + bx*8+x] - 128.
     a.li(5, 0); // y
     let ly = a.here_label();
     let ly_done = a.label();
@@ -358,8 +361,7 @@ fn djpeg_coeffs() -> Vec<i32> {
             let mut block = [0i64; 64];
             for y in 0..8 {
                 for x in 0..8 {
-                    block[y * 8 + x] =
-                        image[(by * 8 + y) * DIM + bx * 8 + x] as i64 - 128;
+                    block[y * 8 + x] = image[(by * 8 + y) * DIM + bx * 8 + x] as i64 - 128;
                 }
             }
             let tmp = mat8(&c, &block);

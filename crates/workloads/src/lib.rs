@@ -163,7 +163,8 @@ mod tests {
                 "{bench}/{isa}: must exit cleanly"
             );
             assert_eq!(
-                run.output, expected,
+                run.output,
+                expected,
                 "{bench}/{isa}: output must match host reference (got {:?})",
                 String::from_utf8_lossy(&run.output)
             );

@@ -36,9 +36,15 @@ pub fn emit(a: &mut Asm) {
 
     // Initialize H.
     a.li(11, h_addr as i64);
-    for (i, h) in [0x67452301u32, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0]
-        .iter()
-        .enumerate()
+    for (i, h) in [
+        0x67452301u32,
+        0xEFCDAB89,
+        0x98BADCFE,
+        0x10325476,
+        0xC3D2E1F0,
+    ]
+    .iter()
+    .enumerate()
     {
         a.li(10, *h as i64);
         a.store(Width::B4, 10, 11, (i * 4) as i32);
@@ -178,7 +184,7 @@ pub fn emit(a: &mut Asm) {
 
     a.li(11, h_addr as i64);
     for i in 0..5 {
-        a.load(Width::B4, false, 4, 11, (i * 4) as i32);
+        a.load(Width::B4, false, 4, 11, i * 4);
         a.write_int(4);
         a.li(11, h_addr as i64); // write_int clobbers nothing above r2, but r11 survives; reload for clarity on all ISAs
     }

@@ -47,7 +47,7 @@ pub fn emit(a: &mut Asm) {
     a.opi(IntOp::Shl, 10, 6, 2);
     a.op(IntOp::Add, 10, 3, 10);
     a.load(Width::B4, false, 9, 10, 0); // pivot
-    // i = lo - 1 ; j = lo
+                                        // i = lo - 1 ; j = lo
     a.opi(IntOp::Sub, 7, 5, 1);
     a.mov(8, 5);
     let part_loop = a.here_label();

@@ -128,8 +128,8 @@ pub fn emit_edge(a: &mut Asm) {
     a.opi(IntOp::Mul, 10, 5, W as i32);
     a.op(IntOp::Add, 10, 10, 6);
     a.op(IntOp::Add, 10, 3, 10); // &src[y*W+x]
-    // gx = (p[-1-W]+2p[-1]+p[-1+W]) - (p[1-W]+2p[1]+p[1+W])  … r11
-    // (signed arithmetic in 64-bit registers; pixels are zero-extended)
+                                 // gx = (p[-1-W]+2p[-1]+p[-1+W]) - (p[1-W]+2p[1]+p[1+W])  … r11
+                                 // (signed arithmetic in 64-bit registers; pixels are zero-extended)
     let wi = W as i32;
     a.load(Width::B1, false, 11, 10, -1 - wi);
     a.load(Width::B1, false, 2, 10, -1);
@@ -213,7 +213,7 @@ pub fn reference_edge() -> Vec<u8> {
 pub fn emit_corner(a: &mut Asm) {
     let src = a.data_bytes(&img());
     let sums = a.bss(3 * 8, 8); // sxx, syy, sxy scratch
-    // r3 = src, r5 = y, r6 = x, r7 = corner count, r8 = response checksum.
+                                // r3 = src, r5 = y, r6 = x, r7 = corner count, r8 = response checksum.
     a.li(3, src as i64);
     a.li(7, 0);
     a.li(8, 0);
@@ -307,7 +307,7 @@ pub fn reference_corner() -> Vec<u8> {
                     sxy += gx * gy;
                 }
             }
-            let response = sxx * syy - sxy * sxy - ((sxx + syy) * (sxx + syy) >> 5);
+            let response = sxx * syy - sxy * sxy - (((sxx + syy) * (sxx + syy)) >> 5);
             if response >= 500_000 {
                 count += 1;
                 sum = sum.wrapping_add(response as u64);

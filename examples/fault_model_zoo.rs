@@ -21,8 +21,10 @@ fn main() -> Result<(), difi::util::Error> {
     let bench = Bench::Edge;
     let program = build(bench, gefin.isa())?;
     let golden = golden_run(&gefin, &program, 200_000_000);
-    let l1d = difi::core::dispatch::structure_desc(&gefin, StructureId::L1dData).unwrap();
-    let rf = difi::core::dispatch::structure_desc(&gefin, StructureId::IntRegFile).unwrap();
+    let l1d =
+        difi::core::dispatch::structure_desc(&gefin, StructureId::L1dData).expect("injectable");
+    let rf =
+        difi::core::dispatch::structure_desc(&gefin, StructureId::IntRegFile).expect("injectable");
     println!(
         "fault-model zoo — {}, benchmark {bench}, {n} runs per model\n",
         gefin.name()
@@ -30,7 +32,10 @@ fn main() -> Result<(), difi::util::Error> {
 
     let mut gen = MaskGenerator::new(404);
     let campaigns: Vec<(&str, Vec<InjectionSpec>)> = vec![
-        ("transient 1-bit (L1D)", gen.transient(&l1d, golden.cycles, n)),
+        (
+            "transient 1-bit (L1D)",
+            gen.transient(&l1d, golden.cycles, n),
+        ),
         (
             "intermittent 2k-cycle (L1D)",
             gen.intermittent(&l1d, golden.cycles, 2000, n),

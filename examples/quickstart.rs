@@ -12,14 +12,20 @@ fn main() -> Result<(), difi::util::Error> {
     // 1. Pick an injector (MaFIN-x86) and build a benchmark for its ISA.
     let mafin = MaFin::new();
     let program = build(Bench::Sha, mafin.isa())?;
-    println!("benchmark: {} ({} bytes code, {} bytes data)",
-             program.name, program.code.len(), program.data.len());
+    println!(
+        "benchmark: {} ({} bytes code, {} bytes data)",
+        program.name,
+        program.code.len(),
+        program.data.len()
+    );
 
     // 2. Fault-free golden run: reference output + the cycle count that
     //    sizes the 3× timeout and the sampling population.
     let golden = golden_run(&mafin, &program, 100_000_000);
-    println!("golden run: {} cycles, {} instructions",
-             golden.cycles, golden.instructions);
+    println!(
+        "golden run: {} cycles, {} instructions",
+        golden.cycles, golden.instructions
+    );
 
     // 3. Generate a masks repository: 200 single-bit transients in the
     //    integer physical register file. (The paper's statistically sized
@@ -32,18 +38,34 @@ fn main() -> Result<(), difi::util::Error> {
 
     // 4. Run the injection campaign (parallel, with the paper's early-stop
     //    optimizations) and classify.
-    let log = run_campaign(&mafin, &program, StructureId::IntRegFile, 2015, &masks,
-                           &CampaignConfig::default());
+    let log = run_campaign(
+        &mafin,
+        &program,
+        StructureId::IntRegFile,
+        2015,
+        &masks,
+        &CampaignConfig::default(),
+    );
     let counts = classify_log(&log);
 
     println!("\nfault-effect classification ({} runs):", counts.total());
     for class in Outcome::ALL {
-        println!("  {:<8} {:>4}  ({:>5.1}%)",
-                 class.name(), counts.get(class), 100.0 * counts.fraction(class));
+        println!(
+            "  {:<8} {:>4}  ({:>5.1}%)",
+            class.name(),
+            counts.get(class),
+            100.0 * counts.fraction(class)
+        );
     }
-    println!("\nvulnerability (non-masked fraction): {:.2}%",
-             100.0 * counts.vulnerability());
+    println!(
+        "\nvulnerability (non-masked fraction): {:.2}%",
+        100.0 * counts.vulnerability()
+    );
     let ci = counts.vulnerability_interval(0.99);
-    println!("99% confidence interval: [{:.2}%, {:.2}%]", 100.0 * ci.lo, 100.0 * ci.hi);
+    println!(
+        "99% confidence interval: [{:.2}%, {:.2}%]",
+        100.0 * ci.lo,
+        100.0 * ci.hi
+    );
     Ok(())
 }

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full local gate: formatting, lints, release build, tests.
+# Mirrors what CI would run; keep it green before pushing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (-D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test"
+cargo test -q
+
+echo "All checks passed."

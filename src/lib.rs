@@ -1,1 +1,5 @@
+//! Root crate of the workspace: re-exports the [`difi`] facade so
+//! `use difi_repro::prelude::*` (or `difi::prelude::*`) works from either
+//! entry point. See the workspace README for the crate layout.
+
 pub use difi::*;

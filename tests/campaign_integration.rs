@@ -32,7 +32,13 @@ fn small_campaign(
 #[test]
 fn campaign_classifies_every_run_on_all_setups() {
     for dispatcher in setups::all() {
-        let log = small_campaign(dispatcher.as_ref(), Bench::Fft, StructureId::IntRegFile, 12, true);
+        let log = small_campaign(
+            dispatcher.as_ref(),
+            Bench::Fft,
+            StructureId::IntRegFile,
+            12,
+            true,
+        );
         let counts = classify_log(&log);
         assert_eq!(counts.total(), 12, "{}", dispatcher.name());
         assert!(

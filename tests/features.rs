@@ -69,9 +69,18 @@ fn structure_geometries_match_table_ii() {
 
     // Caches: 32 KB L1s (512 lines × 512 bits), 1 MB L2.
     for d in setups::all() {
-        assert_eq!(geom(d.as_ref(), StructureId::L1dData).total_bits(), 32 * 1024 * 8);
-        assert_eq!(geom(d.as_ref(), StructureId::L1iData).total_bits(), 32 * 1024 * 8);
-        assert_eq!(geom(d.as_ref(), StructureId::L2Data).total_bits(), 1024 * 1024 * 8);
+        assert_eq!(
+            geom(d.as_ref(), StructureId::L1dData).total_bits(),
+            32 * 1024 * 8
+        );
+        assert_eq!(
+            geom(d.as_ref(), StructureId::L1iData).total_bits(),
+            32 * 1024 * 8
+        );
+        assert_eq!(
+            geom(d.as_ref(), StructureId::L2Data).total_bits(),
+            1024 * 1024 * 8
+        );
         assert_eq!(geom(d.as_ref(), StructureId::Ras).entries, 16);
     }
 
@@ -90,7 +99,10 @@ fn kernel_state_is_fault_reachable() {
     let mut mem = vec![0u8; map.size as usize];
     kernel::install(&mut mem, &map);
     // The kernel magic and dispatch table are ordinary simulated memory.
-    assert_ne!(&mem[map.kernel_base as usize..map.kernel_base as usize + 8], &[0u8; 8]);
+    assert_ne!(
+        &mem[map.kernel_base as usize..map.kernel_base as usize + 8],
+        &[0u8; 8]
+    );
     mem[map.kernel_base as usize] ^= 1;
     let mut fm = kernel::FlatMem { mem: &mut mem };
     assert!(matches!(

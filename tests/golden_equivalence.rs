@@ -3,8 +3,8 @@
 //! architecturally identical to the functional emulator (which the workload
 //! tests in turn pin to host-side reference implementations).
 
-use difi::prelude::*;
 use difi::isa::emu::{EmuExit, Emulator};
+use difi::prelude::*;
 
 fn golden_matches(bench: Bench, dispatcher: &dyn InjectorDispatcher) {
     let program = build(bench, dispatcher.isa()).expect("benchmark assembles");
@@ -30,12 +30,14 @@ fn golden_matches(bench: Bench, dispatcher: &dyn InjectorDispatcher) {
         dispatcher.name()
     );
     assert_eq!(
-        raw.exceptions, emu.exceptions,
+        raw.exceptions,
+        emu.exceptions,
         "{bench}/{}: exception counts differ",
         dispatcher.name()
     );
     assert_eq!(
-        raw.instructions, emu.instructions,
+        raw.instructions,
+        emu.instructions,
         "{bench}/{}: committed instruction counts differ",
         dispatcher.name()
     );

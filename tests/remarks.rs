@@ -133,7 +133,10 @@ fn remark3_clean_line_masking_differs() {
         marss.read_data(i * 8192, &mut b);
     }
     marss.read_data(0x0, &mut b);
-    assert_eq!(b[0], clean, "clean-line fault dies on eviction (MaFIN masking)");
+    assert_eq!(
+        b[0], clean,
+        "clean-line fault dies on eviction (MaFIN masking)"
+    );
 }
 
 /// Remark 1: the LSQ data plane holds 32 entries (loads + stores) on MaFIN
@@ -164,9 +167,8 @@ fn remark8_assert_vs_crash_composition() {
     ] {
         let program = build(bench, dispatcher.isa()).expect("assembles");
         let golden = golden_run(dispatcher.as_ref(), &program, 200_000_000);
-        let desc =
-            difi::core::dispatch::structure_desc(dispatcher.as_ref(), StructureId::L1iData)
-                .unwrap();
+        let desc = difi::core::dispatch::structure_desc(dispatcher.as_ref(), StructureId::L1iData)
+            .unwrap();
         // Directed at the code-resident lines early in the run so the
         // corrupted instructions are refetched.
         let mut masks = Vec::new();
