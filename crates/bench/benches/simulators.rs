@@ -5,6 +5,8 @@
 //!   `fft` benchmark (the study's wall-clock currency).
 //! * `early_stop/*` — EXP-OPT: campaign time with and without the paper's
 //!   §III.B.2 early-stop optimizations (expected 30–70% per-run savings).
+//! * `warm_start/*` — checkpointed warm-start engine vs. cold-start on a
+//!   40-mask L2 campaign (acceptance target ≥1.3× speedup).
 //! * `data_arrays/*` — EXP-OVH: MarsSim with the cache data-array extension
 //!   vs. original-MARSS performance mode (paper: ≈40% overhead).
 //!
@@ -64,7 +66,7 @@ fn early_stop() {
     let golden = golden_run(&mafin, &program, 100_000_000);
     let desc = difi::core::dispatch::structure_desc(&mafin, StructureId::L2Data)
         .expect("MaFIN models the L2 data array");
-    let masks = MaskGenerator::new(7).transient(&desc, golden.cycles, 20);
+    let masks = MaskGenerator::new(7).transient(&desc, golden.cycles_measured(), 20);
 
     for (name, early) in [("disabled", false), ("enabled", true)] {
         let cfg = CampaignConfig {
@@ -76,6 +78,29 @@ fn early_stop() {
             run_campaign(&mafin, &program, StructureId::L2Data, 7, &masks, &cfg);
         });
     }
+}
+
+fn warm_start() {
+    // ISSUE 2 acceptance: a 40-mask L2 campaign served from golden-run
+    // checkpoints must beat the cold-start campaign by ≥1.3×.
+    let mafin = MaFin::new();
+    let program = build(Bench::Fft, Isa::X86e).expect("fft builds for x86e");
+    let golden = golden_run(&mafin, &program, 100_000_000);
+    let desc = difi::core::dispatch::structure_desc(&mafin, StructureId::L2Data)
+        .expect("MaFIN models the L2 data array");
+    let masks = MaskGenerator::new(11).transient(&desc, golden.cycles_measured(), 40);
+    let cfg = CampaignConfig {
+        threads: 1,
+        early_stop: true,
+        golden_max_cycles: 100_000_000,
+    };
+
+    bench("warm_start", "cold_start", || {
+        run_campaign(&mafin, &program, StructureId::L2Data, 11, &masks, &cfg);
+    });
+    bench("warm_start", "checkpointed_k8", || {
+        run_campaign_checkpointed(&mafin, &program, StructureId::L2Data, 11, &masks, &cfg, 8);
+    });
 }
 
 fn data_arrays() {
@@ -91,5 +116,6 @@ fn data_arrays() {
 fn main() {
     sim_throughput();
     early_stop();
+    warm_start();
     data_arrays();
 }

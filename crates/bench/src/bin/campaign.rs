@@ -56,14 +56,14 @@ fn main() {
     );
     println!(
         "golden: {} cycles; statistically required at 99%/3%: {}",
-        golden.cycles,
-        MaskGenerator::required_samples(&desc, golden.cycles, 0.99, 0.03)
+        golden.cycles_measured(),
+        MaskGenerator::required_samples(&desc, golden.cycles_measured(), 0.99, 0.03)
     );
 
     let mut gen = MaskGenerator::new(seed);
     let masks = match model.as_str() {
-        "transient" => gen.transient(&desc, golden.cycles, injections),
-        "intermittent" => gen.intermittent(&desc, golden.cycles, window, injections),
+        "transient" => gen.transient(&desc, golden.cycles_measured(), injections),
+        "intermittent" => gen.intermittent(&desc, golden.cycles_measured(), window, injections),
         "permanent" => gen.permanent(&desc, injections),
         other => panic!("unknown model {other}"),
     };

@@ -14,8 +14,8 @@ fn main() {
                 "{:<10} {:<10} cycles={:<9} instr={:<9} wall={:?}",
                 d.name(),
                 b.name(),
-                g.cycles,
-                g.instructions,
+                g.cycles_measured(),
+                g.instructions.unwrap_or(0),
                 t.elapsed()
             );
         }

@@ -139,7 +139,7 @@ fn figure(structure: StructureId, title: &str, opts: &Opts) {
             let desc = difi::core::dispatch::structure_desc(dispatcher.as_ref(), structure)
                 .expect("figure structures are injectable");
             let masks = MaskGenerator::new(opts.seed ^ (*bench as u64) << 8 ^ structure as u64)
-                .transient(&desc, golden.cycles, opts.injections);
+                .transient(&desc, golden.cycles_measured(), opts.injections);
             let log = run_campaign(
                 dispatcher.as_ref(),
                 &program,
@@ -361,7 +361,11 @@ fn speedup(opts: &Opts) {
     ] {
         let desc = difi::core::dispatch::structure_desc(&mafin, structure)
             .expect("figure structures are injectable");
-        let masks = MaskGenerator::new(opts.seed).transient(&desc, golden.cycles, opts.injections);
+        let masks = MaskGenerator::new(opts.seed).transient(
+            &desc,
+            golden.cycles_measured(),
+            opts.injections,
+        );
         let mut cfg = CampaignConfig {
             threads: 1,
             ..Default::default()
@@ -374,7 +378,10 @@ fn speedup(opts: &Opts) {
         let t0 = Instant::now();
         let fast = run_campaign(&mafin, &program, structure, opts.seed, &masks, &cfg);
         let t_fast = t0.elapsed();
-        let cyc = |log: &CampaignLog| -> u64 { log.runs.iter().map(|r| r.result.cycles).sum() };
+        // Sum only measured runs: statically-pruned masks never executed and
+        // carry no cycle count.
+        let cyc =
+            |log: &CampaignLog| -> u64 { log.runs.iter().filter_map(|r| r.result.cycles).sum() };
         let (cs, cf) = (cyc(&slow), cyc(&fast));
         println!(
             "  {:<12} simulated cycles {:>12} → {:>12}  ({:.0}% saved)   wall {:?} → {:?}",

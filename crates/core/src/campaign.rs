@@ -11,14 +11,33 @@
 //! paper's 3× timeout — then drains the masks repository across worker
 //! threads (the paper used ~100 threads over ten workstations; here the
 //! worker count adapts to the machine).
+//!
+//! Three controller variants share that skeleton:
+//!
+//! * [`run_campaign`] — every mask cold-starts a fresh simulator.
+//! * [`run_campaign_pruned`] — masks the static ACE analysis proves masked
+//!   are logged without dispatch.
+//! * [`run_campaign_checkpointed`] — the **warm-start engine**: the golden
+//!   run is paused at K interval checkpoints
+//!   ([`InjectorDispatcher::golden_snapshots`]) and each injection restores
+//!   the nearest checkpoint at or before its injection cycle, simulating
+//!   only the remainder. Because the fault-free prefix is deterministic,
+//!   the log is byte-identical to the cold-start path — which therefore
+//!   stays available as a differential oracle.
+//!
+//! A panic escaping a dispatcher is confined to the run that raised it: the
+//! run is logged as [`RunStatus::SimulatorCrash`] (the paper treats
+//! simulator malfunction as a *class*, not a fatal error) and every other
+//! result is kept.
 
-use crate::dispatch::InjectorDispatcher;
+use crate::dispatch::{GoldenSnapshot, InjectorDispatcher};
 use crate::logs::{CampaignLog, RunLog};
 use crate::masks::partition_provably_masked;
-use crate::model::{EarlyStop, InjectionSpec, RawRunResult, RunLimits, RunStatus};
+use crate::model::{EarlyStop, InjectTime, InjectionSpec, RawRunResult, RunLimits, RunStatus};
 use difi_ace::AceProfile;
 use difi_isa::program::Program;
 use difi_uarch::fault::StructureId;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Campaign-level options.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +73,104 @@ pub fn golden_run(
     dispatcher.run(program, &spec, &RunLimits::golden(max_cycles))
 }
 
+/// The campaign preamble shared by every controller variant: the golden
+/// run, the paper's 3×-golden limits, and the resolved worker count.
+fn campaign_setup(
+    dispatcher: &dyn InjectorDispatcher,
+    program: &Program,
+    cfg: &CampaignConfig,
+) -> (RawRunResult, RunLimits, usize) {
+    let golden = golden_run(dispatcher, program, cfg.golden_max_cycles);
+    assert!(
+        matches!(golden.status, RunStatus::Completed { .. }),
+        "golden run of {} on {} must complete, got {:?}",
+        program.name,
+        dispatcher.name(),
+        golden.status
+    );
+    let mut limits = RunLimits::campaign(golden.cycles_measured());
+    limits.early_stop = cfg.early_stop;
+    let threads = if cfg.threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        cfg.threads
+    };
+    (golden, limits, threads)
+}
+
+/// Invokes `runner` on one mask, converting a panic into a
+/// [`RunStatus::SimulatorCrash`] result so one malfunctioning run cannot
+/// abort the campaign and discard the completed results.
+fn run_caught(
+    runner: &(dyn Fn(&InjectionSpec) -> RawRunResult + Sync),
+    spec: &InjectionSpec,
+) -> RawRunResult {
+    match catch_unwind(AssertUnwindSafe(|| runner(spec))) {
+        Ok(result) => result,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".to_string());
+            RawRunResult::unexecuted(RunStatus::SimulatorCrash(format!("worker panic: {msg}")))
+        }
+    }
+}
+
+/// Drains `masks` through `runner`, sequentially when parallelism cannot
+/// pay off (`threads <= 1` or fewer than two masks), otherwise across
+/// `threads` work-stealing workers. Results stay aligned with their masks.
+fn execute_masks(
+    masks: &[InjectionSpec],
+    runner: &(dyn Fn(&InjectionSpec) -> RawRunResult + Sync),
+    threads: usize,
+) -> Vec<RunLog> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    if threads <= 1 || masks.len() < 2 {
+        return masks
+            .iter()
+            .map(|spec| RunLog {
+                spec: spec.clone(),
+                result: run_caught(runner, spec),
+            })
+            .collect();
+    }
+
+    // Work-stealing by atomic index: each worker claims the next unclaimed
+    // mask; each slot is written exactly once, so the mutexes never contend.
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<RawRunResult>>> =
+        (0..masks.len()).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= masks.len() {
+                    return;
+                }
+                let result = run_caught(runner, &masks[i]);
+                *slots[i].lock().expect("slot lock") = Some(result);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| RunLog {
+            spec: masks[i].clone(),
+            result: slot
+                .into_inner()
+                .expect("slot lock")
+                .expect("every index completed"),
+        })
+        .collect()
+}
+
 /// Runs a full campaign: golden run, then every mask, in parallel.
 ///
 /// # Panics
@@ -68,34 +185,9 @@ pub fn run_campaign(
     masks: &[InjectionSpec],
     cfg: &CampaignConfig,
 ) -> CampaignLog {
-    let golden = golden_run(dispatcher, program, cfg.golden_max_cycles);
-    assert!(
-        matches!(golden.status, RunStatus::Completed { .. }),
-        "golden run of {} on {} must complete, got {:?}",
-        program.name,
-        dispatcher.name(),
-        golden.status
-    );
-    let mut limits = RunLimits::campaign(golden.cycles);
-    limits.early_stop = cfg.early_stop;
-
-    let threads = if cfg.threads == 0 {
-        std::thread::available_parallelism().map_or(1, |n| n.get())
-    } else {
-        cfg.threads
-    };
-
-    let results: Vec<RunLog> = if threads <= 1 || masks.len() < 2 {
-        masks
-            .iter()
-            .map(|spec| RunLog {
-                spec: spec.clone(),
-                result: dispatcher.run(program, spec, &limits),
-            })
-            .collect()
-    } else {
-        parallel_runs(dispatcher, program, masks, &limits, threads)
-    };
+    let (golden, limits, threads) = campaign_setup(dispatcher, program, cfg);
+    let runner = |spec: &InjectionSpec| dispatcher.run(program, spec, &limits);
+    let runs = execute_masks(masks, &runner, threads);
 
     CampaignLog {
         injector: dispatcher.name().to_string(),
@@ -103,7 +195,103 @@ pub fn run_campaign(
         structure: structure.name().to_string(),
         seed,
         golden,
-        runs: results,
+        runs,
+    }
+}
+
+/// The latest golden cycle a warm start may resume from for `spec`: the
+/// earliest cycle-scheduled fault. `None` forces a cold start — either the
+/// mask is fault-free, or it carries an instruction-scheduled fault whose
+/// firing cycle is unknown before simulation.
+fn warm_start_cycle(spec: &InjectionSpec) -> Option<u64> {
+    let mut earliest: Option<u64> = None;
+    for f in &spec.faults {
+        match f.at {
+            InjectTime::Cycle(c) => earliest = Some(earliest.map_or(c, |m| m.min(c))),
+            InjectTime::Instruction(_) => return None,
+        }
+    }
+    earliest
+}
+
+/// Runs a campaign through the **checkpointed warm-start engine**.
+///
+/// One instrumented golden run is paused at `checkpoints` evenly spaced
+/// cycles and snapshotted ([`InjectorDispatcher::golden_snapshots`]); the
+/// snapshot set is then shared read-only across the worker threads, and
+/// every mask restores the nearest checkpoint at or before its injection
+/// cycle ([`InjectorDispatcher::run_from`]), simulating only the remainder.
+/// Masks are dispatched sorted by injection cycle so neighbouring runs
+/// restore the same checkpoint, then results are scattered back into mask
+/// order — the log is indistinguishable from [`run_campaign`]'s.
+///
+/// Masks that cannot warm-start (instruction-scheduled faults, injection
+/// before the first checkpoint) and dispatchers without snapshot support
+/// fall back to the cold path, which is always equivalent: the fault-free
+/// prefix is deterministic, so skipping it changes wall-clock only.
+///
+/// # Panics
+///
+/// Panics if the golden run does not complete (same contract as
+/// [`run_campaign`]).
+pub fn run_campaign_checkpointed(
+    dispatcher: &dyn InjectorDispatcher,
+    program: &Program,
+    structure: StructureId,
+    seed: u64,
+    masks: &[InjectionSpec],
+    cfg: &CampaignConfig,
+    checkpoints: usize,
+) -> CampaignLog {
+    let (golden, limits, threads) = campaign_setup(dispatcher, program, cfg);
+    let golden_cycles = golden.cycles_measured();
+
+    // K checkpoint cycles evenly spaced over the golden run's interior.
+    let mut at_cycles: Vec<u64> = (1..=checkpoints as u64)
+        .map(|k| golden_cycles * k / (checkpoints as u64 + 1))
+        .filter(|&c| c > 0)
+        .collect();
+    at_cycles.dedup();
+
+    let snaps: Vec<GoldenSnapshot> = if at_cycles.is_empty() {
+        Vec::new()
+    } else {
+        dispatcher
+            .golden_snapshots(program, &at_cycles, &limits)
+            .unwrap_or_default()
+    };
+
+    // Serve runs in injection-cycle order for checkpoint locality, then
+    // scatter results back into mask order.
+    let mut order: Vec<usize> = (0..masks.len()).collect();
+    order.sort_by_key(|&i| warm_start_cycle(&masks[i]).unwrap_or(u64::MAX));
+    let sorted: Vec<InjectionSpec> = order.iter().map(|&i| masks[i].clone()).collect();
+
+    let runner = |spec: &InjectionSpec| {
+        let snap =
+            warm_start_cycle(spec).and_then(|c| snaps.iter().take_while(|s| s.cycle <= c).last());
+        match snap {
+            Some(s) => dispatcher.run_from(s, program, spec, &limits),
+            None => dispatcher.run(program, spec, &limits),
+        }
+    };
+    let ran = execute_masks(&sorted, &runner, threads);
+
+    let mut runs: Vec<Option<RunLog>> = (0..masks.len()).map(|_| None).collect();
+    for (slot, log) in order.iter().zip(ran) {
+        runs[*slot] = Some(log);
+    }
+
+    CampaignLog {
+        injector: dispatcher.name().to_string(),
+        benchmark: program.name.clone(),
+        structure: structure.name().to_string(),
+        seed,
+        golden,
+        runs: runs
+            .into_iter()
+            .map(|r| r.expect("every slot filled"))
+            .collect(),
     }
 }
 
@@ -124,7 +312,9 @@ pub struct PrunedCampaign {
 /// `profile` proves masked are logged as
 /// [`EarlyStop::StaticallyPruned`] without booting a simulator; the rest
 /// run normally. Verdict totals are identical to [`run_campaign`] — only
-/// the dispatch count changes.
+/// the dispatch count changes. Pruned runs carry *no* measurements
+/// ([`RawRunResult::unexecuted`]): they never executed, so a fabricated
+/// `cycles: 0` would poison cycle aggregates.
 ///
 /// # Panics
 ///
@@ -139,36 +329,13 @@ pub fn run_campaign_pruned(
     cfg: &CampaignConfig,
     profile: &AceProfile,
 ) -> PrunedCampaign {
-    let golden = golden_run(dispatcher, program, cfg.golden_max_cycles);
-    assert!(
-        matches!(golden.status, RunStatus::Completed { .. }),
-        "golden run of {} on {} must complete, got {:?}",
-        program.name,
-        dispatcher.name(),
-        golden.status
-    );
-    let mut limits = RunLimits::campaign(golden.cycles);
-    limits.early_stop = cfg.early_stop;
+    let (golden, limits, threads) = campaign_setup(dispatcher, program, cfg);
 
     let (pruned, dispatch) = partition_provably_masked(masks, profile);
     let to_run: Vec<InjectionSpec> = dispatch.iter().map(|&i| masks[i].clone()).collect();
 
-    let threads = if cfg.threads == 0 {
-        std::thread::available_parallelism().map_or(1, |n| n.get())
-    } else {
-        cfg.threads
-    };
-    let ran: Vec<RunLog> = if threads <= 1 || to_run.len() < 2 {
-        to_run
-            .iter()
-            .map(|spec| RunLog {
-                spec: spec.clone(),
-                result: dispatcher.run(program, spec, &limits),
-            })
-            .collect()
-    } else {
-        parallel_runs(dispatcher, program, &to_run, &limits, threads)
-    };
+    let runner = |spec: &InjectionSpec| dispatcher.run(program, spec, &limits);
+    let ran = execute_masks(&to_run, &runner, threads);
 
     // Reassemble in original mask order so the log is indistinguishable in
     // shape from an unpruned campaign.
@@ -179,14 +346,9 @@ pub fn run_campaign_pruned(
     for &i in &pruned {
         runs[i] = Some(RunLog {
             spec: masks[i].clone(),
-            result: RawRunResult {
-                status: RunStatus::EarlyStopMasked(EarlyStop::StaticallyPruned),
-                output: Vec::new(),
-                exceptions: 0,
-                cycles: 0,
-                instructions: 0,
-                fault_consumed: false,
-            },
+            result: RawRunResult::unexecuted(RunStatus::EarlyStopMasked(
+                EarlyStop::StaticallyPruned,
+            )),
         });
     }
 
@@ -207,48 +369,6 @@ pub fn run_campaign_pruned(
     }
 }
 
-fn parallel_runs(
-    dispatcher: &dyn InjectorDispatcher,
-    program: &Program,
-    masks: &[InjectionSpec],
-    limits: &RunLimits,
-    threads: usize,
-) -> Vec<RunLog> {
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::Mutex;
-
-    // Work-stealing by atomic index: each worker claims the next unclaimed
-    // mask; each slot is written exactly once, so the mutexes never contend.
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<RawRunResult>>> =
-        (0..masks.len()).map(|_| Mutex::new(None)).collect();
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= masks.len() {
-                    return;
-                }
-                let result = dispatcher.run(program, &masks[i], limits);
-                *slots[i].lock().expect("slot lock") = Some(result);
-            });
-        }
-    });
-
-    slots
-        .into_iter()
-        .enumerate()
-        .map(|(i, slot)| RunLog {
-            spec: masks[i].clone(),
-            result: slot
-                .into_inner()
-                .expect("slot lock")
-                .expect("every index completed"),
-        })
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,6 +380,14 @@ mod tests {
     /// A deterministic fake dispatcher for controller tests.
     struct FakeDispatcher {
         calls: AtomicU64,
+    }
+
+    impl FakeDispatcher {
+        fn new() -> FakeDispatcher {
+            FakeDispatcher {
+                calls: AtomicU64::new(0),
+            }
+        }
     }
 
     impl InjectorDispatcher for FakeDispatcher {
@@ -296,11 +424,39 @@ mod tests {
             RawRunResult {
                 status,
                 output: b"out".to_vec(),
-                exceptions: 0,
-                cycles: 100,
-                instructions: 50,
+                exceptions: Some(0),
+                cycles: Some(100),
+                instructions: Some(50),
                 fault_consumed: !spec.faults.is_empty(),
             }
+        }
+    }
+
+    /// Panics on every third faulty run — simulates a dispatcher bug.
+    struct PanickingDispatcher {
+        inner: FakeDispatcher,
+    }
+
+    impl InjectorDispatcher for PanickingDispatcher {
+        fn name(&self) -> &str {
+            "Panicky-x86"
+        }
+
+        fn isa(&self) -> Isa {
+            Isa::X86e
+        }
+
+        fn structures(&self) -> Vec<StructureDesc> {
+            self.inner.structures()
+        }
+
+        fn run(&self, program: &Program, spec: &InjectionSpec, limits: &RunLimits) -> RawRunResult {
+            assert!(
+                spec.faults.is_empty() || !spec.id.is_multiple_of(3),
+                "internal model state corrupt (mask {})",
+                spec.id
+            );
+            self.inner.run(program, spec, limits)
         }
     }
 
@@ -323,9 +479,7 @@ mod tests {
 
     #[test]
     fn campaign_runs_every_mask_in_order() {
-        let d = FakeDispatcher {
-            calls: AtomicU64::new(0),
-        };
+        let d = FakeDispatcher::new();
         let log = run_campaign(
             &d,
             &program(),
@@ -355,9 +509,7 @@ mod tests {
 
     #[test]
     fn single_threaded_path_matches() {
-        let d = FakeDispatcher {
-            calls: AtomicU64::new(0),
-        };
+        let d = FakeDispatcher::new();
         let log = run_campaign(
             &d,
             &program(),
@@ -373,10 +525,179 @@ mod tests {
     }
 
     #[test]
-    fn golden_run_has_no_faults() {
-        let d = FakeDispatcher {
-            calls: AtomicU64::new(0),
+    fn auto_parallelism_resolves_thread_count() {
+        // threads == 0 must resolve to available parallelism and still run
+        // every mask exactly once, aligned with its slot.
+        let d = FakeDispatcher::new();
+        let log = run_campaign(
+            &d,
+            &program(),
+            StructureId::IntRegFile,
+            3,
+            &masks(17),
+            &CampaignConfig {
+                threads: 0,
+                ..Default::default()
+            },
+        );
+        assert_eq!(log.runs.len(), 17);
+        assert_eq!(d.calls.load(Ordering::SeqCst), 18, "17 masks + golden");
+        for (i, run) in log.runs.iter().enumerate() {
+            assert_eq!(run.spec.id, i as u64);
+        }
+    }
+
+    #[test]
+    fn short_mask_list_takes_sequential_fallback() {
+        // masks.len() < 2 must run sequentially even with many threads.
+        let d = FakeDispatcher::new();
+        let log = run_campaign(
+            &d,
+            &program(),
+            StructureId::IntRegFile,
+            1,
+            &masks(1),
+            &CampaignConfig {
+                threads: 8,
+                ..Default::default()
+            },
+        );
+        assert_eq!(log.runs.len(), 1);
+        assert_eq!(d.calls.load(Ordering::SeqCst), 2, "1 mask + golden");
+
+        let d = FakeDispatcher::new();
+        let log = run_campaign(
+            &d,
+            &program(),
+            StructureId::IntRegFile,
+            1,
+            &masks(0),
+            &CampaignConfig {
+                threads: 8,
+                ..Default::default()
+            },
+        );
+        assert!(log.runs.is_empty());
+        assert_eq!(d.calls.load(Ordering::SeqCst), 1, "golden only");
+    }
+
+    #[test]
+    fn panicking_run_is_logged_as_crash_and_loses_nothing() {
+        let d = PanickingDispatcher {
+            inner: FakeDispatcher::new(),
         };
+        let log = run_campaign(
+            &d,
+            &program(),
+            StructureId::IntRegFile,
+            5,
+            &masks(30),
+            &CampaignConfig {
+                threads: 4,
+                ..Default::default()
+            },
+        );
+        // Zero results lost: every mask has a slot, in order.
+        assert_eq!(log.runs.len(), 30);
+        for (i, run) in log.runs.iter().enumerate() {
+            assert_eq!(run.spec.id, i as u64);
+            if run.spec.id % 3 == 0 {
+                // The panicking runs become SimulatorCrash records with the
+                // panic message preserved and no fabricated measurements.
+                match &run.result.status {
+                    RunStatus::SimulatorCrash(m) => {
+                        assert!(m.contains("worker panic"), "got {m}");
+                        assert!(m.contains("internal model state corrupt"), "got {m}");
+                    }
+                    other => panic!("mask {i}: expected SimulatorCrash, got {other:?}"),
+                }
+                assert!(!run.result.is_measured());
+            } else {
+                assert!(matches!(
+                    run.result.status,
+                    RunStatus::Completed { exit_code: 0 }
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn panicking_run_is_caught_on_the_sequential_path_too() {
+        let d = PanickingDispatcher {
+            inner: FakeDispatcher::new(),
+        };
+        let log = run_campaign(
+            &d,
+            &program(),
+            StructureId::IntRegFile,
+            5,
+            &masks(4),
+            &CampaignConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        assert_eq!(log.runs.len(), 4);
+        assert!(matches!(
+            log.runs[0].result.status,
+            RunStatus::SimulatorCrash(_)
+        ));
+        assert!(matches!(
+            log.runs[1].result.status,
+            RunStatus::Completed { .. }
+        ));
+    }
+
+    #[test]
+    fn checkpointed_campaign_without_snapshot_support_matches_cold() {
+        // FakeDispatcher keeps the default golden_snapshots (None): the
+        // checkpointed controller must fall back to cold starts and still
+        // produce an identical log.
+        let d = FakeDispatcher::new();
+        let cfg = CampaignConfig {
+            threads: 2,
+            ..Default::default()
+        };
+        let cold = run_campaign(&d, &program(), StructureId::IntRegFile, 7, &masks(12), &cfg);
+        let warm = run_campaign_checkpointed(
+            &d,
+            &program(),
+            StructureId::IntRegFile,
+            7,
+            &masks(12),
+            &cfg,
+            4,
+        );
+        assert_eq!(cold, warm);
+    }
+
+    #[test]
+    fn warm_start_cycle_picks_earliest_cycle_fault() {
+        let spec = InjectionSpec::single_transient(0, StructureId::IntRegFile, 0, 0, 500);
+        assert_eq!(warm_start_cycle(&spec), Some(500));
+
+        let mut multi = InjectionSpec::single_transient(1, StructureId::IntRegFile, 0, 0, 900);
+        multi
+            .faults
+            .extend(InjectionSpec::single_transient(1, StructureId::IntRegFile, 1, 1, 300).faults);
+        assert_eq!(warm_start_cycle(&multi), Some(300));
+
+        // Instruction-scheduled faults force a cold start.
+        let mut inst = InjectionSpec::single_transient(2, StructureId::IntRegFile, 0, 0, 900);
+        inst.faults[0].at = InjectTime::Instruction(10);
+        assert_eq!(warm_start_cycle(&inst), None);
+
+        // So does a fault-free mask.
+        let empty = InjectionSpec {
+            id: 3,
+            faults: Vec::new(),
+        };
+        assert_eq!(warm_start_cycle(&empty), None);
+    }
+
+    #[test]
+    fn golden_run_has_no_faults() {
+        let d = FakeDispatcher::new();
         let g = golden_run(&d, &program(), 1000);
         assert!(matches!(g.status, RunStatus::Completed { .. }));
         assert!(!g.fault_consumed);

@@ -115,7 +115,7 @@ impl Classifier {
         };
         Classifier {
             golden_output: golden.output.clone(),
-            golden_exceptions: golden.exceptions,
+            golden_exceptions: golden.exceptions.unwrap_or(0),
             golden_exit_code: exit_code,
             simulator_crash_as_assert: false,
         }
@@ -136,7 +136,7 @@ impl Classifier {
         match &r.status {
             RunStatus::EarlyStopMasked(_) => Outcome::Masked,
             RunStatus::Completed { exit_code } => {
-                if r.exceptions > self.golden_exceptions {
+                if r.exceptions.is_some_and(|e| e > self.golden_exceptions) {
                     Outcome::Due
                 } else if self.completed_matches(r, *exit_code) {
                     Outcome::Masked
@@ -168,7 +168,7 @@ impl Classifier {
             RunStatus::EarlyStopMasked(_) => FineOutcome::Masked,
             RunStatus::Completed { exit_code } => {
                 let output_ok = self.completed_matches(r, *exit_code);
-                if r.exceptions > self.golden_exceptions {
+                if r.exceptions.is_some_and(|e| e > self.golden_exceptions) {
                     if output_ok {
                         FineOutcome::FalseDue
                     } else {
@@ -198,9 +198,9 @@ mod tests {
         RawRunResult {
             status: RunStatus::Completed { exit_code: 0 },
             output: b"42\n".to_vec(),
-            exceptions: 1,
-            cycles: 1000,
-            instructions: 500,
+            exceptions: Some(1),
+            cycles: Some(1000),
+            instructions: Some(500),
             fault_consumed: false,
         }
     }
@@ -209,9 +209,9 @@ mod tests {
         RawRunResult {
             status,
             output: output.to_vec(),
-            exceptions,
-            cycles: 900,
-            instructions: 450,
+            exceptions: Some(exceptions),
+            cycles: Some(900),
+            instructions: Some(450),
             fault_consumed: true,
         }
     }

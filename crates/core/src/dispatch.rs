@@ -13,6 +13,30 @@ use difi_isa::program::{Isa, Program};
 use difi_uarch::fault::{StructureDesc, StructureId};
 use difi_uarch::residency::ResidencyLog;
 
+/// An opaque snapshot of a simulator paused mid-way through the golden run.
+///
+/// Captured by [`InjectorDispatcher::golden_snapshots`] and consumed by
+/// [`InjectorDispatcher::run_from`], which downcasts `state` back to the
+/// dispatcher's concrete simulator type. The campaign controller only reads
+/// `cycle` — to pick, per mask, the latest snapshot at or before the
+/// injection cycle — and shares the set immutably across worker threads
+/// (restoring is a clone; the snapshot itself is never mutated).
+pub struct GoldenSnapshot {
+    /// Cycle at which the golden run was paused (state is exactly the
+    /// cold-run state at the *top* of this cycle, before any of its work).
+    pub cycle: u64,
+    /// Dispatcher-private simulator state.
+    pub state: Box<dyn std::any::Any + Send + Sync>,
+}
+
+impl std::fmt::Debug for GoldenSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GoldenSnapshot")
+            .field("cycle", &self.cycle)
+            .finish_non_exhaustive()
+    }
+}
+
 /// A stateless handle that can run one workload under one fault mask on a
 /// freshly booted simulator instance.
 ///
@@ -48,6 +72,44 @@ pub trait InjectorDispatcher: Sync {
     ) -> Vec<ResidencyLog> {
         let _ = (program, structures, max_cycles);
         Vec::new()
+    }
+
+    /// Runs the golden (fault-free) prefix once, capturing a resumable
+    /// snapshot at each cycle in `at_cycles` (must be sorted ascending).
+    /// Capture stops early if the program terminates first, so the returned
+    /// set may be shorter than requested.
+    ///
+    /// The default returns `None` — a dispatcher without checkpoint support
+    /// simply opts out, and the campaign controller falls back to cold
+    /// starts.
+    fn golden_snapshots(
+        &self,
+        program: &Program,
+        at_cycles: &[u64],
+        limits: &RunLimits,
+    ) -> Option<Vec<GoldenSnapshot>> {
+        let _ = (program, at_cycles, limits);
+        None
+    }
+
+    /// Runs `spec` warm: restores `snap` (a clone of the golden state at
+    /// `snap.cycle`) and simulates only the remainder.
+    ///
+    /// Contract: when every fault in `spec` is cycle-scheduled at or after
+    /// `snap.cycle`, the result is byte-identical to a cold
+    /// [`InjectorDispatcher::run`] of the same `(program, spec, limits)` —
+    /// the fault-free prefix is deterministic, so replaying it adds
+    /// information the snapshot already holds. The default falls back to
+    /// the cold path, which is always correct.
+    fn run_from(
+        &self,
+        snap: &GoldenSnapshot,
+        program: &Program,
+        spec: &InjectionSpec,
+        limits: &RunLimits,
+    ) -> RawRunResult {
+        let _ = snap;
+        self.run(program, spec, limits)
     }
 }
 

@@ -31,9 +31,9 @@ pub mod masks;
 pub mod model;
 pub mod report;
 
-pub use campaign::{run_campaign_pruned, PrunedCampaign};
+pub use campaign::{run_campaign_checkpointed, run_campaign_pruned, PrunedCampaign};
 pub use classify::{Classifier, Outcome};
-pub use dispatch::InjectorDispatcher;
+pub use dispatch::{GoldenSnapshot, InjectorDispatcher};
 pub use model::{
     EarlyStop, FaultRecord, InjectTime, InjectionSpec, RawRunResult, RunLimits, RunStatus,
 };

@@ -138,9 +138,9 @@ mod tests {
         let golden = RawRunResult {
             status: RunStatus::Completed { exit_code: 0 },
             output: b"ok\n".to_vec(),
-            exceptions: 0,
-            cycles: 5000,
-            instructions: 2000,
+            exceptions: Some(0),
+            cycles: Some(5000),
+            instructions: Some(2000),
             fault_consumed: false,
         };
         let runs = (0..5u64)
@@ -153,9 +153,9 @@ mod tests {
                         RunStatus::SimulatorAssert(format!("assert {i}"))
                     },
                     output: b"ok\n".to_vec(),
-                    exceptions: 0,
-                    cycles: 5000 + i,
-                    instructions: 2000,
+                    exceptions: Some(0),
+                    cycles: Some(5000 + i),
+                    instructions: Some(2000),
                     fault_consumed: i % 2 == 1,
                 },
             })
@@ -179,6 +179,65 @@ mod tests {
         log.save(&path).unwrap();
         let back = CampaignLog::load(&path).unwrap();
         assert_eq!(back, log);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn seeded_sweep_arbitrary_outputs_roundtrip_byte_exact() {
+        // SDC classification is a byte-exact compare against
+        // `RawRunResult.output`, so the logs repository must round-trip
+        // *arbitrary* byte strings (not just tidy ASCII) and arbitrary
+        // status messages without loss.
+        use crate::model::EarlyStop;
+        use difi_util::rng::Xoshiro256;
+
+        let mut rng = Xoshiro256::seed_from(0xB17E);
+        let msg_pool: Vec<char> = ('\u{0}'..='\u{ff}')
+            .chain(['"', '\\', '\u{2028}', '\u{1f4a9}'])
+            .collect();
+        let dir = std::env::temp_dir().join("difi_logs_sweep_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep.jsonl");
+
+        for round in 0..30u64 {
+            let mut output: Vec<u8> = (0..rng.gen_range(0, 64))
+                .map(|_| rng.gen_range(0, 256) as u8)
+                .collect();
+            if round == 0 {
+                // One run covering every byte value exactly once.
+                output = (0u16..256).map(|b| b as u8).collect();
+            }
+            let msg: String = (0..rng.gen_range(0, 24))
+                .map(|_| msg_pool[rng.gen_range(0, msg_pool.len() as u64) as usize])
+                .collect();
+            let status = match round % 5 {
+                0 => RunStatus::Completed {
+                    exit_code: rng.gen_range(0, 256),
+                },
+                1 => RunStatus::SimulatorAssert(msg),
+                2 => RunStatus::ProcessCrash(msg),
+                3 => RunStatus::SimulatorCrash(msg),
+                _ => RunStatus::EarlyStopMasked(EarlyStop::DeadEntry),
+            };
+            let mut log = sample_log();
+            log.runs[0].result = RawRunResult {
+                status,
+                output: output.clone(),
+                exceptions: Some(rng.gen_range(0, 10)),
+                cycles: Some(rng.gen_range(1, 1_000_000)),
+                instructions: Some(rng.gen_range(1, 500_000)),
+                fault_consumed: true,
+            };
+            log.golden.output = output.clone();
+
+            log.save(&path).unwrap();
+            let back = CampaignLog::load(&path).unwrap();
+            assert_eq!(back, log, "round {round}: lossy round-trip");
+            assert_eq!(
+                back.runs[0].result.output, output,
+                "round {round}: output bytes changed — would flip Masked↔SDC"
+            );
+        }
         std::fs::remove_file(&path).ok();
     }
 

@@ -426,25 +426,64 @@ impl EarlyStop {
 }
 
 /// Everything one injection run reports back to the campaign controller.
+///
+/// The three measurement fields are `None` exactly when the run never
+/// executed on a simulator — today only statically-pruned masks
+/// ([`EarlyStop::StaticallyPruned`]). A run the simulator actually drove,
+/// however briefly (including §III.B.2 early stops, whose partial cycle
+/// counts are the early-stop savings metric), always measures all three.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RawRunResult {
     /// Terminal status.
     pub status: RunStatus,
     /// Bytes the workload wrote to the console.
     pub output: Vec<u8>,
-    /// Handled (logged) ISA exceptions at end of run.
-    pub exceptions: u64,
-    /// Simulated cycles consumed.
-    pub cycles: u64,
-    /// Committed architectural instructions.
-    pub instructions: u64,
+    /// Handled (logged) ISA exceptions at end of run; `None` when the run
+    /// never executed.
+    pub exceptions: Option<u64>,
+    /// Simulated cycles consumed; `None` when the run never executed.
+    pub cycles: Option<u64>,
+    /// Committed architectural instructions; `None` when the run never
+    /// executed.
+    pub instructions: Option<u64>,
     /// True if any injected fault was read after injection.
     pub fault_consumed: bool,
 }
 
 impl RawRunResult {
+    /// A result for a run that was classified without ever executing
+    /// (static pruning): no fabricated measurements.
+    pub fn unexecuted(status: RunStatus) -> RawRunResult {
+        RawRunResult {
+            status,
+            output: Vec::new(),
+            exceptions: None,
+            cycles: None,
+            instructions: None,
+            fault_consumed: false,
+        }
+    }
+
+    /// True when the run actually executed and its measurements are real.
+    pub fn is_measured(&self) -> bool {
+        self.cycles.is_some()
+    }
+
+    /// The measured cycle count of a run that executed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unexecuted (statically pruned) run — callers sizing
+    /// timeouts or masks from a *golden* run can rely on this, since a
+    /// golden run always executes.
+    pub fn cycles_measured(&self) -> u64 {
+        self.cycles
+            .expect("run executed on a simulator and measured cycles")
+    }
+
     /// JSON form used by the logs repository.
     pub fn to_json(&self) -> Json {
+        let opt = |v: Option<u64>| v.map_or(Json::Null, Json::U64);
         Json::obj(vec![
             ("status", self.status.to_json()),
             (
@@ -456,9 +495,9 @@ impl RawRunResult {
                         .collect(),
                 ),
             ),
-            ("exceptions", Json::U64(self.exceptions)),
-            ("cycles", Json::U64(self.cycles)),
-            ("instructions", Json::U64(self.instructions)),
+            ("exceptions", opt(self.exceptions)),
+            ("cycles", opt(self.cycles)),
+            ("instructions", opt(self.instructions)),
             ("fault_consumed", Json::Bool(self.fault_consumed)),
         ])
     }
@@ -469,10 +508,14 @@ impl RawRunResult {
     ///
     /// Returns [`Error::Parse`] when a field is missing or malformed.
     pub fn from_json(j: &Json) -> Result<RawRunResult> {
-        let field_u64 = |key: &str| -> Result<u64> {
-            j.req(key)?
-                .as_u64()
-                .ok_or_else(|| Error::Parse(format!("field '{key}' is not an integer")))
+        let field_opt_u64 = |key: &str| -> Result<Option<u64>> {
+            match j.req(key)? {
+                Json::Null => Ok(None),
+                v => v
+                    .as_u64()
+                    .map(Some)
+                    .ok_or_else(|| Error::Parse(format!("field '{key}' is not an integer"))),
+            }
         };
         let output = j
             .req("output")?
@@ -492,9 +535,9 @@ impl RawRunResult {
         Ok(RawRunResult {
             status: RunStatus::from_json(j.req("status")?)?,
             output,
-            exceptions: field_u64("exceptions")?,
-            cycles: field_u64("cycles")?,
-            instructions: field_u64("instructions")?,
+            exceptions: field_opt_u64("exceptions")?,
+            cycles: field_opt_u64("cycles")?,
+            instructions: field_opt_u64("instructions")?,
             fault_consumed,
         })
     }
@@ -535,14 +578,25 @@ mod tests {
         let r = RawRunResult {
             status: RunStatus::SimulatorAssert("rob head invalid".into()),
             output: b"xyz".to_vec(),
-            exceptions: 2,
-            cycles: 500,
-            instructions: 120,
+            exceptions: Some(2),
+            cycles: Some(500),
+            instructions: Some(120),
             fault_consumed: true,
         };
         let j = r.to_json().to_string();
         let back = RawRunResult::from_json(&difi_util::json::parse(&j).unwrap()).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn unexecuted_result_json_roundtrip_keeps_measurements_absent() {
+        let r = RawRunResult::unexecuted(RunStatus::EarlyStopMasked(EarlyStop::StaticallyPruned));
+        assert!(!r.is_measured());
+        let j = r.to_json().to_string();
+        assert!(j.contains("\"cycles\":null"), "no fabricated zero: {j}");
+        let back = RawRunResult::from_json(&difi_util::json::parse(&j).unwrap()).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.cycles, None);
     }
 
     #[test]

@@ -279,9 +279,9 @@ mod tests {
         RawRunResult {
             status,
             output: out.to_vec(),
-            exceptions: 0,
-            cycles: 10,
-            instructions: 5,
+            exceptions: Some(0),
+            cycles: Some(10),
+            instructions: Some(5),
             fault_consumed: true,
         }
     }
@@ -290,9 +290,9 @@ mod tests {
         let golden = RawRunResult {
             status: RunStatus::Completed { exit_code: 0 },
             output: b"g".to_vec(),
-            exceptions: 0,
-            cycles: 10,
-            instructions: 5,
+            exceptions: Some(0),
+            cycles: Some(10),
+            instructions: Some(5),
             fault_consumed: false,
         };
         let statuses = vec![

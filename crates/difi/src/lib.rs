@@ -21,7 +21,7 @@
 //! let golden = golden_run(&mafin, &program, 50_000_000);
 //!
 //! let desc = difi_core::dispatch::structure_desc(&mafin, StructureId::IntRegFile).unwrap();
-//! let masks = MaskGenerator::new(42).transient(&desc, golden.cycles, 5);
+//! let masks = MaskGenerator::new(42).transient(&desc, golden.cycles_measured(), 5);
 //! let log = run_campaign(&mafin, &program, StructureId::IntRegFile, 42, &masks,
 //!                        &CampaignConfig::default());
 //! let counts = classify_log(&log);
@@ -72,9 +72,11 @@ pub mod prelude {
     pub use crate::setups;
     pub use difi_ace::{AceProfile, ArchRegAvf, Liveness, RegSet, StaticAvf};
     pub use difi_core::campaign::{
-        golden_run, run_campaign, run_campaign_pruned, CampaignConfig, PrunedCampaign,
+        golden_run, run_campaign, run_campaign_checkpointed, run_campaign_pruned, CampaignConfig,
+        PrunedCampaign,
     };
     pub use difi_core::classify::{Classifier, FineOutcome, Outcome};
+    pub use difi_core::dispatch::GoldenSnapshot;
     pub use difi_core::logs::{CampaignLog, RunLog};
     pub use difi_core::masks::{partition_provably_masked, spec_provably_masked, MaskGenerator};
     pub use difi_core::model::{

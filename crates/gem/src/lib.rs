@@ -44,9 +44,9 @@
 //! ```
 
 use difi_core::model::{InjectionSpec, RawRunResult, RunLimits};
-use difi_core::InjectorDispatcher;
+use difi_core::{GoldenSnapshot, InjectorDispatcher};
 use difi_isa::program::{Isa, Program};
-use difi_mars::{to_engine_faults, to_run_status};
+use difi_mars::{capture_snapshots, to_engine_faults, to_engine_limits, to_raw_result};
 use difi_uarch::cache::CacheConfig;
 use difi_uarch::fault::{StructureDesc, StructureId};
 use difi_uarch::pipeline::engine::EngineLimits;
@@ -163,20 +163,39 @@ impl InjectorDispatcher for GeFin {
         assert_eq!(program.isa, self.isa, "program ISA must match the model");
         let mut core = OoOCore::new(self.cfg, program);
         let faults = to_engine_faults(spec);
-        let elim = EngineLimits {
-            max_cycles: limits.max_cycles,
-            early_stop: limits.early_stop,
-            deadlock_window: limits.deadlock_window,
+        let run = core.run(&faults, &to_engine_limits(limits));
+        to_raw_result(&core, run)
+    }
+
+    fn golden_snapshots(
+        &self,
+        program: &Program,
+        at_cycles: &[u64],
+        limits: &RunLimits,
+    ) -> Option<Vec<GoldenSnapshot>> {
+        assert_eq!(program.isa, self.isa, "program ISA must match the model");
+        Some(capture_snapshots(
+            OoOCore::new(self.cfg, program),
+            at_cycles,
+            limits,
+        ))
+    }
+
+    fn run_from(
+        &self,
+        snap: &GoldenSnapshot,
+        program: &Program,
+        spec: &InjectionSpec,
+        limits: &RunLimits,
+    ) -> RawRunResult {
+        let Some(paused) = snap.state.downcast_ref::<OoOCore>() else {
+            // A foreign snapshot — fall back to the always-correct cold path.
+            return self.run(program, spec, limits);
         };
-        let run = core.run(&faults, &elim);
-        RawRunResult {
-            status: to_run_status(&core, run.exit),
-            output: run.output,
-            exceptions: run.exceptions,
-            cycles: run.stats.cycles,
-            instructions: run.stats.committed_instructions,
-            fault_consumed: run.fault_consumed,
-        }
+        let mut core = paused.clone();
+        let faults = to_engine_faults(spec);
+        let run = core.run(&faults, &to_engine_limits(limits));
+        to_raw_result(&core, run)
     }
 
     fn golden_residency(

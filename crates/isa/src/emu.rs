@@ -63,7 +63,7 @@ pub struct InstructionMix {
 }
 
 /// The architectural emulator.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Emulator {
     mem: Vec<u8>,
     map: MemoryMap,

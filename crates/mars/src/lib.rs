@@ -44,12 +44,12 @@
 use difi_core::model::{
     FaultDuration, InjectTime, InjectionSpec, RawRunResult, RunLimits, RunStatus,
 };
-use difi_core::InjectorDispatcher;
+use difi_core::{GoldenSnapshot, InjectorDispatcher};
 use difi_isa::program::{Isa, Program};
 use difi_uarch::cache::CacheConfig;
 use difi_uarch::fault::{StructureDesc, StructureId};
 use difi_uarch::pipeline::engine::{EarlyWhy, EngineFault, EngineLimits};
-use difi_uarch::pipeline::{BtbOrg, CoreConfig, CorePolicy, LsqOrg, OoOCore, SimExit};
+use difi_uarch::pipeline::{BtbOrg, CoreConfig, CorePolicy, LsqOrg, OoOCore, SimExit, SimRun};
 use difi_uarch::predictor::TournamentConfig;
 use difi_uarch::residency::ResidencyLog;
 
@@ -157,6 +157,50 @@ pub fn to_engine_faults(spec: &InjectionSpec) -> Vec<EngineFault> {
         .collect()
 }
 
+/// Translates campaign limits into engine limits.
+pub fn to_engine_limits(limits: &RunLimits) -> EngineLimits {
+    EngineLimits {
+        max_cycles: limits.max_cycles,
+        early_stop: limits.early_stop,
+        deadlock_window: limits.deadlock_window,
+    }
+}
+
+/// Assembles a finished engine run into the campaign's raw-result record.
+pub fn to_raw_result(core: &OoOCore, run: SimRun) -> RawRunResult {
+    RawRunResult {
+        status: to_run_status(core, run.exit),
+        output: run.output,
+        exceptions: Some(run.exceptions),
+        cycles: Some(run.stats.cycles),
+        instructions: Some(run.stats.committed_instructions),
+        fault_consumed: run.fault_consumed,
+    }
+}
+
+/// Shared warm-start capture: drives a fresh `core` through the fault-free
+/// prefix, pausing at each cycle of `at_cycles` (sorted ascending) and
+/// snapshotting via `Clone`. Capture stops early if the program terminates
+/// before a requested cycle. Used by both MaFIN and GeFIN.
+pub fn capture_snapshots(
+    mut core: OoOCore,
+    at_cycles: &[u64],
+    limits: &RunLimits,
+) -> Vec<GoldenSnapshot> {
+    let elim = to_engine_limits(limits);
+    let mut snaps = Vec::with_capacity(at_cycles.len());
+    for &cycle in at_cycles {
+        if core.run_until(&[], &elim, Some(cycle)).is_some() {
+            break; // terminal state before this checkpoint — stop capturing
+        }
+        snaps.push(GoldenSnapshot {
+            cycle,
+            state: Box::new(core.clone()),
+        });
+    }
+    snaps
+}
+
 /// Converts an engine exit into the campaign's raw status vocabulary.
 pub fn to_run_status(core: &OoOCore, exit: SimExit) -> RunStatus {
     match exit {
@@ -190,20 +234,39 @@ impl InjectorDispatcher for MaFin {
         assert_eq!(program.isa, Isa::X86e, "MaFIN simulates x86e programs");
         let mut core = OoOCore::new(self.cfg, program);
         let faults = to_engine_faults(spec);
-        let elim = EngineLimits {
-            max_cycles: limits.max_cycles,
-            early_stop: limits.early_stop,
-            deadlock_window: limits.deadlock_window,
+        let run = core.run(&faults, &to_engine_limits(limits));
+        to_raw_result(&core, run)
+    }
+
+    fn golden_snapshots(
+        &self,
+        program: &Program,
+        at_cycles: &[u64],
+        limits: &RunLimits,
+    ) -> Option<Vec<GoldenSnapshot>> {
+        assert_eq!(program.isa, Isa::X86e, "MaFIN simulates x86e programs");
+        Some(capture_snapshots(
+            OoOCore::new(self.cfg, program),
+            at_cycles,
+            limits,
+        ))
+    }
+
+    fn run_from(
+        &self,
+        snap: &GoldenSnapshot,
+        program: &Program,
+        spec: &InjectionSpec,
+        limits: &RunLimits,
+    ) -> RawRunResult {
+        let Some(paused) = snap.state.downcast_ref::<OoOCore>() else {
+            // A foreign snapshot — fall back to the always-correct cold path.
+            return self.run(program, spec, limits);
         };
-        let run = core.run(&faults, &elim);
-        RawRunResult {
-            status: to_run_status(&core, run.exit),
-            output: run.output,
-            exceptions: run.exceptions,
-            cycles: run.stats.cycles,
-            instructions: run.stats.committed_instructions,
-            fault_consumed: run.fault_consumed,
-        }
+        let mut core = paused.clone();
+        let faults = to_engine_faults(spec);
+        let run = core.run(&faults, &to_engine_limits(limits));
+        to_raw_result(&core, run)
     }
 
     fn golden_residency(

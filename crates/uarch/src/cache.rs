@@ -76,7 +76,7 @@ pub struct Writeback {
 }
 
 /// One set-associative write-back cache.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheConfig,
     off_bits: u32,

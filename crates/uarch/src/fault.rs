@@ -193,7 +193,7 @@ struct Watch {
 /// the bit range each operation touches. The hook is deliberately cheap when
 /// no faults are active (the overwhelmingly common case): both lists are
 /// empty `Vec`s and the notifications reduce to an `is_empty` check.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct FaultHook {
     stuck: Vec<StuckBit>,
     watches: Vec<Watch>,

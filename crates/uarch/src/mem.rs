@@ -20,7 +20,7 @@ use crate::cache::{Cache, CacheConfig, Writeback};
 
 /// Flat main memory. The paper injects only into on-core structures, so DRAM
 /// carries no fault planes.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MainMemory {
     bytes: Vec<u8>,
 }
@@ -145,7 +145,7 @@ pub struct MemSystemStats {
 }
 
 /// The two-level memory system.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MemSystem {
     /// L1 instruction cache.
     pub l1i: Cache,

@@ -53,11 +53,38 @@ const FETCH_QUEUE_CAP: usize = 12;
 impl OoOCore {
     /// Runs the core to a terminal state, injecting `faults` on schedule.
     pub fn run(&mut self, faults: &[EngineFault], limits: &EngineLimits) -> SimRun {
+        self.run_until(faults, limits, None)
+            .expect("a run without a pause cycle always reaches a terminal state")
+    }
+
+    /// Runs the core like [`OoOCore::run`], but pauses at the *beginning* of
+    /// cycle `pause_at` — before any of that cycle's work (residency tick,
+    /// limit checks, fault application, pipeline stages).
+    ///
+    /// Returns `None` on a pause. The core then holds exactly the state a
+    /// cold run would have at the top of cycle `pause_at`, so a `Clone` of
+    /// it is a resumable snapshot: calling `run`/`run_until` on the clone
+    /// with the full fault list replays the remainder identically, because
+    /// the per-run scheduling state (`pending` faults) is rebuilt from the
+    /// argument and no fault can have fired before the pause on a
+    /// fault-free prefix.
+    ///
+    /// Pausing is only meaningful while no fault has been applied yet; the
+    /// warm-start engine pauses fault-free golden runs exclusively.
+    pub fn run_until(
+        &mut self,
+        faults: &[EngineFault],
+        limits: &EngineLimits,
+        pause_at: Option<u64>,
+    ) -> Option<SimRun> {
         let mut pending: Vec<EngineFault> = faults.to_vec();
         let mut dead_entry_all = !pending.is_empty();
         let mut applied_any = false;
 
         while self.exit.is_none() {
+            if pause_at == Some(self.cycle) {
+                return None;
+            }
             self.residency_tick_all();
             if self.cycle >= limits.max_cycles {
                 self.exit = Some(SimExit::Timeout);
@@ -130,13 +157,13 @@ impl OoOCore {
         self.stats.itlb = self.itlb.stats;
         self.stats.dtlb = self.dtlb.stats;
         let exit = self.exit.clone().unwrap_or(SimExit::Timeout);
-        SimRun {
+        Some(SimRun {
             exit,
             output: std::mem::take(&mut self.output),
             exceptions: self.stats.exceptions,
             stats: self.stats,
             fault_consumed: self.faults_consumed(),
-        }
+        })
     }
 
     /// Why the most recent [`SimExit::EarlyMasked`] fired. Valid right after

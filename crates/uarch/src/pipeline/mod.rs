@@ -314,7 +314,7 @@ pub(crate) struct Event {
 }
 
 /// Front-end BTB unit covering both Table II organizations.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct BtbUnit {
     pub direct: Btb,
     /// Present only in the MARSS split organization.
@@ -416,7 +416,7 @@ pub(crate) struct PendingInst {
 /// The out-of-order core. Construct one per run via [`OoOCore::new`], apply
 /// faults with [`OoOCore::inject`] (or mid-run via the engine's schedule),
 /// and drive it with [`OoOCore::run`].
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct OoOCore {
     pub(crate) cfg: CoreConfig,
     pub(crate) isa: Isa,

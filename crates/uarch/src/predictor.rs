@@ -68,7 +68,7 @@ pub struct PredictorStats {
 /// The PHTs are performance state, not architectural storage, and are not
 /// fault-injection targets (Table IV lists only the BTB among front-end
 /// structures) — they are plain arrays.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Tournament {
     cfg: TournamentConfig,
     local: Vec<u8>,
@@ -197,7 +197,7 @@ const BTB_TAG_BITS: usize = 16;
 const BTB_TARGET_BITS: usize = 32;
 
 /// A branch target buffer with injectable entries.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Btb {
     cfg: BtbConfig,
     plane: BitPlane,
@@ -323,7 +323,7 @@ impl Btb {
 }
 
 /// Return-address stack with injectable entries.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Ras {
     plane: BitPlane,
     sp: usize,

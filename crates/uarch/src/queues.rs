@@ -262,7 +262,7 @@ pub fn decode_payload(w: [u64; 3], lim: &PayloadLimits) -> Result<RenamedUop, Pa
 
 /// Issue-queue storage: packed payload plane plus a decoded mirror used as a
 /// fast path while no faults are armed.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct IssueQueue {
     plane: BitPlane,
     mirror: Vec<Option<RenamedUop>>,
@@ -407,7 +407,7 @@ impl Instrument for IssueQueue {
 }
 
 /// The load/store-queue data array — Fig. 6's injection target.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct LsqDataArray {
     plane: BitPlane,
     /// Fault hook over the data bits.

@@ -12,7 +12,7 @@ use crate::residency::{Instrument, ResidencyTracker};
 use difi_util::bits::BitPlane;
 
 /// A physical register file of `n` 64-bit registers.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct PhysRegFile {
     plane: BitPlane,
     ready: Vec<bool>,

@@ -51,7 +51,7 @@ impl ResidencyEvent {
 pub const DEFAULT_EVENT_CAP: usize = 1_500_000;
 
 /// Records the access trace of one structure during a run.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ResidencyTracker {
     now: u64,
     count: usize,

@@ -39,7 +39,7 @@ pub struct TlbStats {
 }
 
 /// A direct-mapped TLB over a 32-bit physical space.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Tlb {
     cfg: TlbConfig,
     idx_bits: u32,

@@ -612,34 +612,3 @@ fn ipc_is_sane() {
     assert!(run.stats.predictor.lookups > 100);
     assert!(run.stats.l1i.read_hits > run.stats.l1i.read_misses);
 }
-
-#[test]
-#[ignore]
-fn debug_l1i_fault_outcomes() {
-    let prog = simple_sum_program(Isa::X86e);
-    for line in [0u64] {
-        for bit in (40u32..240).step_by(4) {
-            let f = EngineFault {
-                structure: StructureId::L1iData,
-                entry: line,
-                bit,
-                kind: FaultKind::Flip,
-                at_cycle: Some(500),
-                at_instruction: None,
-                duration_cycles: None,
-            };
-            let mut mars = OoOCore::new(mars_cfg(), &prog);
-            let r = mars.run(&[f], &limits());
-            println!(
-                "line={line} bit={bit} consumed={} exit={:?}",
-                r.fault_consumed, r.exit
-            );
-            let mut gem = OoOCore::new(gem_cfg(), &prog);
-            let g = gem.run(&[f], &limits());
-            println!(
-                "GEM line={line} bit={bit} consumed={} exit={:?}",
-                g.fault_consumed, g.exit
-            );
-        }
-    }
-}

@@ -491,4 +491,46 @@ mod tests {
         let e = v.req("b").unwrap_err();
         assert!(e.to_string().contains("'b'"));
     }
+
+    #[test]
+    fn every_low_codepoint_string_roundtrips() {
+        // Exhaustive over the range where escaping decisions are made
+        // (controls, quotes, backslash, Latin-1, BMP samples) — every
+        // single-char string must survive write → parse unchanged.
+        let mut failed = Vec::new();
+        for cp in 0u32..0x300 {
+            let Some(c) = char::from_u32(cp) else {
+                continue;
+            };
+            let v = Json::Str(c.to_string());
+            if parse(&v.to_string()).ok() != Some(v) {
+                failed.push(cp);
+            }
+        }
+        assert!(failed.is_empty(), "lossy codepoints: {failed:x?}");
+        // Non-BMP and other notorious cases.
+        for s in ["\u{1f600}", "\u{2028}\u{2029}", "a\u{0}b", "\u{e000}", "𝕊"] {
+            let v = Json::Str(s.into());
+            assert_eq!(parse(&v.to_string()).unwrap(), v, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn seeded_sweep_arbitrary_strings_roundtrip() {
+        // Random strings drawn from a hostile pool: JSON syntax bytes,
+        // escapes, controls, multi-byte chars.
+        let pool: Vec<char> = ('\u{0}'..='\u{ff}')
+            .chain(['"', '\\', '\u{2028}', '\u{fffd}', '\u{1f4a9}', '𐍈'])
+            .collect();
+        let mut rng = crate::rng::Xoshiro256::seed_from(0xD1F1);
+        for _ in 0..500 {
+            let len = rng.gen_range(0, 40) as usize;
+            let s: String = (0..len)
+                .map(|_| pool[rng.gen_range(0, pool.len() as u64) as usize])
+                .collect();
+            let v = Json::Str(s.clone());
+            let text = v.to_string();
+            assert_eq!(parse(&text).unwrap(), v, "string {s:?} via {text:?}");
+        }
+    }
 }

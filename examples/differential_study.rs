@@ -34,7 +34,7 @@ fn main() -> Result<(), difi::util::Error> {
         let golden = golden_run(dispatcher.as_ref(), &program, 200_000_000);
         let desc = difi::core::dispatch::structure_desc(dispatcher.as_ref(), StructureId::L1dData)
             .expect("L1D data array is injectable");
-        let masks = MaskGenerator::new(1843).transient(&desc, golden.cycles, n);
+        let masks = MaskGenerator::new(1843).transient(&desc, golden.cycles_measured(), n);
         let log = run_campaign(
             dispatcher.as_ref(),
             &program,
@@ -67,8 +67,11 @@ fn main() -> Result<(), difi::util::Error> {
                             StructureId::IntRegFile,
                         )
                         .expect("int PRF is injectable");
-                        let rf_masks =
-                            MaskGenerator::new(1843).transient(&rf_desc, golden.cycles, n);
+                        let rf_masks = MaskGenerator::new(1843).transient(
+                            &rf_desc,
+                            golden.cycles_measured(),
+                            n,
+                        );
                         let rf_log = run_campaign(
                             dispatcher.as_ref(),
                             &program,

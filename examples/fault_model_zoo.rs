@@ -34,20 +34,20 @@ fn main() -> Result<(), difi::util::Error> {
     let campaigns: Vec<(&str, Vec<InjectionSpec>)> = vec![
         (
             "transient 1-bit (L1D)",
-            gen.transient(&l1d, golden.cycles, n),
+            gen.transient(&l1d, golden.cycles_measured(), n),
         ),
         (
             "intermittent 2k-cycle (L1D)",
-            gen.intermittent(&l1d, golden.cycles, 2000, n),
+            gen.intermittent(&l1d, golden.cycles_measured(), 2000, n),
         ),
         ("permanent stuck (L1D)", gen.permanent(&l1d, n)),
         (
             "transient 2-bit same entry (L1D)",
-            gen.multi_bit_same_entry(&l1d, golden.cycles, 2, n),
+            gen.multi_bit_same_entry(&l1d, golden.cycles_measured(), 2, n),
         ),
         (
             "transient in L1D + RF together",
-            gen.multi_structure(&[l1d, rf], golden.cycles, n),
+            gen.multi_structure(&[l1d, rf], golden.cycles_measured(), n),
         ),
     ];
 

@@ -24,7 +24,8 @@ fn main() -> Result<(), difi::util::Error> {
     let golden = golden_run(&mafin, &program, 100_000_000);
     println!(
         "golden run: {} cycles, {} instructions",
-        golden.cycles, golden.instructions
+        golden.cycles_measured(),
+        golden.instructions.unwrap_or(0)
     );
 
     // 3. Generate a masks repository: 200 single-bit transients in the
@@ -32,9 +33,9 @@ fn main() -> Result<(), difi::util::Error> {
     //    campaigns use 2000 — see the `figures` binary.)
     let desc = difi::core::dispatch::structure_desc(&mafin, StructureId::IntRegFile)
         .expect("register file is injectable");
-    let n_stat = MaskGenerator::required_samples(&desc, golden.cycles, 0.99, 0.03);
+    let n_stat = MaskGenerator::required_samples(&desc, golden.cycles_measured(), 0.99, 0.03);
     println!("statistically required samples at 99%/3%: {n_stat} (running 200 for speed)");
-    let masks = MaskGenerator::new(2015).transient(&desc, golden.cycles, 200);
+    let masks = MaskGenerator::new(2015).transient(&desc, golden.cycles_measured(), 200);
 
     // 4. Run the injection campaign (parallel, with the paper's early-stop
     //    optimizations) and classify.

@@ -10,10 +10,22 @@ cargo fmt --all --check
 echo "==> cargo clippy (-D warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> no ignored tier-1 tests"
+# An #[ignore] on a tier-1 test silently shrinks the gate; fail loudly instead.
+if grep -rn '#\[ignore' tests/ crates/ --include='*.rs'; then
+    echo "error: #[ignore]d tests found — tier-1 tests must all run" >&2
+    exit 1
+fi
+
 echo "==> cargo build --release"
 cargo build --release
 
 echo "==> cargo test"
 cargo test -q
+
+echo "==> warm-start checkpoint equivalence (release)"
+# The differential oracle for the checkpointed campaign engine: run it
+# explicitly (and in release — it simulates full campaigns twice).
+cargo test --release -q --test warm_start_equivalence
 
 echo "All checks passed."

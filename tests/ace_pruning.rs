@@ -28,7 +28,7 @@ fn pruned_campaign(
     let program = build(bench, dispatcher.isa()).expect("assembles");
     let golden = golden_run(dispatcher, &program, MAX_CYCLES);
     let desc = difi::core::dispatch::structure_desc(dispatcher, STRUCTURE).expect("injectable");
-    let masks = MaskGenerator::new(seed).transient(&desc, golden.cycles, n);
+    let masks = MaskGenerator::new(seed).transient(&desc, golden.cycles_measured(), n);
     let profile = profile_for(dispatcher, &program);
     let pruned = run_campaign_pruned(
         dispatcher,
@@ -62,7 +62,7 @@ fn pruned_masks_reclassify_masked_under_real_injection() {
                 dispatcher.name()
             );
             let classifier = Classifier::from_golden(&pruned.log.golden);
-            let mut limits = RunLimits::campaign(pruned.log.golden.cycles);
+            let mut limits = RunLimits::campaign(pruned.log.golden.cycles_measured());
             limits.early_stop = false;
             for id in &pruned.pruned_ids {
                 let spec = masks

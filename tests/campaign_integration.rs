@@ -14,7 +14,7 @@ fn small_campaign(
     let program = build(bench, dispatcher.isa()).expect("assembles");
     let golden = golden_run(dispatcher, &program, 200_000_000);
     let desc = difi::core::dispatch::structure_desc(dispatcher, structure).expect("injectable");
-    let masks = MaskGenerator::new(99).transient(&desc, golden.cycles, n);
+    let masks = MaskGenerator::new(99).transient(&desc, golden.cycles_measured(), n);
     run_campaign(
         dispatcher,
         &program,
@@ -62,7 +62,7 @@ fn early_stop_does_not_change_verdicts() {
     assert_eq!(cw.sdc, co.sdc);
     assert_eq!(cw.crash, co.crash);
     // And they must save simulated work.
-    let cyc = |l: &CampaignLog| l.runs.iter().map(|r| r.result.cycles).sum::<u64>();
+    let cyc = |l: &CampaignLog| l.runs.iter().filter_map(|r| r.result.cycles).sum::<u64>();
     assert!(
         cyc(&with) < cyc(&without),
         "early stop must reduce simulated cycles"
@@ -116,8 +116,8 @@ fn multi_fault_masks_run_end_to_end() {
     let l1d = difi::core::dispatch::structure_desc(&mafin, StructureId::L1dData).unwrap();
     let rf = difi::core::dispatch::structure_desc(&mafin, StructureId::IntRegFile).unwrap();
     let mut gen = MaskGenerator::new(5);
-    let mut masks = gen.multi_bit_same_entry(&l1d, golden.cycles, 3, 5);
-    masks.extend(gen.multi_structure(&[l1d, rf], golden.cycles, 5));
+    let mut masks = gen.multi_bit_same_entry(&l1d, golden.cycles_measured(), 3, 5);
+    masks.extend(gen.multi_structure(&[l1d, rf], golden.cycles_measured(), 5));
     let log = run_campaign(
         &mafin,
         &program,
@@ -137,7 +137,7 @@ fn intermittent_and_permanent_models_run_end_to_end() {
     let golden = golden_run(&gefin, &program, 200_000_000);
     let desc = difi::core::dispatch::structure_desc(&gefin, StructureId::IntRegFile).unwrap();
     let mut gen = MaskGenerator::new(6);
-    let mut masks = gen.intermittent(&desc, golden.cycles, 500, 6);
+    let mut masks = gen.intermittent(&desc, golden.cycles_measured(), 500, 6);
     masks.extend(gen.permanent(&desc, 6));
     let log = run_campaign(
         &gefin,

@@ -180,7 +180,7 @@ fn remark8_assert_vs_crash_composition() {
                     StructureId::L1iData,
                     line,
                     bit,
-                    golden.cycles / 10,
+                    golden.cycles_measured() / 10,
                 ));
                 id += 1;
             }
