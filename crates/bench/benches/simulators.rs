@@ -7,6 +7,9 @@
 //!   §III.B.2 early-stop optimizations (expected 30–70% per-run savings).
 //! * `warm_start/*` — checkpointed warm-start engine vs. cold-start on a
 //!   40-mask L2 campaign (acceptance target ≥1.3× speedup).
+//! * `journaling/*` — in-memory campaign vs. the same campaign with the
+//!   per-run-flushed JSONL journal sink attached (acceptance target <5%
+//!   overhead).
 //! * `data_arrays/*` — EXP-OVH: MarsSim with the cache data-array extension
 //!   vs. original-MARSS performance mode (paper: ≈40% overhead).
 //!
@@ -103,6 +106,37 @@ fn warm_start() {
     });
 }
 
+fn journaling() {
+    // ISSUE 4 acceptance: journaling every run (one flushed JSONL line per
+    // completion) must cost <5% over the in-memory campaign on the 40-mask
+    // L2 benchmark.
+    let mafin = MaFin::new();
+    let program = build(Bench::Fft, Isa::X86e).expect("fft builds for x86e");
+    let golden = golden_run(&mafin, &program, 100_000_000);
+    let desc = difi::core::dispatch::structure_desc(&mafin, StructureId::L2Data)
+        .expect("MaFIN models the L2 data array");
+    let masks = MaskGenerator::new(11).transient(&desc, golden.cycles_measured(), 40);
+    let cfg = CampaignConfig {
+        threads: 1,
+        early_stop: true,
+        golden_max_cycles: 100_000_000,
+    };
+    let runner = CampaignRunner::new(&mafin, &program, StructureId::L2Data, 11, &cfg);
+    let dir = std::env::temp_dir().join("difi_bench_journal");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("l2_fft.journal");
+
+    bench("journaling", "in_memory", || {
+        runner.run(&masks);
+    });
+    bench("journaling", "jsonl_journal", || {
+        runner
+            .run_journaled(&masks, &path, &[])
+            .expect("journaled campaign");
+    });
+    std::fs::remove_file(&path).ok();
+}
+
 fn data_arrays() {
     let program = build(Bench::Fft, Isa::X86e).expect("fft builds for x86e");
     bench("data_arrays", "with_extension", || {
@@ -117,5 +151,6 @@ fn main() {
     sim_throughput();
     early_stop();
     warm_start();
+    journaling();
     data_arrays();
 }

@@ -5,12 +5,20 @@
 //! campaign --injector MaFIN-x86 --bench sha --structure l1d_data \
 //!          [--injections 200] [--seed 2015] [--out logs/run.jsonl] \
 //!          [--model transient|intermittent|permanent] [--window 2000] \
-//!          [--no-early-stop] [--fine]
+//!          [--journal logs/run.journal | --resume logs/run.journal] \
+//!          [--progress] [--checkpoints 8] [--no-early-stop] [--fine]
 //! ```
 //!
 //! Prints the six-class classification (and the fine breakdown with
 //! `--fine`) and optionally persists the raw logs repository for later
 //! re-parsing.
+//!
+//! `--journal` streams every completed run to an append-only JSONL journal;
+//! a campaign killed mid-flight restarts with `--resume` on the same path
+//! (same injector/bench/structure/seed/injections), re-running only the
+//! missing masks and producing the identical log. `--progress` prints live
+//! completion/ETA telemetry on stderr. `--checkpoints` enables the
+//! warm-start engine with that many golden-run checkpoints.
 
 use difi::prelude::*;
 
@@ -73,8 +81,39 @@ fn main() {
         early_stop: !has("--no-early-stop"),
         golden_max_cycles: 200_000_000,
     };
+    let mut runner = CampaignRunner::new(dispatcher.as_ref(), &program, structure, seed, &cfg);
+    if let Some(k) = get("--checkpoints") {
+        let checkpoints: usize = k.parse().expect("number");
+        runner = runner.with_strategy(Strategy::Checkpointed { checkpoints });
+    }
+    let progress = ProgressSink::every(if injections > 200 { 10 } else { 1 });
+    let mut sinks: Vec<&dyn RunSink> = Vec::new();
+    if has("--progress") {
+        sinks.push(&progress);
+    }
+
     let t0 = std::time::Instant::now();
-    let log = run_campaign(dispatcher.as_ref(), &program, structure, seed, &masks, &cfg);
+    let log = match (get("--journal"), get("--resume")) {
+        (Some(_), Some(_)) => panic!("--journal and --resume are mutually exclusive"),
+        (Some(path), None) => {
+            let p = std::path::PathBuf::from(path);
+            if let Some(dir) = p.parent() {
+                std::fs::create_dir_all(dir).expect("create journal dir");
+            }
+            let log = runner
+                .run_journaled(&masks, &p, &sinks)
+                .expect("journaled campaign");
+            println!("journal written to {}", p.display());
+            log
+        }
+        (None, Some(path)) => {
+            let p = std::path::PathBuf::from(path);
+            let log = runner.resume(&masks, &p, &sinks).expect("resume campaign");
+            println!("journal completed at {}", p.display());
+            log
+        }
+        (None, None) => runner.run_with_sinks(&masks, &sinks),
+    };
     let wall = t0.elapsed();
 
     if let Some(path) = get("--out") {

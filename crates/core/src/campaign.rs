@@ -6,24 +6,30 @@
 //! The last task … is to store the results of the injection in a logs
 //! repository." (§III.B, Fig. 1)
 //!
-//! The controller first performs the golden (fault-free) run — establishing
-//! the reference output, exception count, and the cycle count that sizes the
-//! paper's 3× timeout — then drains the masks repository across worker
-//! threads (the paper used ~100 threads over ten workstations; here the
-//! worker count adapts to the machine).
+//! One execution core serves every campaign shape: [`CampaignRunner`] owns
+//! the golden (fault-free) reference run, the paper's 3×-golden timeout,
+//! the worker pool, and per-run panic isolation exactly once, and is
+//! parameterized along two orthogonal axes:
 //!
-//! Three controller variants share that skeleton:
+//! * **[`Strategy`]** — *how* each mask executes: [`Strategy::Cold`] boots
+//!   a fresh simulator per run; [`Strategy::Checkpointed`] is the
+//!   warm-start engine (golden-run snapshots shared across workers,
+//!   byte-identical to cold by the PR-2 equivalence oracle);
+//!   [`Strategy::Pruned`] logs statically-proven-masked runs without
+//!   dispatch.
+//! * **[`RunSink`]s** — *where* completed runs stream: workers push each
+//!   [`RunLog`] to every sink the moment it finishes, so campaigns persist
+//!   incrementally ([`crate::sink::JournalSink`]), report progress live
+//!   ([`crate::sink::ProgressSink`]), and collect in memory
+//!   ([`crate::sink::MemorySink`]) for the final [`CampaignLog`].
 //!
-//! * [`run_campaign`] — every mask cold-starts a fresh simulator.
-//! * [`run_campaign_pruned`] — masks the static ACE analysis proves masked
-//!   are logged without dispatch.
-//! * [`run_campaign_checkpointed`] — the **warm-start engine**: the golden
-//!   run is paused at K interval checkpoints
-//!   ([`InjectorDispatcher::golden_snapshots`]) and each injection restores
-//!   the nearest checkpoint at or before its injection cycle, simulating
-//!   only the remainder. Because the fault-free prefix is deterministic,
-//!   the log is byte-identical to the cold-start path — which therefore
-//!   stays available as a differential oracle.
+//! Journaled campaigns are **restartable**: [`CampaignRunner::resume`]
+//! reloads a journal (tolerating the torn tail line a crash leaves), skips
+//! every completed mask, dispatches only the remainder, and returns a
+//! [`CampaignLog`] byte-identical to an uninterrupted run.
+//!
+//! The classic entry points [`run_campaign`], [`run_campaign_checkpointed`]
+//! and [`run_campaign_pruned`] remain as thin wrappers over the runner.
 //!
 //! A panic escaping a dispatcher is confined to the run that raised it: the
 //! run is logged as [`RunStatus::SimulatorCrash`] (the paper treats
@@ -31,13 +37,17 @@
 //! result is kept.
 
 use crate::dispatch::{GoldenSnapshot, InjectorDispatcher};
+use crate::journal::{load_journal, truncate_to_valid, CampaignHeader};
 use crate::logs::{CampaignLog, RunLog};
 use crate::masks::partition_provably_masked;
 use crate::model::{EarlyStop, InjectTime, InjectionSpec, RawRunResult, RunLimits, RunStatus};
+use crate::sink::{JournalSink, MemorySink, RunSink};
 use difi_ace::AceProfile;
 use difi_isa::program::Program;
 use difi_uarch::fault::StructureId;
+use difi_util::{Error, Result};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 
 /// Campaign-level options.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,6 +70,28 @@ impl Default for CampaignConfig {
     }
 }
 
+/// How the runner executes each dispatched mask.
+#[derive(Debug, Clone, Copy)]
+pub enum Strategy<'a> {
+    /// Every mask cold-starts a fresh simulator.
+    Cold,
+    /// The warm-start engine: the golden run is paused at K interval
+    /// checkpoints ([`InjectorDispatcher::golden_snapshots`]) and each
+    /// injection restores the nearest checkpoint at or before its injection
+    /// cycle, simulating only the remainder. Byte-identical to
+    /// [`Strategy::Cold`] — the fault-free prefix is deterministic.
+    Checkpointed {
+        /// Number of evenly spaced golden-run checkpoints.
+        checkpoints: usize,
+    },
+    /// Masks the static ACE analysis proves masked are logged as
+    /// [`EarlyStop::StaticallyPruned`] without dispatch; the rest run cold.
+    Pruned {
+        /// Golden-run residency profile to prune against.
+        profile: &'a AceProfile,
+    },
+}
+
 /// Runs the golden (fault-free) reference for `program` on `dispatcher`.
 pub fn golden_run(
     dispatcher: &dyn InjectorDispatcher,
@@ -73,8 +105,8 @@ pub fn golden_run(
     dispatcher.run(program, &spec, &RunLimits::golden(max_cycles))
 }
 
-/// The campaign preamble shared by every controller variant: the golden
-/// run, the paper's 3×-golden limits, and the resolved worker count.
+/// The campaign preamble shared by every strategy: the golden run, the
+/// paper's 3×-golden limits, and the resolved worker count.
 fn campaign_setup(
     dispatcher: &dyn InjectorDispatcher,
     program: &Program,
@@ -118,87 +150,6 @@ fn run_caught(
     }
 }
 
-/// Drains `masks` through `runner`, sequentially when parallelism cannot
-/// pay off (`threads <= 1` or fewer than two masks), otherwise across
-/// `threads` work-stealing workers. Results stay aligned with their masks.
-fn execute_masks(
-    masks: &[InjectionSpec],
-    runner: &(dyn Fn(&InjectionSpec) -> RawRunResult + Sync),
-    threads: usize,
-) -> Vec<RunLog> {
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::Mutex;
-
-    if threads <= 1 || masks.len() < 2 {
-        return masks
-            .iter()
-            .map(|spec| RunLog {
-                spec: spec.clone(),
-                result: run_caught(runner, spec),
-            })
-            .collect();
-    }
-
-    // Work-stealing by atomic index: each worker claims the next unclaimed
-    // mask; each slot is written exactly once, so the mutexes never contend.
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<RawRunResult>>> =
-        (0..masks.len()).map(|_| Mutex::new(None)).collect();
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= masks.len() {
-                    return;
-                }
-                let result = run_caught(runner, &masks[i]);
-                *slots[i].lock().expect("slot lock") = Some(result);
-            });
-        }
-    });
-
-    slots
-        .into_iter()
-        .enumerate()
-        .map(|(i, slot)| RunLog {
-            spec: masks[i].clone(),
-            result: slot
-                .into_inner()
-                .expect("slot lock")
-                .expect("every index completed"),
-        })
-        .collect()
-}
-
-/// Runs a full campaign: golden run, then every mask, in parallel.
-///
-/// # Panics
-///
-/// Panics if the golden run does not complete — an injector/benchmark pair
-/// that cannot run fault-free cannot be studied.
-pub fn run_campaign(
-    dispatcher: &dyn InjectorDispatcher,
-    program: &Program,
-    structure: StructureId,
-    seed: u64,
-    masks: &[InjectionSpec],
-    cfg: &CampaignConfig,
-) -> CampaignLog {
-    let (golden, limits, threads) = campaign_setup(dispatcher, program, cfg);
-    let runner = |spec: &InjectionSpec| dispatcher.run(program, spec, &limits);
-    let runs = execute_masks(masks, &runner, threads);
-
-    CampaignLog {
-        injector: dispatcher.name().to_string(),
-        benchmark: program.name.clone(),
-        structure: structure.name().to_string(),
-        seed,
-        golden,
-        runs,
-    }
-}
-
 /// The latest golden cycle a warm start may resume from for `spec`: the
 /// earliest cycle-scheduled fault. `None` forces a cold start — either the
 /// mask is fault-free, or it carries an instruction-scheduled fault whose
@@ -214,21 +165,389 @@ fn warm_start_cycle(spec: &InjectionSpec) -> Option<u64> {
     earliest
 }
 
-/// Runs a campaign through the **checkpointed warm-start engine**.
+/// The unified campaign execution core.
 ///
-/// One instrumented golden run is paused at `checkpoints` evenly spaced
-/// cycles and snapshotted ([`InjectorDispatcher::golden_snapshots`]); the
-/// snapshot set is then shared read-only across the worker threads, and
-/// every mask restores the nearest checkpoint at or before its injection
-/// cycle ([`InjectorDispatcher::run_from`]), simulating only the remainder.
-/// Masks are dispatched sorted by injection cycle so neighbouring runs
-/// restore the same checkpoint, then results are scattered back into mask
-/// order — the log is indistinguishable from [`run_campaign`]'s.
+/// Owns one campaign cell — `(dispatcher, program, structure, seed)` plus a
+/// [`CampaignConfig`] — and executes any masks repository through any
+/// [`Strategy`], streaming completed runs to any set of [`RunSink`]s. See
+/// the module docs for the architecture; see
+/// `tests/resume_equivalence.rs` for the crash-resume oracle.
+pub struct CampaignRunner<'a> {
+    dispatcher: &'a dyn InjectorDispatcher,
+    program: &'a Program,
+    structure: StructureId,
+    seed: u64,
+    cfg: CampaignConfig,
+    strategy: Strategy<'a>,
+}
+
+impl<'a> CampaignRunner<'a> {
+    /// A runner over one campaign cell, defaulting to [`Strategy::Cold`].
+    pub fn new(
+        dispatcher: &'a dyn InjectorDispatcher,
+        program: &'a Program,
+        structure: StructureId,
+        seed: u64,
+        cfg: &CampaignConfig,
+    ) -> CampaignRunner<'a> {
+        CampaignRunner {
+            dispatcher,
+            program,
+            structure,
+            seed,
+            cfg: *cfg,
+            strategy: Strategy::Cold,
+        }
+    }
+
+    /// Selects the execution strategy.
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: Strategy<'a>) -> CampaignRunner<'a> {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Runs the full campaign in memory (no extra sinks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the golden run does not complete — an injector/benchmark
+    /// pair that cannot run fault-free cannot be studied.
+    pub fn run(&self, masks: &[InjectionSpec]) -> CampaignLog {
+        self.run_with_sinks(masks, &[])
+    }
+
+    /// Runs the full campaign, streaming each completed run to `sinks`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the golden run does not complete (see
+    /// [`CampaignRunner::run`]).
+    pub fn run_with_sinks(&self, masks: &[InjectionSpec], sinks: &[&dyn RunSink]) -> CampaignLog {
+        self.execute(masks, Vec::new(), sinks)
+    }
+
+    /// Runs the full campaign with an append-only JSONL journal at `path`
+    /// (plus any extra `sinks`). The journal makes the campaign
+    /// crash-resumable via [`CampaignRunner::resume`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] when the journal cannot be created or written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the golden run does not complete (see
+    /// [`CampaignRunner::run`]).
+    pub fn run_journaled(
+        &self,
+        masks: &[InjectionSpec],
+        path: &Path,
+        sinks: &[&dyn RunSink],
+    ) -> Result<CampaignLog> {
+        let journal = JournalSink::create(path)?;
+        let mut all: Vec<&dyn RunSink> = sinks.to_vec();
+        all.push(&journal);
+        let log = self.execute(masks, Vec::new(), &all);
+        journal.finish()?;
+        Ok(log)
+    }
+
+    /// Resumes an interrupted journaled campaign: reloads the journal at
+    /// `path`, skips every mask it already records, dispatches only the
+    /// remainder (appending to the same journal), and returns a
+    /// [`CampaignLog`] **byte-identical** to an uninterrupted
+    /// [`CampaignRunner::run_journaled`] of the same cell.
+    ///
+    /// A torn tail line (crash mid-append) is dropped with a warning and
+    /// its run re-dispatched. An empty or headerless journal resumes from
+    /// scratch. The journal header must match this runner's campaign cell
+    /// and masks repository — resuming against the wrong masks is an error,
+    /// not a silent divergence; the recomputed golden run must also match
+    /// the journaled one (a differing simulator configuration would
+    /// invalidate every reloaded result).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Parse`] for mid-journal corruption or a journal
+    /// that does not match this campaign, [`Error::Io`] on file failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the golden run does not complete (see
+    /// [`CampaignRunner::run`]).
+    pub fn resume(
+        &self,
+        masks: &[InjectionSpec],
+        path: &Path,
+        sinks: &[&dyn RunSink],
+    ) -> Result<CampaignLog> {
+        let contents = load_journal(path)?;
+        let preloaded = match &contents.header {
+            None => {
+                // Nothing usable (empty file or torn header): start over.
+                truncate_to_valid(path, 0)?;
+                Vec::new()
+            }
+            Some(h) => {
+                self.check_header(h, masks)?;
+                let mut preloaded: Vec<(usize, RunLog)> = Vec::with_capacity(contents.runs.len());
+                for (i, log) in contents.runs {
+                    if i >= masks.len() {
+                        return Err(Error::Parse(format!(
+                            "journal records run {i} but the campaign has {} masks",
+                            masks.len()
+                        )));
+                    }
+                    if log.spec != masks[i] {
+                        return Err(Error::Parse(format!(
+                            "journal run {i} was produced by a different mask (id {}) than \
+                             the repository's (id {})",
+                            log.spec.id, masks[i].id
+                        )));
+                    }
+                    preloaded.push((i, log));
+                }
+                if contents.dropped_tail.is_some() {
+                    truncate_to_valid(path, contents.valid_len)?;
+                }
+                preloaded
+            }
+        };
+        let expected_golden = contents.header.map(|h| h.golden);
+
+        let journal = JournalSink::append_to(path)?;
+        let mut all: Vec<&dyn RunSink> = sinks.to_vec();
+        all.push(&journal);
+        let log = self.execute(masks, preloaded, &all);
+        journal.finish()?;
+
+        if let Some(g) = expected_golden {
+            if g != log.golden {
+                return Err(Error::Config(format!(
+                    "journal golden run differs from the recomputed one for {}/{} — the \
+                     simulator configuration changed between sessions, so the journaled \
+                     results are not comparable",
+                    log.injector, log.benchmark
+                )));
+            }
+        }
+        Ok(log)
+    }
+
+    /// Validates a reloaded journal header against this runner's cell.
+    fn check_header(&self, h: &CampaignHeader, masks: &[InjectionSpec]) -> Result<()> {
+        let expect = |field: &str, got: &str, want: &str| -> Result<()> {
+            if got == want {
+                Ok(())
+            } else {
+                Err(Error::Parse(format!(
+                    "journal {field} is '{got}' but this campaign is '{want}'"
+                )))
+            }
+        };
+        expect("injector", &h.injector, self.dispatcher.name())?;
+        expect("benchmark", &h.benchmark, &self.program.name)?;
+        expect("structure", &h.structure, self.structure.name())?;
+        if h.seed != self.seed {
+            return Err(Error::Parse(format!(
+                "journal seed is {} but this campaign uses {}",
+                h.seed, self.seed
+            )));
+        }
+        if h.masks != masks.len() as u64 {
+            return Err(Error::Parse(format!(
+                "journal has {} masks but the repository has {}",
+                h.masks,
+                masks.len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// The single execution core behind every entry point: golden setup,
+    /// strategy preprocessing, the worker pool, and sink delivery.
+    fn execute(
+        &self,
+        masks: &[InjectionSpec],
+        preloaded: Vec<(usize, RunLog)>,
+        sinks: &[&dyn RunSink],
+    ) -> CampaignLog {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        let (golden, limits, threads) = campaign_setup(self.dispatcher, self.program, &self.cfg);
+        let header = CampaignHeader {
+            injector: self.dispatcher.name().to_string(),
+            benchmark: self.program.name.clone(),
+            structure: self.structure.name().to_string(),
+            seed: self.seed,
+            golden: golden.clone(),
+            masks: masks.len() as u64,
+        };
+
+        // The in-memory collector assembles the final ordered log; extra
+        // sinks observe. Journal-preloaded runs feed the collector only —
+        // they are already persisted and were already observed in the
+        // session that produced them.
+        let collector = MemorySink::new();
+        collector.on_start(&header);
+        for s in sinks {
+            s.on_start(&header);
+        }
+
+        let mut done = vec![false; masks.len()];
+        for (i, log) in preloaded {
+            collector.on_run(i, &log);
+            done[i] = true;
+        }
+
+        // Strategy preprocessing: statically pruned masks resolve without
+        // dispatch (and stream to sinks like any completed run).
+        if let Strategy::Pruned { profile } = self.strategy {
+            let (pruned, _) = partition_provably_masked(masks, profile);
+            for i in pruned {
+                if done[i] {
+                    continue;
+                }
+                let log = RunLog {
+                    spec: masks[i].clone(),
+                    result: RawRunResult::unexecuted(RunStatus::EarlyStopMasked(
+                        EarlyStop::StaticallyPruned,
+                    )),
+                };
+                collector.on_run(i, &log);
+                for s in sinks {
+                    s.on_run(i, &log);
+                }
+                done[i] = true;
+            }
+        }
+
+        // Strategy preprocessing: the warm-start engine captures K evenly
+        // spaced checkpoints over the golden run's interior and serves runs
+        // in injection-cycle order so neighbouring runs restore the same
+        // checkpoint.
+        let snaps: Vec<GoldenSnapshot> =
+            if let Strategy::Checkpointed { checkpoints } = self.strategy {
+                let golden_cycles = golden.cycles_measured();
+                let mut at_cycles: Vec<u64> = (1..=checkpoints as u64)
+                    .map(|k| golden_cycles * k / (checkpoints as u64 + 1))
+                    .filter(|&c| c > 0)
+                    .collect();
+                at_cycles.dedup();
+                if at_cycles.is_empty() {
+                    Vec::new()
+                } else {
+                    self.dispatcher
+                        .golden_snapshots(self.program, &at_cycles, &limits)
+                        .unwrap_or_default()
+                }
+            } else {
+                Vec::new()
+            };
+
+        let mut todo: Vec<usize> = (0..masks.len()).filter(|&i| !done[i]).collect();
+        if matches!(self.strategy, Strategy::Checkpointed { .. }) {
+            todo.sort_by_key(|&i| warm_start_cycle(&masks[i]).unwrap_or(u64::MAX));
+        }
+
+        // One runner closure serves every strategy: with no snapshots
+        // captured (cold / pruned / unsupported dispatcher) every mask
+        // falls back to the always-correct cold path.
+        let dispatcher = self.dispatcher;
+        let program = self.program;
+        let runner = move |spec: &InjectionSpec| {
+            let snap = warm_start_cycle(spec)
+                .and_then(|c| snaps.iter().take_while(|s| s.cycle <= c).last());
+            match snap {
+                Some(s) => dispatcher.run_from(s, program, spec, &limits),
+                None => dispatcher.run(program, spec, &limits),
+            }
+        };
+
+        // Workers deliver each completed run straight to the sinks — no
+        // per-slot buffering; the collector's single lock is the only
+        // rendezvous, and the per-run simulation dwarfs it.
+        let deliver = |i: usize, log: &RunLog| {
+            collector.on_run(i, log);
+            for s in sinks {
+                s.on_run(i, log);
+            }
+        };
+
+        if threads <= 1 || todo.len() < 2 {
+            for &i in &todo {
+                let log = RunLog {
+                    spec: masks[i].clone(),
+                    result: run_caught(&runner, &masks[i]),
+                };
+                deliver(i, &log);
+            }
+        } else {
+            // Work-stealing by atomic index: each worker claims the next
+            // unclaimed position in the (strategy-ordered) dispatch list.
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| loop {
+                        let k = next.fetch_add(1, Ordering::Relaxed);
+                        if k >= todo.len() {
+                            return;
+                        }
+                        let i = todo[k];
+                        let log = RunLog {
+                            spec: masks[i].clone(),
+                            result: run_caught(&runner, &masks[i]),
+                        };
+                        deliver(i, &log);
+                    });
+                }
+            });
+        }
+
+        collector.on_end();
+        for s in sinks {
+            s.on_end();
+        }
+
+        CampaignLog {
+            injector: header.injector,
+            benchmark: header.benchmark,
+            structure: header.structure,
+            seed: self.seed,
+            golden,
+            runs: collector.into_runs(),
+        }
+    }
+}
+
+/// Runs a full campaign: golden run, then every mask, in parallel.
+/// Thin wrapper over [`CampaignRunner`] with [`Strategy::Cold`].
+///
+/// # Panics
+///
+/// Panics if the golden run does not complete — an injector/benchmark pair
+/// that cannot run fault-free cannot be studied.
+pub fn run_campaign(
+    dispatcher: &dyn InjectorDispatcher,
+    program: &Program,
+    structure: StructureId,
+    seed: u64,
+    masks: &[InjectionSpec],
+    cfg: &CampaignConfig,
+) -> CampaignLog {
+    CampaignRunner::new(dispatcher, program, structure, seed, cfg).run(masks)
+}
+
+/// Runs a campaign through the **checkpointed warm-start engine** — a thin
+/// wrapper over [`CampaignRunner`] with [`Strategy::Checkpointed`].
 ///
 /// Masks that cannot warm-start (instruction-scheduled faults, injection
 /// before the first checkpoint) and dispatchers without snapshot support
 /// fall back to the cold path, which is always equivalent: the fault-free
-/// prefix is deterministic, so skipping it changes wall-clock only.
+/// prefix is deterministic, so skipping it changes wall-clock only. The
+/// returned log is byte-identical to [`run_campaign`]'s — which therefore
+/// stays available as a differential oracle.
 ///
 /// # Panics
 ///
@@ -243,56 +562,9 @@ pub fn run_campaign_checkpointed(
     cfg: &CampaignConfig,
     checkpoints: usize,
 ) -> CampaignLog {
-    let (golden, limits, threads) = campaign_setup(dispatcher, program, cfg);
-    let golden_cycles = golden.cycles_measured();
-
-    // K checkpoint cycles evenly spaced over the golden run's interior.
-    let mut at_cycles: Vec<u64> = (1..=checkpoints as u64)
-        .map(|k| golden_cycles * k / (checkpoints as u64 + 1))
-        .filter(|&c| c > 0)
-        .collect();
-    at_cycles.dedup();
-
-    let snaps: Vec<GoldenSnapshot> = if at_cycles.is_empty() {
-        Vec::new()
-    } else {
-        dispatcher
-            .golden_snapshots(program, &at_cycles, &limits)
-            .unwrap_or_default()
-    };
-
-    // Serve runs in injection-cycle order for checkpoint locality, then
-    // scatter results back into mask order.
-    let mut order: Vec<usize> = (0..masks.len()).collect();
-    order.sort_by_key(|&i| warm_start_cycle(&masks[i]).unwrap_or(u64::MAX));
-    let sorted: Vec<InjectionSpec> = order.iter().map(|&i| masks[i].clone()).collect();
-
-    let runner = |spec: &InjectionSpec| {
-        let snap =
-            warm_start_cycle(spec).and_then(|c| snaps.iter().take_while(|s| s.cycle <= c).last());
-        match snap {
-            Some(s) => dispatcher.run_from(s, program, spec, &limits),
-            None => dispatcher.run(program, spec, &limits),
-        }
-    };
-    let ran = execute_masks(&sorted, &runner, threads);
-
-    let mut runs: Vec<Option<RunLog>> = (0..masks.len()).map(|_| None).collect();
-    for (slot, log) in order.iter().zip(ran) {
-        runs[*slot] = Some(log);
-    }
-
-    CampaignLog {
-        injector: dispatcher.name().to_string(),
-        benchmark: program.name.clone(),
-        structure: structure.name().to_string(),
-        seed,
-        golden,
-        runs: runs
-            .into_iter()
-            .map(|r| r.expect("every slot filled"))
-            .collect(),
-    }
+    CampaignRunner::new(dispatcher, program, structure, seed, cfg)
+        .with_strategy(Strategy::Checkpointed { checkpoints })
+        .run(masks)
 }
 
 /// A campaign run with static-ACE pre-dispatch pruning applied.
@@ -308,8 +580,9 @@ pub struct PrunedCampaign {
     pub dispatched: usize,
 }
 
-/// Runs a campaign with ACE pruning: masks the golden-run residency
-/// `profile` proves masked are logged as
+/// Runs a campaign with ACE pruning — a thin wrapper over
+/// [`CampaignRunner`] with [`Strategy::Pruned`]. Masks the golden-run
+/// residency `profile` proves masked are logged as
 /// [`EarlyStop::StaticallyPruned`] without booting a simulator; the rest
 /// run normally. Verdict totals are identical to [`run_campaign`] — only
 /// the dispatch count changes. Pruned runs carry *no* measurements
@@ -329,41 +602,12 @@ pub fn run_campaign_pruned(
     cfg: &CampaignConfig,
     profile: &AceProfile,
 ) -> PrunedCampaign {
-    let (golden, limits, threads) = campaign_setup(dispatcher, program, cfg);
-
     let (pruned, dispatch) = partition_provably_masked(masks, profile);
-    let to_run: Vec<InjectionSpec> = dispatch.iter().map(|&i| masks[i].clone()).collect();
-
-    let runner = |spec: &InjectionSpec| dispatcher.run(program, spec, &limits);
-    let ran = execute_masks(&to_run, &runner, threads);
-
-    // Reassemble in original mask order so the log is indistinguishable in
-    // shape from an unpruned campaign.
-    let mut runs: Vec<Option<RunLog>> = (0..masks.len()).map(|_| None).collect();
-    for (slot, log) in dispatch.iter().zip(ran) {
-        runs[*slot] = Some(log);
-    }
-    for &i in &pruned {
-        runs[i] = Some(RunLog {
-            spec: masks[i].clone(),
-            result: RawRunResult::unexecuted(RunStatus::EarlyStopMasked(
-                EarlyStop::StaticallyPruned,
-            )),
-        });
-    }
-
+    let log = CampaignRunner::new(dispatcher, program, structure, seed, cfg)
+        .with_strategy(Strategy::Pruned { profile })
+        .run(masks);
     PrunedCampaign {
-        log: CampaignLog {
-            injector: dispatcher.name().to_string(),
-            benchmark: program.name.clone(),
-            structure: structure.name().to_string(),
-            seed,
-            golden,
-            runs: runs
-                .into_iter()
-                .map(|r| r.expect("every slot filled"))
-                .collect(),
-        },
+        log,
         pruned_ids: pruned.iter().map(|&i| masks[i].id).collect(),
         dispatched: dispatch.len(),
     }
@@ -475,6 +719,12 @@ mod tests {
         (0..n)
             .map(|i| InjectionSpec::single_transient(i, StructureId::IntRegFile, 0, 0, i))
             .collect()
+    }
+
+    fn temp_journal(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("difi_campaign_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(name)
     }
 
     #[test]
@@ -651,7 +901,7 @@ mod tests {
     #[test]
     fn checkpointed_campaign_without_snapshot_support_matches_cold() {
         // FakeDispatcher keeps the default golden_snapshots (None): the
-        // checkpointed controller must fall back to cold starts and still
+        // checkpointed strategy must fall back to cold starts and still
         // produce an identical log.
         let d = FakeDispatcher::new();
         let cfg = CampaignConfig {
@@ -701,5 +951,160 @@ mod tests {
         let g = golden_run(&d, &program(), 1000);
         assert!(matches!(g.status, RunStatus::Completed { .. }));
         assert!(!g.fault_consumed);
+    }
+
+    #[test]
+    fn journaled_run_then_full_resume_skips_every_mask() {
+        // Resuming a *complete* journal must dispatch zero injection runs
+        // (golden only) and return the identical log.
+        let path = temp_journal("complete.jsonl");
+        let cfg = CampaignConfig {
+            threads: 2,
+            ..Default::default()
+        };
+        let p = program();
+        let m = masks(10);
+
+        let d = FakeDispatcher::new();
+        let runner = CampaignRunner::new(&d, &p, StructureId::IntRegFile, 4, &cfg);
+        let full = runner.run_journaled(&m, &path, &[]).expect("journaled run");
+        assert_eq!(d.calls.load(Ordering::SeqCst), 11, "10 masks + golden");
+
+        let d2 = FakeDispatcher::new();
+        let runner2 = CampaignRunner::new(&d2, &p, StructureId::IntRegFile, 4, &cfg);
+        let resumed = runner2.resume(&m, &path, &[]).expect("resume");
+        assert_eq!(d2.calls.load(Ordering::SeqCst), 1, "golden only");
+        assert_eq!(full, resumed);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_dispatches_only_the_remainder() {
+        let path = temp_journal("partial.jsonl");
+        let cfg = CampaignConfig {
+            threads: 1,
+            ..Default::default()
+        };
+        let p = program();
+        let m = masks(8);
+
+        let d = FakeDispatcher::new();
+        let runner = CampaignRunner::new(&d, &p, StructureId::IntRegFile, 4, &cfg);
+        let full = runner.run_journaled(&m, &path, &[]).expect("journaled run");
+
+        // Keep the header and the first 3 completed runs.
+        let text = std::fs::read_to_string(&path).expect("read journal");
+        let kept: String = text.lines().take(4).map(|l| format!("{l}\n")).collect();
+        std::fs::write(&path, kept).expect("truncate journal");
+
+        let d2 = FakeDispatcher::new();
+        let runner2 = CampaignRunner::new(&d2, &p, StructureId::IntRegFile, 4, &cfg);
+        let resumed = runner2.resume(&m, &path, &[]).expect("resume");
+        assert_eq!(
+            d2.calls.load(Ordering::SeqCst),
+            6,
+            "golden + the 5 not-yet-journaled masks"
+        );
+        assert_eq!(full, resumed);
+
+        // The journal is now complete: a second resume dispatches nothing.
+        let d3 = FakeDispatcher::new();
+        let runner3 = CampaignRunner::new(&d3, &p, StructureId::IntRegFile, 4, &cfg);
+        let again = runner3.resume(&m, &path, &[]).expect("second resume");
+        assert_eq!(d3.calls.load(Ordering::SeqCst), 1, "golden only");
+        assert_eq!(full, again);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_campaigns() {
+        let path = temp_journal("mismatch.jsonl");
+        let cfg = CampaignConfig {
+            threads: 1,
+            ..Default::default()
+        };
+        let p = program();
+        let m = masks(4);
+        let d = FakeDispatcher::new();
+        let runner = CampaignRunner::new(&d, &p, StructureId::IntRegFile, 4, &cfg);
+        runner.run_journaled(&m, &path, &[]).expect("journaled run");
+
+        // Wrong seed.
+        let r = CampaignRunner::new(&d, &p, StructureId::IntRegFile, 5, &cfg);
+        assert!(r.resume(&m, &path, &[]).is_err(), "seed mismatch accepted");
+
+        // Wrong mask count.
+        let r = CampaignRunner::new(&d, &p, StructureId::IntRegFile, 4, &cfg);
+        assert!(
+            r.resume(&masks(5), &path, &[]).is_err(),
+            "mask-count mismatch accepted"
+        );
+
+        // Same shape but different mask content.
+        let mut other = masks(4);
+        other[2].faults[0].bit = 63;
+        let r = CampaignRunner::new(&d, &p, StructureId::IntRegFile, 4, &cfg);
+        assert!(
+            r.resume(&other, &path, &[]).is_err(),
+            "mask-content mismatch accepted"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_from_empty_journal_runs_everything() {
+        let path = temp_journal("fresh.jsonl");
+        std::fs::write(&path, "").expect("empty journal");
+        let cfg = CampaignConfig {
+            threads: 1,
+            ..Default::default()
+        };
+        let p = program();
+        let m = masks(5);
+        let d = FakeDispatcher::new();
+        let runner = CampaignRunner::new(&d, &p, StructureId::IntRegFile, 4, &cfg);
+        let log = runner.resume(&m, &path, &[]).expect("resume from scratch");
+        assert_eq!(d.calls.load(Ordering::SeqCst), 6, "golden + 5 masks");
+        assert_eq!(log.runs.len(), 5);
+
+        // And the journal it wrote is complete.
+        let back = load_journal(&path).expect("journal loads");
+        assert_eq!(back.runs.len(), 5);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn pruned_strategy_streams_pruned_runs_to_sinks() {
+        // A journaled pruned campaign journals its statically-pruned runs
+        // too — resume must not re-dispatch them.
+        use difi_ace::AceProfile;
+
+        let path = temp_journal("pruned.jsonl");
+        let cfg = CampaignConfig {
+            threads: 1,
+            ..Default::default()
+        };
+        let p = program();
+        let m = masks(6);
+        // An incomplete empty profile proves nothing masked; the strategy
+        // still works end-to-end (all masks dispatch). A full pruning test
+        // with a real profile lives in tests/ace_pruning.rs.
+        let profile = AceProfile::new(difi_uarch::residency::ResidencyLog {
+            structure: StructureId::IntRegFile,
+            entries: 8,
+            bits: 64,
+            cycles: 0,
+            complete: false,
+            events: std::collections::BTreeMap::new(),
+        })
+        .expect("int_prf is a data plane");
+        let d = FakeDispatcher::new();
+        let runner = CampaignRunner::new(&d, &p, StructureId::IntRegFile, 4, &cfg)
+            .with_strategy(Strategy::Pruned { profile: &profile });
+        let log = runner.run_journaled(&m, &path, &[]).expect("journaled run");
+        assert_eq!(log.runs.len(), 6);
+        let back = load_journal(&path).expect("journal loads");
+        assert_eq!(back.runs.len(), 6, "every run journaled");
+        std::fs::remove_file(&path).ok();
     }
 }

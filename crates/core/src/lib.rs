@@ -12,10 +12,15 @@
 //!    randomized (or directed) fault masks for any structure, fault type
 //!    (transient / intermittent / permanent), and multiplicity, sized by the
 //!    statistical-sampling rules of [`difi_util::stats`].
-//! 2. **Injection campaign controller** ([`campaign`]) — drains the masks
-//!    repository through an [`dispatch::InjectorDispatcher`], applying the
-//!    paper's §III.B.2 early-stop optimizations, in parallel worker threads,
-//!    and stores every raw result in the *logs repository* ([`logs`]).
+//! 2. **Injection campaign controller** ([`campaign`]) — one
+//!    [`campaign::CampaignRunner`] execution core drains the masks
+//!    repository through an [`dispatch::InjectorDispatcher`] under a
+//!    pluggable [`campaign::Strategy`] (cold / checkpointed warm-start /
+//!    statically pruned), applying the paper's §III.B.2 early-stop
+//!    optimizations in parallel worker threads. Completed runs stream to
+//!    [`sink::RunSink`]s — in-memory collection, an append-only JSONL
+//!    [`journal`] enabling crash-resume, and live progress telemetry — and
+//!    land in the *logs repository* ([`logs`]).
 //! 3. **Parser** ([`classify`]) — turns raw run logs into the six-class
 //!    fault-effect taxonomy (Masked / SDC / DUE / Timeout / Crash / Assert),
 //!    reconfigurable without re-running the campaign.
@@ -26,15 +31,24 @@
 pub mod campaign;
 pub mod classify;
 pub mod dispatch;
+pub mod journal;
 pub mod logs;
 pub mod masks;
 pub mod model;
 pub mod report;
+pub mod sink;
+pub mod substrate;
 
-pub use campaign::{run_campaign_checkpointed, run_campaign_pruned, PrunedCampaign};
+pub use campaign::{
+    run_campaign, run_campaign_checkpointed, run_campaign_pruned, CampaignConfig, CampaignRunner,
+    PrunedCampaign, Strategy,
+};
 pub use classify::{Classifier, Outcome};
 pub use dispatch::{GoldenSnapshot, InjectorDispatcher};
+pub use journal::{load_journal, CampaignHeader};
+pub use logs::{CampaignLog, RunLog};
 pub use model::{
     EarlyStop, FaultRecord, InjectTime, InjectionSpec, RawRunResult, RunLimits, RunStatus,
 };
 pub use report::{AvfComparison, AvfRow};
+pub use sink::{JournalSink, MemorySink, ProgressSink, RunSink};

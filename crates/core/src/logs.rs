@@ -22,14 +22,20 @@ pub struct RunLog {
 }
 
 impl RunLog {
-    fn to_json(&self) -> Json {
+    /// Serializes the run to its JSON object form (one journal/log line).
+    pub fn to_json(&self) -> Json {
         Json::obj(vec![
             ("spec", self.spec.to_json()),
             ("result", self.result.to_json()),
         ])
     }
 
-    fn from_json(j: &Json) -> Result<RunLog> {
+    /// Parses a run from its JSON object form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Parse`] when a field is missing or malformed.
+    pub fn from_json(j: &Json) -> Result<RunLog> {
         Ok(RunLog {
             spec: InjectionSpec::from_json(j.req("spec")?)?,
             result: RawRunResult::from_json(j.req("result")?)?,

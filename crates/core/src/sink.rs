@@ -1,0 +1,429 @@
+//! Pluggable run sinks: where completed injection runs stream to.
+//!
+//! The paper's campaign layer buffered every result in memory and only
+//! surfaced them when the whole campaign finished. The streaming engine
+//! inverts that: the [`CampaignRunner`](crate::campaign::CampaignRunner)
+//! pushes each [`RunLog`] to every attached [`RunSink`] the moment its
+//! worker finishes it, so results persist incrementally ([`JournalSink`]),
+//! report progress live ([`ProgressSink`]), and still collect in memory for
+//! the final [`CampaignLog`](crate::logs::CampaignLog) ([`MemorySink`]).
+//!
+//! Sinks are called directly from worker threads; each synchronizes
+//! internally (a single lock per sink — the per-run simulation dwarfs any
+//! contention on it).
+
+use crate::journal::{run_line, CampaignHeader};
+use crate::logs::RunLog;
+use difi_util::{jsonl, Error, Result};
+use std::io::{BufWriter, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// A consumer of completed injection runs.
+///
+/// Implementations must be `Sync`: [`RunSink::on_run`] is invoked from
+/// several worker threads at once. Callbacks must not panic on ordinary
+/// operational failure (e.g. a full disk) — they record the error and
+/// surface it at the end (see [`JournalSink::finish`]) so one sink hiccup
+/// cannot abort a 300,000-run campaign.
+pub trait RunSink: Sync {
+    /// Called once, after the golden run, before any injection runs.
+    fn on_start(&self, header: &CampaignHeader) {
+        let _ = header;
+    }
+
+    /// Called once per completed run, in completion (not mask) order.
+    /// `index` is the run's position in the masks repository.
+    fn on_run(&self, index: usize, log: &RunLog);
+
+    /// Called once after the last run of the campaign.
+    fn on_end(&self) {}
+}
+
+/// The in-memory collector: stores every run in its mask slot, yielding the
+/// ordered run vector of the final campaign log. This is the sink behind
+/// the classic `run_campaign*` entry points.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    slots: Mutex<Vec<Option<RunLog>>>,
+}
+
+impl MemorySink {
+    /// An empty collector; [`RunSink::on_start`] sizes it to the campaign.
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+
+    /// Consumes the collector, returning runs in mask order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any mask slot never received a run — the campaign runner
+    /// guarantees every index is delivered exactly once.
+    pub fn into_runs(self) -> Vec<RunLog> {
+        self.slots
+            .into_inner()
+            .expect("slots lock")
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| slot.unwrap_or_else(|| panic!("mask {i} never completed")))
+            .collect()
+    }
+}
+
+impl RunSink for MemorySink {
+    fn on_start(&self, header: &CampaignHeader) {
+        let mut slots = self.slots.lock().expect("slots lock");
+        slots.resize(header.masks as usize, None);
+    }
+
+    fn on_run(&self, index: usize, log: &RunLog) {
+        let mut slots = self.slots.lock().expect("slots lock");
+        assert!(index < slots.len(), "run index {index} out of range");
+        slots[index] = Some(log.clone());
+    }
+}
+
+struct JournalOut {
+    w: BufWriter<std::fs::File>,
+    /// True until a header line has been written to (or found in) the file.
+    fresh: bool,
+    /// First I/O error, surfaced by [`JournalSink::finish`].
+    error: Option<Error>,
+}
+
+/// The append-only JSONL journal sink: one flushed line per completed run,
+/// enabling crash-resume
+/// ([`CampaignRunner::resume`](crate::campaign::CampaignRunner::resume)).
+pub struct JournalSink {
+    out: Mutex<JournalOut>,
+}
+
+impl JournalSink {
+    /// Creates (truncating) a fresh journal at `path`. The header line is
+    /// written on [`RunSink::on_start`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] when the file cannot be created.
+    pub fn create(path: &Path) -> Result<JournalSink> {
+        let file = std::fs::File::create(path)?;
+        Ok(JournalSink {
+            out: Mutex::new(JournalOut {
+                w: BufWriter::new(file),
+                fresh: true,
+                error: None,
+            }),
+        })
+    }
+
+    /// Opens an existing journal for appending (resume). If the file does
+    /// not end on a line boundary, a newline is inserted first so the next
+    /// record starts cleanly; an empty file behaves like [`Self::create`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] when the file cannot be opened.
+    pub fn append_to(path: &Path) -> Result<JournalSink> {
+        let mut file = std::fs::OpenOptions::new()
+            .read(true)
+            .append(true)
+            .open(path)?;
+        let len = file.metadata()?.len();
+        let mut needs_newline = false;
+        if len > 0 {
+            use std::io::Read;
+            file.seek(SeekFrom::End(-1))?;
+            let mut last = [0u8; 1];
+            file.read_exact(&mut last)?;
+            needs_newline = last[0] != b'\n';
+        }
+        let mut w = BufWriter::new(file);
+        if needs_newline {
+            w.write_all(b"\n").map_err(Error::from)?;
+        }
+        Ok(JournalSink {
+            out: Mutex::new(JournalOut {
+                w,
+                fresh: len == 0,
+                error: None,
+            }),
+        })
+    }
+
+    /// Flushes and surfaces the first I/O error encountered by any
+    /// callback. Call after the campaign completes; dropping the sink
+    /// without calling this loses error reports, not data.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`Error::Io`] hit while journaling.
+    pub fn finish(&self) -> Result<()> {
+        let mut out = self.out.lock().expect("journal lock");
+        if let Err(e) = out.w.flush() {
+            return Err(Error::from(e));
+        }
+        match out.error.take() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+impl RunSink for JournalSink {
+    fn on_start(&self, header: &CampaignHeader) {
+        let mut out = self.out.lock().expect("journal lock");
+        if !out.fresh {
+            return; // resuming: the header is already on disk
+        }
+        out.fresh = false;
+        let r = jsonl::write_line(&mut out.w, &header.to_json())
+            .and_then(|()| out.w.flush().map_err(Error::from));
+        if let Err(e) = r {
+            out.error.get_or_insert(e);
+        }
+    }
+
+    fn on_run(&self, index: usize, log: &RunLog) {
+        let mut out = self.out.lock().expect("journal lock");
+        // One line per run, flushed immediately: a crash can tear at most
+        // the line in flight, which the tolerant loader drops on resume.
+        let r = jsonl::write_line(&mut out.w, &run_line(index, log))
+            .and_then(|()| out.w.flush().map_err(Error::from));
+        if let Err(e) = r {
+            out.error.get_or_insert(e);
+        }
+    }
+
+    fn on_end(&self) {
+        let mut out = self.out.lock().expect("journal lock");
+        if let Err(e) = out.w.flush() {
+            out.error.get_or_insert(Error::from(e));
+        }
+    }
+}
+
+struct ProgressState {
+    total: usize,
+    done: usize,
+    started: Instant,
+    /// Coarse status tallies, indexed by [`status_tag`] order.
+    tallies: [u64; 7],
+}
+
+/// Live campaign telemetry on stderr: runs completed, mean per-run wall
+/// time, coarse outcome tallies so far, and the ETA for the remainder.
+pub struct ProgressSink {
+    every: usize,
+    state: Mutex<ProgressState>,
+}
+
+const STATUS_TAGS: [&str; 7] = [
+    "completed",
+    "timeout",
+    "process_crash",
+    "system_crash",
+    "sim_assert",
+    "sim_crash",
+    "early_masked",
+];
+
+fn status_tag_index(log: &RunLog) -> usize {
+    use crate::model::RunStatus as S;
+    match log.result.status {
+        S::Completed { .. } => 0,
+        S::Timeout => 1,
+        S::ProcessCrash(_) => 2,
+        S::SystemCrash(_) => 3,
+        S::SimulatorAssert(_) => 4,
+        S::SimulatorCrash(_) => 5,
+        S::EarlyStopMasked(_) => 6,
+    }
+}
+
+impl ProgressSink {
+    /// A progress sink reporting after every completed run.
+    pub fn new() -> ProgressSink {
+        ProgressSink::every(1)
+    }
+
+    /// A progress sink reporting after every `n` completed runs (and always
+    /// on the final one).
+    pub fn every(n: usize) -> ProgressSink {
+        ProgressSink {
+            every: n.max(1),
+            state: Mutex::new(ProgressState {
+                total: 0,
+                done: 0,
+                started: Instant::now(),
+                tallies: [0; 7],
+            }),
+        }
+    }
+}
+
+impl Default for ProgressSink {
+    fn default() -> Self {
+        ProgressSink::new()
+    }
+}
+
+impl RunSink for ProgressSink {
+    fn on_start(&self, header: &CampaignHeader) {
+        let mut s = self.state.lock().expect("progress lock");
+        s.total = header.masks as usize;
+        s.started = Instant::now();
+        eprintln!(
+            "[campaign] {} / {} / {}: {} masks, golden {} cycles",
+            header.injector,
+            header.benchmark,
+            header.structure,
+            header.masks,
+            header.golden.cycles_measured()
+        );
+    }
+
+    fn on_run(&self, _index: usize, log: &RunLog) {
+        let mut s = self.state.lock().expect("progress lock");
+        s.done += 1;
+        s.tallies[status_tag_index(log)] += 1;
+        if !s.done.is_multiple_of(self.every) && s.done != s.total {
+            return;
+        }
+        let elapsed = s.started.elapsed().as_secs_f64();
+        let per_run = elapsed / s.done as f64;
+        let remaining = s.total.saturating_sub(s.done);
+        let tallies: Vec<String> = STATUS_TAGS
+            .iter()
+            .zip(s.tallies.iter())
+            .filter(|(_, &n)| n > 0)
+            .map(|(tag, n)| format!("{tag}:{n}"))
+            .collect();
+        eprintln!(
+            "[campaign] {}/{} ({:.1}%) | {:.1} ms/run | eta {:.1}s | {}",
+            s.done,
+            s.total,
+            100.0 * s.done as f64 / s.total.max(1) as f64,
+            1e3 * per_run,
+            per_run * remaining as f64,
+            tallies.join(" ")
+        );
+    }
+
+    fn on_end(&self) {
+        let s = self.state.lock().expect("progress lock");
+        eprintln!(
+            "[campaign] done: {} runs in {:.2}s",
+            s.done,
+            s.started.elapsed().as_secs_f64()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{InjectionSpec, RawRunResult, RunStatus};
+    use difi_uarch::fault::StructureId;
+
+    fn header(n: u64) -> CampaignHeader {
+        CampaignHeader {
+            injector: "Fake-x86".into(),
+            benchmark: "fake".into(),
+            structure: "int_prf".into(),
+            seed: 1,
+            golden: RawRunResult {
+                status: RunStatus::Completed { exit_code: 0 },
+                output: Vec::new(),
+                exceptions: Some(0),
+                cycles: Some(100),
+                instructions: Some(50),
+                fault_consumed: false,
+            },
+            masks: n,
+        }
+    }
+
+    fn run(i: u64) -> RunLog {
+        RunLog {
+            spec: InjectionSpec::single_transient(i, StructureId::IntRegFile, 0, 0, i),
+            result: RawRunResult {
+                status: RunStatus::Completed { exit_code: i },
+                output: vec![i as u8],
+                exceptions: Some(0),
+                cycles: Some(10 + i),
+                instructions: Some(5),
+                fault_consumed: true,
+            },
+        }
+    }
+
+    #[test]
+    fn memory_sink_collects_in_mask_order() {
+        let sink = MemorySink::new();
+        sink.on_start(&header(4));
+        // Deliver out of order, as a parallel campaign would.
+        for i in [2usize, 0, 3, 1] {
+            sink.on_run(i, &run(i as u64));
+        }
+        sink.on_end();
+        let runs = sink.into_runs();
+        assert_eq!(runs.len(), 4);
+        for (i, r) in runs.iter().enumerate() {
+            assert_eq!(r.spec.id, i as u64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "never completed")]
+    fn memory_sink_panics_on_missing_slot() {
+        let sink = MemorySink::new();
+        sink.on_start(&header(2));
+        sink.on_run(0, &run(0));
+        let _ = sink.into_runs();
+    }
+
+    #[test]
+    fn progress_sink_counts_without_panicking() {
+        let sink = ProgressSink::every(2);
+        sink.on_start(&header(3));
+        for i in 0..3 {
+            sink.on_run(i, &run(i as u64));
+        }
+        sink.on_end();
+        let s = sink.state.lock().unwrap();
+        assert_eq!(s.done, 3);
+        assert_eq!(s.tallies[0], 3, "all runs completed");
+    }
+
+    #[test]
+    fn journal_sink_append_to_inserts_missing_newline() {
+        let dir = std::env::temp_dir().join("difi_sink_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("nonl.jsonl");
+
+        let sink = JournalSink::create(&path).unwrap();
+        sink.on_start(&header(2));
+        sink.on_run(0, &run(0));
+        sink.finish().unwrap();
+
+        // Simulate a tear that ate the trailing newline but left the record
+        // whole, then truncate nothing and append the next run.
+        let mut bytes = std::fs::read(&path).unwrap();
+        assert_eq!(bytes.pop(), Some(b'\n'));
+        std::fs::write(&path, &bytes).unwrap();
+
+        let resumed = JournalSink::append_to(&path).unwrap();
+        resumed.on_start(&header(2)); // must not write a second header
+        resumed.on_run(1, &run(1));
+        resumed.finish().unwrap();
+
+        let back = crate::journal::load_journal(&path).unwrap();
+        assert_eq!(back.header, Some(header(2)));
+        assert_eq!(back.runs.len(), 2);
+        assert_eq!(back.runs[0], (0, run(0)));
+        assert_eq!(back.runs[1], (1, run(1)));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,157 @@
+//! The shared dispatcher substrate: everything a simulator-backed
+//! [`InjectorDispatcher`](crate::dispatch::InjectorDispatcher) needs to
+//! translate between campaign vocabulary ([`crate::model`]) and the
+//! pipeline engine (`difi_uarch::pipeline`), plus the run shapes every
+//! backend shares (cold run, warm resume, snapshot capture, residency
+//! tracing).
+//!
+//! Both injectors of the paper are *configurations*, not codebases: MaFIN
+//! and GeFIN differ in their Table-II core parameters and policy bits, while
+//! the mask→engine translation and the run loop are identical. Keeping that
+//! substrate here (rather than in one injector crate) keeps the dependency
+//! graph honest — `difi-mars` and `difi-gem` both depend on `difi-core`,
+//! and neither depends on the other.
+
+use crate::dispatch::GoldenSnapshot;
+use crate::model::{
+    EarlyStop, FaultDuration, InjectTime, InjectionSpec, RawRunResult, RunLimits, RunStatus,
+};
+use difi_isa::program::Program;
+use difi_uarch::fault::StructureId;
+use difi_uarch::pipeline::engine::{EarlyWhy, EngineFault, EngineLimits};
+use difi_uarch::pipeline::{CoreConfig, OoOCore, SimExit, SimRun};
+use difi_uarch::residency::ResidencyLog;
+
+/// Translates campaign fault records into engine coordinates.
+pub fn to_engine_faults(spec: &InjectionSpec) -> Vec<EngineFault> {
+    spec.faults
+        .iter()
+        .map(|f| EngineFault {
+            structure: f.structure,
+            entry: f.entry,
+            bit: f.bit,
+            kind: f.kind.into(),
+            at_cycle: match f.at {
+                InjectTime::Cycle(c) => Some(c),
+                InjectTime::Instruction(_) => None,
+            },
+            at_instruction: match f.at {
+                InjectTime::Instruction(n) => Some(n),
+                InjectTime::Cycle(_) => None,
+            },
+            duration_cycles: match f.duration {
+                FaultDuration::Intermittent { cycles } => Some(cycles),
+                _ => None,
+            },
+        })
+        .collect()
+}
+
+/// Translates campaign limits into engine limits.
+pub fn to_engine_limits(limits: &RunLimits) -> EngineLimits {
+    EngineLimits {
+        max_cycles: limits.max_cycles,
+        early_stop: limits.early_stop,
+        deadlock_window: limits.deadlock_window,
+    }
+}
+
+/// Converts an engine exit into the campaign's raw status vocabulary.
+pub fn to_run_status(core: &OoOCore, exit: SimExit) -> RunStatus {
+    match exit {
+        SimExit::Exited(code) => RunStatus::Completed { exit_code: code },
+        SimExit::ProcessCrash(f) => RunStatus::ProcessCrash(f.to_string()),
+        SimExit::SystemCrash(m) => RunStatus::SystemCrash(m.to_string()),
+        SimExit::SimAssert(m) => RunStatus::SimulatorAssert(m),
+        SimExit::SimCrash(m) => RunStatus::SimulatorCrash(m),
+        SimExit::Timeout => RunStatus::Timeout,
+        SimExit::EarlyMasked => RunStatus::EarlyStopMasked(match core.early_reason() {
+            EarlyWhy::DeadEntry => EarlyStop::DeadEntry,
+            EarlyWhy::Overwritten => EarlyStop::OverwrittenBeforeRead,
+        }),
+    }
+}
+
+/// Assembles a finished engine run into the campaign's raw-result record.
+pub fn to_raw_result(core: &OoOCore, run: SimRun) -> RawRunResult {
+    RawRunResult {
+        status: to_run_status(core, run.exit),
+        output: run.output,
+        exceptions: Some(run.exceptions),
+        cycles: Some(run.stats.cycles),
+        instructions: Some(run.stats.committed_instructions),
+        fault_consumed: run.fault_consumed,
+    }
+}
+
+/// The shared cold-run shape: boots a fresh core over `cfg`, arms the
+/// mask's faults, and simulates to a terminal state.
+pub fn cold_run(
+    cfg: CoreConfig,
+    program: &Program,
+    spec: &InjectionSpec,
+    limits: &RunLimits,
+) -> RawRunResult {
+    let mut core = OoOCore::new(cfg, program);
+    let faults = to_engine_faults(spec);
+    let run = core.run(&faults, &to_engine_limits(limits));
+    to_raw_result(&core, run)
+}
+
+/// The shared warm-resume shape: clones the snapshotted core, arms the
+/// mask's faults, and simulates the remainder. Returns `None` when `snap`
+/// does not hold this engine's core type (a foreign snapshot) — the caller
+/// falls back to the always-correct cold path.
+pub fn warm_run(
+    snap: &GoldenSnapshot,
+    spec: &InjectionSpec,
+    limits: &RunLimits,
+) -> Option<RawRunResult> {
+    let paused = snap.state.downcast_ref::<OoOCore>()?;
+    let mut core = paused.clone();
+    let faults = to_engine_faults(spec);
+    let run = core.run(&faults, &to_engine_limits(limits));
+    Some(to_raw_result(&core, run))
+}
+
+/// Shared warm-start capture: drives a fresh `core` through the fault-free
+/// prefix, pausing at each cycle of `at_cycles` (sorted ascending) and
+/// snapshotting via `Clone`. Capture stops early if the program terminates
+/// before a requested cycle. Used by both MaFIN and GeFIN.
+pub fn capture_snapshots(
+    mut core: OoOCore,
+    at_cycles: &[u64],
+    limits: &RunLimits,
+) -> Vec<GoldenSnapshot> {
+    let elim = to_engine_limits(limits);
+    let mut snaps = Vec::with_capacity(at_cycles.len());
+    for &cycle in at_cycles {
+        if core.run_until(&[], &elim, Some(cycle)).is_some() {
+            break; // terminal state before this checkpoint — stop capturing
+        }
+        snaps.push(GoldenSnapshot {
+            cycle,
+            state: Box::new(core.clone()),
+        });
+    }
+    snaps
+}
+
+/// The shared golden-residency shape: one fault-free run with residency
+/// tracing enabled on `structures`, feeding the ACE analysis.
+pub fn residency_run(
+    cfg: CoreConfig,
+    program: &Program,
+    structures: &[StructureId],
+    max_cycles: u64,
+) -> Vec<ResidencyLog> {
+    let mut core = OoOCore::new(cfg, program);
+    core.enable_residency(structures);
+    let elim = EngineLimits {
+        max_cycles,
+        early_stop: false,
+        deadlock_window: RunLimits::golden(max_cycles).deadlock_window,
+    };
+    core.run(&[], &elim);
+    core.take_residency()
+}

@@ -73,10 +73,11 @@ pub mod prelude {
     pub use difi_ace::{AceProfile, ArchRegAvf, Liveness, RegSet, StaticAvf};
     pub use difi_core::campaign::{
         golden_run, run_campaign, run_campaign_checkpointed, run_campaign_pruned, CampaignConfig,
-        PrunedCampaign,
+        CampaignRunner, PrunedCampaign, Strategy,
     };
     pub use difi_core::classify::{Classifier, FineOutcome, Outcome};
     pub use difi_core::dispatch::GoldenSnapshot;
+    pub use difi_core::journal::{load_journal, CampaignHeader, JournalContents};
     pub use difi_core::logs::{CampaignLog, RunLog};
     pub use difi_core::masks::{partition_provably_masked, spec_provably_masked, MaskGenerator};
     pub use difi_core::model::{
@@ -86,6 +87,7 @@ pub mod prelude {
     pub use difi_core::report::{
         classify_log, classify_log_with, AvfComparison, AvfRow, ClassCounts, Figure, FigureRow,
     };
+    pub use difi_core::sink::{JournalSink, MemorySink, ProgressSink, RunSink};
     pub use difi_core::InjectorDispatcher;
     pub use difi_gem::{gem_config, GeFin};
     pub use difi_isa::program::{Isa, Program};

@@ -44,12 +44,11 @@
 //! ```
 
 use difi_core::model::{InjectionSpec, RawRunResult, RunLimits};
+use difi_core::substrate::{capture_snapshots, cold_run, residency_run, warm_run};
 use difi_core::{GoldenSnapshot, InjectorDispatcher};
 use difi_isa::program::{Isa, Program};
-use difi_mars::{capture_snapshots, to_engine_faults, to_engine_limits, to_raw_result};
 use difi_uarch::cache::CacheConfig;
 use difi_uarch::fault::{StructureDesc, StructureId};
-use difi_uarch::pipeline::engine::EngineLimits;
 use difi_uarch::pipeline::{BtbOrg, CoreConfig, CorePolicy, LsqOrg, OoOCore};
 use difi_uarch::predictor::TournamentConfig;
 use difi_uarch::residency::ResidencyLog;
@@ -161,10 +160,7 @@ impl InjectorDispatcher for GeFin {
 
     fn run(&self, program: &Program, spec: &InjectionSpec, limits: &RunLimits) -> RawRunResult {
         assert_eq!(program.isa, self.isa, "program ISA must match the model");
-        let mut core = OoOCore::new(self.cfg, program);
-        let faults = to_engine_faults(spec);
-        let run = core.run(&faults, &to_engine_limits(limits));
-        to_raw_result(&core, run)
+        cold_run(self.cfg, program, spec, limits)
     }
 
     fn golden_snapshots(
@@ -188,14 +184,8 @@ impl InjectorDispatcher for GeFin {
         spec: &InjectionSpec,
         limits: &RunLimits,
     ) -> RawRunResult {
-        let Some(paused) = snap.state.downcast_ref::<OoOCore>() else {
-            // A foreign snapshot — fall back to the always-correct cold path.
-            return self.run(program, spec, limits);
-        };
-        let mut core = paused.clone();
-        let faults = to_engine_faults(spec);
-        let run = core.run(&faults, &to_engine_limits(limits));
-        to_raw_result(&core, run)
+        // A foreign snapshot falls back to the always-correct cold path.
+        warm_run(snap, spec, limits).unwrap_or_else(|| self.run(program, spec, limits))
     }
 
     fn golden_residency(
@@ -205,15 +195,7 @@ impl InjectorDispatcher for GeFin {
         max_cycles: u64,
     ) -> Vec<ResidencyLog> {
         assert_eq!(program.isa, self.isa, "program ISA must match the model");
-        let mut core = OoOCore::new(self.cfg, program);
-        core.enable_residency(structures);
-        let elim = EngineLimits {
-            max_cycles,
-            early_stop: false,
-            deadlock_window: RunLimits::golden(max_cycles).deadlock_window,
-        };
-        core.run(&[], &elim);
-        core.take_residency()
+        residency_run(self.cfg, program, structures, max_cycles)
     }
 }
 

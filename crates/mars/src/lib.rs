@@ -41,17 +41,19 @@
 //! # }
 //! ```
 
-use difi_core::model::{
-    FaultDuration, InjectTime, InjectionSpec, RawRunResult, RunLimits, RunStatus,
-};
+use difi_core::model::{InjectionSpec, RawRunResult, RunLimits};
+use difi_core::substrate::{cold_run, residency_run, warm_run};
 use difi_core::{GoldenSnapshot, InjectorDispatcher};
 use difi_isa::program::{Isa, Program};
 use difi_uarch::cache::CacheConfig;
 use difi_uarch::fault::{StructureDesc, StructureId};
-use difi_uarch::pipeline::engine::{EarlyWhy, EngineFault, EngineLimits};
-use difi_uarch::pipeline::{BtbOrg, CoreConfig, CorePolicy, LsqOrg, OoOCore, SimExit, SimRun};
+use difi_uarch::pipeline::{BtbOrg, CoreConfig, CorePolicy, LsqOrg, OoOCore};
 use difi_uarch::predictor::TournamentConfig;
 use difi_uarch::residency::ResidencyLog;
+
+pub use difi_core::substrate::{
+    capture_snapshots, to_engine_faults, to_engine_limits, to_raw_result, to_run_status,
+};
 
 /// The MarsSim core configuration (Table II, MARSS/x86 column).
 pub fn mars_config() -> CoreConfig {
@@ -132,91 +134,6 @@ impl Default for MaFin {
     }
 }
 
-/// Translates campaign fault records into engine coordinates.
-pub fn to_engine_faults(spec: &InjectionSpec) -> Vec<EngineFault> {
-    spec.faults
-        .iter()
-        .map(|f| EngineFault {
-            structure: f.structure,
-            entry: f.entry,
-            bit: f.bit,
-            kind: f.kind.into(),
-            at_cycle: match f.at {
-                InjectTime::Cycle(c) => Some(c),
-                InjectTime::Instruction(_) => None,
-            },
-            at_instruction: match f.at {
-                InjectTime::Instruction(n) => Some(n),
-                InjectTime::Cycle(_) => None,
-            },
-            duration_cycles: match f.duration {
-                FaultDuration::Intermittent { cycles } => Some(cycles),
-                _ => None,
-            },
-        })
-        .collect()
-}
-
-/// Translates campaign limits into engine limits.
-pub fn to_engine_limits(limits: &RunLimits) -> EngineLimits {
-    EngineLimits {
-        max_cycles: limits.max_cycles,
-        early_stop: limits.early_stop,
-        deadlock_window: limits.deadlock_window,
-    }
-}
-
-/// Assembles a finished engine run into the campaign's raw-result record.
-pub fn to_raw_result(core: &OoOCore, run: SimRun) -> RawRunResult {
-    RawRunResult {
-        status: to_run_status(core, run.exit),
-        output: run.output,
-        exceptions: Some(run.exceptions),
-        cycles: Some(run.stats.cycles),
-        instructions: Some(run.stats.committed_instructions),
-        fault_consumed: run.fault_consumed,
-    }
-}
-
-/// Shared warm-start capture: drives a fresh `core` through the fault-free
-/// prefix, pausing at each cycle of `at_cycles` (sorted ascending) and
-/// snapshotting via `Clone`. Capture stops early if the program terminates
-/// before a requested cycle. Used by both MaFIN and GeFIN.
-pub fn capture_snapshots(
-    mut core: OoOCore,
-    at_cycles: &[u64],
-    limits: &RunLimits,
-) -> Vec<GoldenSnapshot> {
-    let elim = to_engine_limits(limits);
-    let mut snaps = Vec::with_capacity(at_cycles.len());
-    for &cycle in at_cycles {
-        if core.run_until(&[], &elim, Some(cycle)).is_some() {
-            break; // terminal state before this checkpoint — stop capturing
-        }
-        snaps.push(GoldenSnapshot {
-            cycle,
-            state: Box::new(core.clone()),
-        });
-    }
-    snaps
-}
-
-/// Converts an engine exit into the campaign's raw status vocabulary.
-pub fn to_run_status(core: &OoOCore, exit: SimExit) -> RunStatus {
-    match exit {
-        SimExit::Exited(code) => RunStatus::Completed { exit_code: code },
-        SimExit::ProcessCrash(f) => RunStatus::ProcessCrash(f.to_string()),
-        SimExit::SystemCrash(m) => RunStatus::SystemCrash(m.to_string()),
-        SimExit::SimAssert(m) => RunStatus::SimulatorAssert(m),
-        SimExit::SimCrash(m) => RunStatus::SimulatorCrash(m),
-        SimExit::Timeout => RunStatus::Timeout,
-        SimExit::EarlyMasked => RunStatus::EarlyStopMasked(match core.early_reason() {
-            EarlyWhy::DeadEntry => difi_core::EarlyStop::DeadEntry,
-            EarlyWhy::Overwritten => difi_core::EarlyStop::OverwrittenBeforeRead,
-        }),
-    }
-}
-
 impl InjectorDispatcher for MaFin {
     fn name(&self) -> &str {
         "MaFIN-x86"
@@ -232,10 +149,7 @@ impl InjectorDispatcher for MaFin {
 
     fn run(&self, program: &Program, spec: &InjectionSpec, limits: &RunLimits) -> RawRunResult {
         assert_eq!(program.isa, Isa::X86e, "MaFIN simulates x86e programs");
-        let mut core = OoOCore::new(self.cfg, program);
-        let faults = to_engine_faults(spec);
-        let run = core.run(&faults, &to_engine_limits(limits));
-        to_raw_result(&core, run)
+        cold_run(self.cfg, program, spec, limits)
     }
 
     fn golden_snapshots(
@@ -259,14 +173,8 @@ impl InjectorDispatcher for MaFin {
         spec: &InjectionSpec,
         limits: &RunLimits,
     ) -> RawRunResult {
-        let Some(paused) = snap.state.downcast_ref::<OoOCore>() else {
-            // A foreign snapshot — fall back to the always-correct cold path.
-            return self.run(program, spec, limits);
-        };
-        let mut core = paused.clone();
-        let faults = to_engine_faults(spec);
-        let run = core.run(&faults, &to_engine_limits(limits));
-        to_raw_result(&core, run)
+        // A foreign snapshot falls back to the always-correct cold path.
+        warm_run(snap, spec, limits).unwrap_or_else(|| self.run(program, spec, limits))
     }
 
     fn golden_residency(
@@ -276,15 +184,7 @@ impl InjectorDispatcher for MaFin {
         max_cycles: u64,
     ) -> Vec<ResidencyLog> {
         assert_eq!(program.isa, Isa::X86e, "MaFIN simulates x86e programs");
-        let mut core = OoOCore::new(self.cfg, program);
-        core.enable_residency(structures);
-        let elim = EngineLimits {
-            max_cycles,
-            early_stop: false,
-            deadlock_window: RunLimits::golden(max_cycles).deadlock_window,
-        };
-        core.run(&[], &elim);
-        core.take_residency()
+        residency_run(self.cfg, program, structures, max_cycles)
     }
 }
 

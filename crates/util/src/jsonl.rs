@@ -1,0 +1,263 @@
+//! Line-oriented JSON (JSONL) framing for append-only journals.
+//!
+//! The streaming campaign engine persists one JSON value per line so a run
+//! that crashes mid-campaign loses at most the line being written. That
+//! failure mode is *expected*, so the loader is tolerant of exactly one torn
+//! tail: a final line that is truncated, corrupt, or missing its newline is
+//! **dropped** (reported, not fatal), while damage anywhere earlier in the
+//! file is a hard [`Error::Parse`] — silent mid-file data loss must never be
+//! papered over.
+
+use crate::json::{self, Json};
+use crate::{Error, Result};
+use std::io::Write;
+use std::path::Path;
+
+/// Writes one JSONL record: the compact serialization of `value` plus a
+/// terminating newline. Callers flush per record when crash tolerance
+/// matters.
+///
+/// # Errors
+///
+/// Returns [`Error::Io`] on write failure.
+pub fn write_line<W: Write>(w: &mut W, value: &Json) -> Result<()> {
+    writeln!(w, "{value}").map_err(Error::from)
+}
+
+/// Why the tail of a JSONL file was dropped by [`load_tolerant`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DroppedTail {
+    /// 1-based line number of the dropped line.
+    pub line_no: usize,
+    /// Human-readable reason (parse error, invalid UTF-8, …).
+    pub reason: String,
+}
+
+/// The result of a tolerant JSONL load.
+#[derive(Debug)]
+pub struct LoadedLines {
+    /// Every successfully parsed line, in file order.
+    pub lines: Vec<Json>,
+    /// Byte length of the valid prefix of the file. Truncating the file to
+    /// this length removes the torn tail (if any) so appends resume on a
+    /// clean line boundary.
+    pub valid_len: u64,
+    /// The torn tail line, if one was dropped.
+    pub dropped: Option<DroppedTail>,
+}
+
+/// Loads a JSONL file, tolerating a torn tail.
+///
+/// Blank lines are skipped. A line that fails to parse (or is not valid
+/// UTF-8) is dropped if nothing but whitespace follows it — the torn-tail
+/// signature of a crash mid-append. An unterminated final line that *does*
+/// parse is accepted: our writer emits the newline in the same buffered
+/// write as the value, so a parseable tail is a complete record.
+///
+/// # Errors
+///
+/// Returns [`Error::Io`] on read failure and [`Error::Parse`] for damage
+/// anywhere before the final line.
+pub fn load_tolerant(path: &Path) -> Result<LoadedLines> {
+    let bytes = std::fs::read(path)?;
+    let mut lines = Vec::new();
+    let mut pos = 0usize;
+    let mut valid_len = 0usize;
+    let mut line_no = 0usize;
+    let mut dropped = None;
+
+    while pos < bytes.len() {
+        let (line_end, next_pos) = match bytes[pos..].iter().position(|&b| b == b'\n') {
+            Some(off) => (pos + off, pos + off + 1),
+            None => (bytes.len(), bytes.len()),
+        };
+        line_no += 1;
+        let parsed = std::str::from_utf8(&bytes[pos..line_end])
+            .map_err(|e| format!("invalid utf-8: {e}"))
+            .and_then(|s| {
+                if s.trim().is_empty() {
+                    Ok(None)
+                } else {
+                    json::parse(s).map(Some).map_err(|e| e.to_string())
+                }
+            });
+        match parsed {
+            Ok(Some(v)) => {
+                lines.push(v);
+                valid_len = next_pos;
+            }
+            Ok(None) => valid_len = next_pos, // blank line: valid, no record
+            Err(reason) => {
+                let tail_is_blank = bytes[next_pos..]
+                    .iter()
+                    .all(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'));
+                if tail_is_blank {
+                    dropped = Some(DroppedTail { line_no, reason });
+                    break;
+                }
+                return Err(Error::Parse(format!("jsonl line {line_no}: {reason}")));
+            }
+        }
+        pos = next_pos;
+    }
+
+    Ok(LoadedLines {
+        lines,
+        valid_len: valid_len as u64,
+        dropped,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("difi_jsonl_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn write_file(name: &str, records: &[Json]) -> std::path::PathBuf {
+        let path = temp_path(name);
+        let mut buf = Vec::new();
+        for r in records {
+            write_line(&mut buf, r).unwrap();
+        }
+        std::fs::write(&path, buf).unwrap();
+        path
+    }
+
+    #[test]
+    fn roundtrip_multiple_lines() {
+        let records = vec![
+            Json::obj(vec![("a", Json::U64(1))]),
+            Json::Str("two".into()),
+            Json::Arr(vec![Json::Bool(true), Json::Null]),
+        ];
+        let path = write_file("roundtrip.jsonl", &records);
+        let loaded = load_tolerant(&path).unwrap();
+        assert_eq!(loaded.lines, records);
+        assert!(loaded.dropped.is_none());
+        assert_eq!(
+            loaded.valid_len,
+            std::fs::metadata(&path).unwrap().len(),
+            "whole file is valid"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn seeded_sweep_hostile_strings_survive_append_reload() {
+        // Strings drawn from a hostile pool (JSON syntax bytes, escapes,
+        // controls, multi-byte chars) must survive append → reload exactly,
+        // at any record count.
+        let pool: Vec<char> = ('\u{0}'..='\u{ff}')
+            .chain(['"', '\\', '\u{2028}', '\u{fffd}', '\u{1f4a9}', '𐍈'])
+            .collect();
+        let mut rng = Xoshiro256::seed_from(0x1a5e);
+        for round in 0..40u64 {
+            let n = rng.gen_range(0, 12) as usize;
+            let records: Vec<Json> = (0..n)
+                .map(|i| {
+                    let len = rng.gen_range(0, 32) as usize;
+                    let s: String = (0..len)
+                        .map(|_| pool[rng.gen_range(0, pool.len() as u64) as usize])
+                        .collect();
+                    Json::obj(vec![("i", Json::U64(i as u64)), ("s", Json::Str(s))])
+                })
+                .collect();
+            let path = write_file("sweep.jsonl", &records);
+            let loaded = load_tolerant(&path).unwrap();
+            assert_eq!(loaded.lines, records, "round {round}: lossy reload");
+            assert!(loaded.dropped.is_none());
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn truncated_tail_is_dropped_at_every_cut_point() {
+        // Truncating the file anywhere inside the final line must drop that
+        // line (and only it), never abort the load.
+        let records: Vec<Json> = (0..5u64)
+            .map(|i| {
+                Json::obj(vec![
+                    ("id", Json::U64(i)),
+                    ("s", Json::Str("payload".into())),
+                ])
+            })
+            .collect();
+        let path = write_file("trunc.jsonl", &records);
+        let full = std::fs::read(&path).unwrap();
+        let last_start = full[..full.len() - 1]
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .unwrap()
+            + 1;
+        for cut in last_start + 1..full.len() - 1 {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let loaded = load_tolerant(&path).unwrap();
+            assert_eq!(loaded.lines, records[..4], "cut at byte {cut}");
+            let d = loaded.dropped.as_ref().expect("tail dropped");
+            assert_eq!(d.line_no, 5);
+            assert_eq!(
+                loaded.valid_len as usize, last_start,
+                "valid prefix ends where the torn line starts"
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unterminated_but_complete_tail_is_accepted() {
+        // A crash can lose only the newline: the record itself is complete
+        // and must be kept.
+        let records: Vec<Json> = (0..3u64)
+            .map(Json::U64)
+            .map(|v| Json::Arr(vec![v]))
+            .collect();
+        let path = write_file("nonewline.jsonl", &records);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.pop(); // drop final '\n'
+        std::fs::write(&path, &bytes).unwrap();
+        let loaded = load_tolerant(&path).unwrap();
+        assert_eq!(loaded.lines, records);
+        assert!(loaded.dropped.is_none());
+        assert_eq!(loaded.valid_len as usize, bytes.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mid_file_corruption_is_a_hard_error() {
+        let records: Vec<Json> = (0..4u64)
+            .map(|i| Json::obj(vec![("id", Json::U64(i))]))
+            .collect();
+        let path = write_file("midcorrupt.jsonl", &records);
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        // Corrupt the second line, keeping later lines intact.
+        text = text.replacen("{\"id\":1}", "{\"id\":x}", 1);
+        std::fs::write(&path, &text).unwrap();
+        let err = load_tolerant(&path).unwrap_err();
+        assert!(
+            err.to_string().contains("line 2"),
+            "error names the damaged line: {err}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn blank_lines_and_empty_file_are_fine() {
+        let path = temp_path("blank.jsonl");
+        std::fs::write(&path, "\n  \n{\"a\":1}\n\n").unwrap();
+        let loaded = load_tolerant(&path).unwrap();
+        assert_eq!(loaded.lines, vec![Json::obj(vec![("a", Json::U64(1))])]);
+        assert!(loaded.dropped.is_none());
+
+        std::fs::write(&path, "").unwrap();
+        let loaded = load_tolerant(&path).unwrap();
+        assert!(loaded.lines.is_empty());
+        assert_eq!(loaded.valid_len, 0);
+        std::fs::remove_file(&path).ok();
+    }
+}

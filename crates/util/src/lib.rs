@@ -11,6 +11,8 @@
 //! * [`stats`] — the statistical fault-sampling mathematics of
 //!   Leveugle et al., DATE 2009 (reference \[20\] of the paper), plus
 //!   confidence intervals for reporting.
+//! * [`jsonl`] — line-oriented JSON framing for append-only journals, with
+//!   a loader tolerant of the torn tail line a crash mid-append leaves.
 //!
 //! # Example
 //!
@@ -24,6 +26,7 @@
 
 pub mod bits;
 pub mod json;
+pub mod jsonl;
 pub mod rng;
 pub mod stats;
 

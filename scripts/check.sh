@@ -28,4 +28,30 @@ echo "==> warm-start checkpoint equivalence (release)"
 # explicitly (and in release — it simulates full campaigns twice).
 cargo test --release -q --test warm_start_equivalence
 
+echo "==> crash-resume equivalence (release)"
+# The differential oracle for the journaled campaign engine: interrupt a
+# journal at several crash points (including a torn line) and require the
+# resumed log to be byte-identical to the uninterrupted one.
+cargo test --release -q --test resume_equivalence
+
+echo "==> campaign binary journal/resume smoke"
+# End-to-end over the CLI: journal a tiny campaign with live progress, then
+# resume the (already complete) journal and require the same classification.
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+run_campaign_bin() {
+    cargo run --release -q -p difi-bench --bin campaign -- \
+        --injector MaFIN-x86 --bench sha --structure l1d_data \
+        --injections 10 --seed 2015 "$@"
+}
+run_campaign_bin --journal "$smoke_dir/smoke.journal" --progress \
+    | tee "$smoke_dir/journaled.out" >/dev/null
+run_campaign_bin --resume "$smoke_dir/smoke.journal" \
+    | tee "$smoke_dir/resumed.out" >/dev/null
+if ! diff <(grep -A99 '^classification' "$smoke_dir/journaled.out" | sed 's/([^)]*)//') \
+          <(grep -A99 '^classification' "$smoke_dir/resumed.out" | sed 's/([^)]*)//'); then
+    echo "error: resumed campaign classification differs from journaled run" >&2
+    exit 1
+fi
+
 echo "All checks passed."
