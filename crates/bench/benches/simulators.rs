@@ -10,10 +10,15 @@
 //! * `journaling/*` — in-memory campaign vs. the same campaign with the
 //!   per-run-flushed JSONL journal sink attached (acceptance target <5%
 //!   overhead).
+//! * `observability/*` — fault-lifecycle tracing plus a metrics registry vs.
+//!   the plain campaign on the 40-mask L2 benchmark (acceptance target <5%
+//!   overhead on, ~0% with the layer disabled).
 //! * `data_arrays/*` — EXP-OVH: MarsSim with the cache data-array extension
 //!   vs. original-MARSS performance mode (paper: ≈40% overhead).
 //!
-//! Run with `cargo bench -p difi-bench` (harness = false).
+//! Run with `cargo bench -p difi-bench` (harness = false). Passing group
+//! names as arguments runs only those groups:
+//! `cargo bench -p difi-bench -- observability`.
 
 use difi::isa::emu::Emulator;
 use difi::prelude::*;
@@ -137,6 +142,56 @@ fn journaling() {
     std::fs::remove_file(&path).ok();
 }
 
+fn observability() {
+    // ISSUE 5 acceptance on the 40-mask L2 benchmark: the tracing +
+    // metrics layer must cost <5% when enabled, and its mere existence
+    // (compiled in but switched off) must be free.
+    let mafin = MaFin::new();
+    let program = build(Bench::Fft, Isa::X86e).expect("fft builds for x86e");
+    let golden = golden_run(&mafin, &program, 100_000_000);
+    let desc = difi::core::dispatch::structure_desc(&mafin, StructureId::L2Data)
+        .expect("MaFIN models the L2 data array");
+    let masks = MaskGenerator::new(11).transient(&desc, golden.cycles_measured(), 40);
+    let cfg = CampaignConfig {
+        threads: 1,
+        early_stop: true,
+        golden_max_cycles: 100_000_000,
+    };
+    let plain = CampaignRunner::new(&mafin, &program, StructureId::L2Data, 11, &cfg);
+    let traced = CampaignRunner::new(&mafin, &program, StructureId::L2Data, 11, &cfg)
+        .with_tracing(true)
+        .with_metrics(std::sync::Arc::new(MetricsRegistry::new()));
+    let run_plain = || {
+        plain.run(&masks);
+    };
+    let run_traced = || {
+        let sink = MemoryTraceSink::new();
+        traced.run_with_sinks(&masks, &[&sink]);
+    };
+
+    // The two variants are *interleaved* (unlike the other groups): the
+    // overhead ratio is the figure of merit, and back-to-back pairs see
+    // the same machine conditions, where sequential best-of-N would fold
+    // load drift between the groups into the ratio.
+    run_plain();
+    run_traced();
+    let (mut best_off, mut best_on) = (std::time::Duration::MAX, std::time::Duration::MAX);
+    for _ in 0..SAMPLES + 2 {
+        let t0 = Instant::now();
+        run_plain();
+        best_off = best_off.min(t0.elapsed());
+        let t0 = Instant::now();
+        run_traced();
+        best_on = best_on.min(t0.elapsed());
+    }
+    for (name, best) in [("disabled", best_off), ("trace_and_metrics", best_on)] {
+        println!(
+            "observability/{name:<24} {:>10.3} ms",
+            best.as_secs_f64() * 1e3
+        );
+    }
+}
+
 fn data_arrays() {
     let program = build(Bench::Fft, Isa::X86e).expect("fft builds for x86e");
     bench("data_arrays", "with_extension", || {
@@ -148,9 +203,19 @@ fn data_arrays() {
 }
 
 fn main() {
-    sim_throughput();
-    early_stop();
-    warm_start();
-    journaling();
-    data_arrays();
+    let filter: Vec<String> = std::env::args().skip(1).collect();
+    let want = |group: &str| filter.is_empty() || filter.iter().any(|f| f == group);
+    let groups: [(&str, fn()); 6] = [
+        ("sim_throughput", sim_throughput),
+        ("early_stop", early_stop),
+        ("warm_start", warm_start),
+        ("journaling", journaling),
+        ("observability", observability),
+        ("data_arrays", data_arrays),
+    ];
+    for (name, run) in groups {
+        if want(name) {
+            run();
+        }
+    }
 }

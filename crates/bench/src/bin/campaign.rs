@@ -6,7 +6,8 @@
 //!          [--injections 200] [--seed 2015] [--out logs/run.jsonl] \
 //!          [--model transient|intermittent|permanent] [--window 2000] \
 //!          [--journal logs/run.journal | --resume logs/run.journal] \
-//!          [--progress] [--checkpoints 8] [--no-early-stop] [--fine]
+//!          [--progress] [--checkpoints 8] [--no-early-stop] [--fine] \
+//!          [--trace logs/traces.jsonl] [--metrics-out logs/metrics.json]
 //! ```
 //!
 //! Prints the six-class classification (and the fine breakdown with
@@ -19,8 +20,16 @@
 //! missing masks and producing the identical log. `--progress` prints live
 //! completion/ETA telemetry on stderr. `--checkpoints` enables the
 //! warm-start engine with that many golden-run checkpoints.
+//!
+//! `--trace` enables fault-lifecycle tracing: each run's event stream
+//! (injected, first-consumed, overwritten-dead, divergence, classified)
+//! streams to the given JSONL file and the fault-effect-latency table
+//! prints after the classification. `--metrics-out` attaches a metrics
+//! registry and writes its JSON snapshot (counters, phase gauges,
+//! latency histograms) to the given file.
 
 use difi::prelude::*;
+use std::sync::Arc;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -86,10 +95,42 @@ fn main() {
         let checkpoints: usize = k.parse().expect("number");
         runner = runner.with_strategy(Strategy::Checkpointed { checkpoints });
     }
-    let progress = ProgressSink::every(if injections > 200 { 10 } else { 1 });
+
+    let trace_path = get("--trace").map(std::path::PathBuf::from);
+    let metrics_path = get("--metrics-out").map(std::path::PathBuf::from);
+    let registry = metrics_path
+        .is_some()
+        .then(|| Arc::new(MetricsRegistry::new()));
+    if let Some(reg) = &registry {
+        runner = runner.with_metrics(Arc::clone(reg));
+    }
+    if trace_path.is_some() {
+        runner = runner.with_tracing(true);
+    }
+    let trace_sink = trace_path.as_ref().map(|p| {
+        if let Some(dir) = p.parent() {
+            std::fs::create_dir_all(dir).expect("create trace dir");
+        }
+        TraceSink::create(p).expect("create trace file")
+    });
+    let mem_traces = trace_path.is_some().then(MemoryTraceSink::new);
+
+    let progress = {
+        let p = ProgressSink::every(if injections > 200 { 10 } else { 1 });
+        match &registry {
+            Some(reg) => p.with_metrics(Arc::clone(reg)),
+            None => p,
+        }
+    };
     let mut sinks: Vec<&dyn RunSink> = Vec::new();
     if has("--progress") {
         sinks.push(&progress);
+    }
+    if let Some(sink) = &trace_sink {
+        sinks.push(sink);
+    }
+    if let Some(sink) = &mem_traces {
+        sinks.push(sink);
     }
 
     let t0 = std::time::Instant::now();
@@ -115,6 +156,13 @@ fn main() {
         (None, None) => runner.run_with_sinks(&masks, &sinks),
     };
     let wall = t0.elapsed();
+
+    // Surface trace-file I/O failures loudly: a campaign whose traces were
+    // silently dropped would masquerade as a complete observability record.
+    if let (Some(sink), Some(path)) = (&trace_sink, &trace_path) {
+        sink.finish().expect("trace journal write failed");
+        println!("traces written to {}", path.display());
+    }
 
     if let Some(path) = get("--out") {
         let p = std::path::PathBuf::from(path);
@@ -155,5 +203,31 @@ fn main() {
         for (k, v) in fine {
             println!("  {k:<16} {v}");
         }
+    }
+
+    // Fault-effect latency breakdown from the collected event streams.
+    let latency = mem_traces.map(|m| {
+        let traces: Vec<FaultTrace> = m.into_traces().into_iter().map(|(_, t)| t).collect();
+        LatencyReport::from_traces(&traces)
+    });
+    if let Some(rep) = &latency {
+        if rep.rows.is_empty() {
+            println!("\nno fault traces recorded (all masks fault-free?)");
+        } else {
+            println!("\n{}", rep.render());
+        }
+    }
+
+    if let (Some(path), Some(reg)) = (&metrics_path, &registry) {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).expect("create metrics dir");
+        }
+        let mut sections = vec![("metrics".to_string(), reg.snapshot())];
+        if let Some(rep) = &latency {
+            sections.push(("latency".to_string(), rep.to_json()));
+        }
+        let doc = difi::util::json::Json::Obj(sections);
+        std::fs::write(path, format!("{doc}\n")).expect("metrics file write failed");
+        println!("metrics written to {}", path.display());
     }
 }

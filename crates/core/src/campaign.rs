@@ -36,18 +36,23 @@
 //! simulator malfunction as a *class*, not a fatal error) and every other
 //! result is kept.
 
+use crate::classify::Classifier;
 use crate::dispatch::{GoldenSnapshot, InjectorDispatcher};
 use crate::journal::{load_journal, truncate_to_valid, CampaignHeader};
 use crate::logs::{CampaignLog, RunLog};
 use crate::masks::partition_provably_masked;
 use crate::model::{EarlyStop, InjectTime, InjectionSpec, RawRunResult, RunLimits, RunStatus};
-use crate::sink::{JournalSink, MemorySink, RunSink};
+use crate::sink::{JournalSink, MemorySink, MetricsSink, RunSink};
 use difi_ace::AceProfile;
 use difi_isa::program::Program;
+use difi_obs::metrics::MetricsRegistry;
+use difi_obs::trace::{FaultTrace, TraceEvent, TraceEventKind};
 use difi_uarch::fault::StructureId;
 use difi_util::{Error, Result};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Campaign-level options.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,13 +111,26 @@ pub fn golden_run(
 }
 
 /// The campaign preamble shared by every strategy: the golden run, the
-/// paper's 3×-golden limits, and the resolved worker count.
+/// paper's 3×-golden limits, and the resolved worker count. With
+/// `record_signature` the golden run also records the per-commit
+/// architectural signature the tracer's divergence detection compares
+/// against — one run serves both purposes, so tracing never pays for a
+/// second golden execution.
 fn campaign_setup(
     dispatcher: &dyn InjectorDispatcher,
     program: &Program,
     cfg: &CampaignConfig,
-) -> (RawRunResult, RunLimits, usize) {
-    let golden = golden_run(dispatcher, program, cfg.golden_max_cycles);
+    record_signature: bool,
+) -> (RawRunResult, Option<Arc<Vec<u64>>>, RunLimits, usize) {
+    let (golden, golden_sig) = if record_signature {
+        let spec = InjectionSpec {
+            id: u64::MAX,
+            faults: Vec::new(),
+        };
+        dispatcher.golden_run_recording(program, &spec, &RunLimits::golden(cfg.golden_max_cycles))
+    } else {
+        (golden_run(dispatcher, program, cfg.golden_max_cycles), None)
+    };
     assert!(
         matches!(golden.status, RunStatus::Completed { .. }),
         "golden run of {} on {} must complete, got {:?}",
@@ -127,16 +145,16 @@ fn campaign_setup(
     } else {
         cfg.threads
     };
-    (golden, limits, threads)
+    (golden, golden_sig, limits, threads)
 }
 
 /// Invokes `runner` on one mask, converting a panic into a
 /// [`RunStatus::SimulatorCrash`] result so one malfunctioning run cannot
 /// abort the campaign and discard the completed results.
 fn run_caught(
-    runner: &(dyn Fn(&InjectionSpec) -> RawRunResult + Sync),
+    runner: &(dyn Fn(&InjectionSpec) -> (RawRunResult, Option<FaultTrace>) + Sync),
     spec: &InjectionSpec,
-) -> RawRunResult {
+) -> (RawRunResult, Option<FaultTrace>) {
     match catch_unwind(AssertUnwindSafe(|| runner(spec))) {
         Ok(result) => result,
         Err(payload) => {
@@ -145,7 +163,10 @@ fn run_caught(
                 .map(|s| (*s).to_string())
                 .or_else(|| payload.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "opaque panic payload".to_string());
-            RawRunResult::unexecuted(RunStatus::SimulatorCrash(format!("worker panic: {msg}")))
+            (
+                RawRunResult::unexecuted(RunStatus::SimulatorCrash(format!("worker panic: {msg}"))),
+                None,
+            )
         }
     }
 }
@@ -179,6 +200,8 @@ pub struct CampaignRunner<'a> {
     seed: u64,
     cfg: CampaignConfig,
     strategy: Strategy<'a>,
+    trace: bool,
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl<'a> CampaignRunner<'a> {
@@ -197,6 +220,8 @@ impl<'a> CampaignRunner<'a> {
             seed,
             cfg: *cfg,
             strategy: Strategy::Cold,
+            trace: false,
+            metrics: None,
         }
     }
 
@@ -204,6 +229,30 @@ impl<'a> CampaignRunner<'a> {
     #[must_use]
     pub fn with_strategy(mut self, strategy: Strategy<'a>) -> CampaignRunner<'a> {
         self.strategy = strategy;
+        self
+    }
+
+    /// Enables fault-lifecycle tracing: the golden run records the
+    /// per-commit architectural signature, every dispatched run executes
+    /// through the traced dispatcher paths, and each resulting
+    /// [`FaultTrace`] — with the final [`TraceEventKind::Classified`] event
+    /// appended — streams to every sink's [`RunSink::on_trace`]. Tracing is
+    /// observation-only: run results are byte-identical to an untraced
+    /// campaign.
+    #[must_use]
+    pub fn with_tracing(mut self, trace: bool) -> CampaignRunner<'a> {
+        self.trace = trace;
+        self
+    }
+
+    /// Attaches a metrics registry. The runner prepends an internal
+    /// [`MetricsSink`] over `registry` ahead of user sinks (so later sinks
+    /// read fresh counters), stamps the per-phase wall-clock gauges
+    /// (`phase.golden_ns`, `phase.snapshots_ns`, `phase.injection_ns`,
+    /// `phase.classify_ns`), and tallies final `campaign.class.*` counters.
+    #[must_use]
+    pub fn with_metrics(mut self, registry: Arc<MetricsRegistry>) -> CampaignRunner<'a> {
+        self.metrics = Some(registry);
         self
     }
 
@@ -375,7 +424,13 @@ impl<'a> CampaignRunner<'a> {
     ) -> CampaignLog {
         use std::sync::atomic::{AtomicUsize, Ordering};
 
-        let (golden, limits, threads) = campaign_setup(self.dispatcher, self.program, &self.cfg);
+        let phase = Instant::now();
+        let (golden, golden_sig, limits, threads) =
+            campaign_setup(self.dispatcher, self.program, &self.cfg, self.trace);
+        if let Some(m) = &self.metrics {
+            m.gauge("phase.golden_ns")
+                .set(phase.elapsed().as_nanos() as u64);
+        }
         let header = CampaignHeader {
             injector: self.dispatcher.name().to_string(),
             benchmark: self.program.name.clone(),
@@ -384,6 +439,21 @@ impl<'a> CampaignRunner<'a> {
             golden: golden.clone(),
             masks: masks.len() as u64,
         };
+
+        // With a registry configured, an internal MetricsSink runs ahead of
+        // every user sink so that sinks reading the registry (e.g. a
+        // ProgressSink with metrics attached) always see the counters
+        // already updated for the run being delivered.
+        let metrics_sink = self
+            .metrics
+            .as_ref()
+            .map(|m| MetricsSink::new(Arc::clone(m)));
+        let mut all_sinks: Vec<&dyn RunSink> = Vec::with_capacity(sinks.len() + 1);
+        if let Some(ms) = &metrics_sink {
+            all_sinks.push(ms);
+        }
+        all_sinks.extend_from_slice(sinks);
+        let sinks: &[&dyn RunSink] = &all_sinks;
 
         // The in-memory collector assembles the final ordered log; extra
         // sinks observe. Journal-preloaded runs feed the collector only —
@@ -427,6 +497,7 @@ impl<'a> CampaignRunner<'a> {
         // spaced checkpoints over the golden run's interior and serves runs
         // in injection-cycle order so neighbouring runs restore the same
         // checkpoint.
+        let phase = Instant::now();
         let snaps: Vec<GoldenSnapshot> =
             if let Strategy::Checkpointed { checkpoints } = self.strategy {
                 let golden_cycles = golden.cycles_measured();
@@ -445,6 +516,10 @@ impl<'a> CampaignRunner<'a> {
             } else {
                 Vec::new()
             };
+        if let Some(m) = &self.metrics {
+            m.gauge("phase.snapshots_ns")
+                .set(phase.elapsed().as_nanos() as u64);
+        }
 
         let mut todo: Vec<usize> = (0..masks.len()).filter(|&i| !done[i]).collect();
         if matches!(self.strategy, Strategy::Checkpointed { .. }) {
@@ -453,35 +528,67 @@ impl<'a> CampaignRunner<'a> {
 
         // One runner closure serves every strategy: with no snapshots
         // captured (cold / pruned / unsupported dispatcher) every mask
-        // falls back to the always-correct cold path.
+        // falls back to the always-correct cold path. With tracing on, the
+        // traced dispatcher paths carry the event stream alongside the
+        // (byte-identical) result.
         let dispatcher = self.dispatcher;
         let program = self.program;
-        let runner = move |spec: &InjectionSpec| {
+        let trace_on = self.trace;
+        let runner = move |spec: &InjectionSpec| -> (RawRunResult, Option<FaultTrace>) {
             let snap = warm_start_cycle(spec)
                 .and_then(|c| snaps.iter().take_while(|s| s.cycle <= c).last());
-            match snap {
-                Some(s) => dispatcher.run_from(s, program, spec, &limits),
-                None => dispatcher.run(program, spec, &limits),
+            if trace_on {
+                let sig = golden_sig.as_ref();
+                match snap {
+                    Some(s) => dispatcher.run_from_traced(s, program, spec, &limits, sig),
+                    None => dispatcher.run_traced(program, spec, &limits, sig),
+                }
+            } else {
+                match snap {
+                    Some(s) => (dispatcher.run_from(s, program, spec, &limits), None),
+                    None => (dispatcher.run(program, spec, &limits), None),
+                }
             }
         };
 
         // Workers deliver each completed run straight to the sinks — no
         // per-slot buffering; the collector's single lock is the only
-        // rendezvous, and the per-run simulation dwarfs it.
-        let deliver = |i: usize, log: &RunLog| {
+        // rendezvous, and the per-run simulation dwarfs it. Each trace gets
+        // the run's final verdict appended as the Classified event before
+        // delivery, closing the fault lifecycle.
+        let classifier = self.trace.then(|| Classifier::from_golden(&golden));
+        let deliver = |i: usize, log: &RunLog, trace: Option<FaultTrace>| {
             collector.on_run(i, log);
             for s in sinks {
                 s.on_run(i, log);
             }
+            if let Some(mut t) = trace {
+                if let Some(c) = &classifier {
+                    let cycle = log
+                        .result
+                        .cycles
+                        .unwrap_or_else(|| t.events.last().map_or(0, |e| e.cycle));
+                    t.events.push(TraceEvent {
+                        cycle,
+                        kind: TraceEventKind::Classified,
+                        detail: c.classify(&log.result).name().to_string(),
+                    });
+                }
+                for s in sinks {
+                    s.on_trace(i, &t);
+                }
+            }
         };
 
+        let phase = Instant::now();
         if threads <= 1 || todo.len() < 2 {
             for &i in &todo {
+                let (result, trace) = run_caught(&runner, &masks[i]);
                 let log = RunLog {
                     spec: masks[i].clone(),
-                    result: run_caught(&runner, &masks[i]),
+                    result,
                 };
-                deliver(i, &log);
+                deliver(i, &log, trace);
             }
         } else {
             // Work-stealing by atomic index: each worker claims the next
@@ -495,14 +602,19 @@ impl<'a> CampaignRunner<'a> {
                             return;
                         }
                         let i = todo[k];
+                        let (result, trace) = run_caught(&runner, &masks[i]);
                         let log = RunLog {
                             spec: masks[i].clone(),
-                            result: run_caught(&runner, &masks[i]),
+                            result,
                         };
-                        deliver(i, &log);
+                        deliver(i, &log, trace);
                     });
                 }
             });
+        }
+        if let Some(m) = &self.metrics {
+            m.gauge("phase.injection_ns")
+                .set(phase.elapsed().as_nanos() as u64);
         }
 
         collector.on_end();
@@ -510,14 +622,29 @@ impl<'a> CampaignRunner<'a> {
             s.on_end();
         }
 
-        CampaignLog {
+        let log = CampaignLog {
             injector: header.injector,
             benchmark: header.benchmark,
             structure: header.structure,
             seed: self.seed,
             golden,
             runs: collector.into_runs(),
+        };
+
+        // The classify phase: final per-class tallies over the complete
+        // ordered log (including journal-preloaded runs, which sinks never
+        // re-observe but the verdict totals must count).
+        if let Some(m) = &self.metrics {
+            let phase = Instant::now();
+            let c = Classifier::from_golden(&log.golden);
+            for r in &log.runs {
+                m.counter(&format!("campaign.class.{}", c.classify(&r.result).name()))
+                    .inc();
+            }
+            m.gauge("phase.classify_ns")
+                .set(phase.elapsed().as_nanos() as u64);
         }
+        log
     }
 }
 
@@ -1106,5 +1233,55 @@ mod tests {
         let back = load_journal(&path).expect("journal loads");
         assert_eq!(back.runs.len(), 6, "every run journaled");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn metrics_registry_tallies_runs_statuses_and_phases() {
+        let d = FakeDispatcher::new();
+        let reg = Arc::new(MetricsRegistry::new());
+        let cfg = CampaignConfig {
+            threads: 2,
+            ..Default::default()
+        };
+        let log = CampaignRunner::new(&d, &program(), StructureId::IntRegFile, 9, &cfg)
+            .with_metrics(Arc::clone(&reg))
+            .run(&masks(9));
+        assert_eq!(log.runs.len(), 9);
+        assert_eq!(reg.value("campaign.runs"), Some(9));
+        assert_eq!(reg.value("campaign.status.completed"), Some(6));
+        assert_eq!(reg.value("campaign.status.sim_assert"), Some(3));
+        assert_eq!(reg.value("campaign.sim_cycles"), Some(900));
+        // Final classification: masks 0/3/6 assert, the rest match golden.
+        assert_eq!(reg.value("campaign.class.assert"), Some(3));
+        assert_eq!(reg.value("campaign.class.masked"), Some(6));
+        // Every phase gauge is stamped (a fake campaign can be faster than
+        // 1ns, so presence — not magnitude — is what's checked).
+        for phase in [
+            "phase.golden_ns",
+            "phase.snapshots_ns",
+            "phase.injection_ns",
+            "phase.classify_ns",
+        ] {
+            assert!(reg.value(phase).is_some(), "{phase} never stamped");
+        }
+    }
+
+    #[test]
+    fn tracing_without_dispatcher_support_matches_untraced_run() {
+        // FakeDispatcher keeps the default traced paths (no event streams):
+        // a traced campaign must produce the identical log and zero traces.
+        let d = FakeDispatcher::new();
+        let cfg = CampaignConfig {
+            threads: 2,
+            ..Default::default()
+        };
+        let plain = run_campaign(&d, &program(), StructureId::IntRegFile, 9, &masks(8), &cfg);
+        let reg = Arc::new(MetricsRegistry::new());
+        let traced = CampaignRunner::new(&d, &program(), StructureId::IntRegFile, 9, &cfg)
+            .with_tracing(true)
+            .with_metrics(Arc::clone(&reg))
+            .run(&masks(8));
+        assert_eq!(plain, traced);
+        assert_eq!(reg.value("campaign.traces").unwrap_or(0), 0);
     }
 }

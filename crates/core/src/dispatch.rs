@@ -10,8 +10,10 @@
 
 use crate::model::{InjectionSpec, RawRunResult, RunLimits};
 use difi_isa::program::{Isa, Program};
+use difi_obs::trace::FaultTrace;
 use difi_uarch::fault::{StructureDesc, StructureId};
 use difi_uarch::residency::ResidencyLog;
+use std::sync::Arc;
 
 /// An opaque snapshot of a simulator paused mid-way through the golden run.
 ///
@@ -110,6 +112,58 @@ pub trait InjectorDispatcher: Sync {
     ) -> RawRunResult {
         let _ = snap;
         self.run(program, spec, limits)
+    }
+
+    /// Runs the golden (fault-free) execution while recording the
+    /// per-commit architectural signature vector the tracer compares
+    /// injection runs against. Recording is pure observation: the returned
+    /// result must be byte-identical to a plain golden
+    /// [`InjectorDispatcher::run`].
+    ///
+    /// The default records nothing — a dispatcher without tracing support
+    /// still produces a correct golden run, and downstream divergence
+    /// events are simply absent.
+    fn golden_run_recording(
+        &self,
+        program: &Program,
+        spec: &InjectionSpec,
+        limits: &RunLimits,
+    ) -> (RawRunResult, Option<Arc<Vec<u64>>>) {
+        (self.run(program, spec, limits), None)
+    }
+
+    /// Runs `spec` cold with fault-lifecycle tracing enabled, comparing
+    /// committed state against `golden_sig` (when given) for the
+    /// divergence event.
+    ///
+    /// Contract: the [`RawRunResult`] is byte-identical to a plain
+    /// [`InjectorDispatcher::run`] of the same arguments — tracing
+    /// observes, never perturbs. The default opts out of tracing.
+    fn run_traced(
+        &self,
+        program: &Program,
+        spec: &InjectionSpec,
+        limits: &RunLimits,
+        golden_sig: Option<&Arc<Vec<u64>>>,
+    ) -> (RawRunResult, Option<FaultTrace>) {
+        let _ = golden_sig;
+        (self.run(program, spec, limits), None)
+    }
+
+    /// Runs `spec` warm from `snap` with fault-lifecycle tracing enabled.
+    /// Same observation-only contract as [`InjectorDispatcher::run_traced`];
+    /// the trace must equal the cold-run trace of the same mask. The
+    /// default opts out of tracing.
+    fn run_from_traced(
+        &self,
+        snap: &GoldenSnapshot,
+        program: &Program,
+        spec: &InjectionSpec,
+        limits: &RunLimits,
+        golden_sig: Option<&Arc<Vec<u64>>>,
+    ) -> (RawRunResult, Option<FaultTrace>) {
+        let _ = golden_sig;
+        (self.run_from(snap, program, spec, limits), None)
     }
 }
 

@@ -50,5 +50,7 @@ pub use logs::{CampaignLog, RunLog};
 pub use model::{
     EarlyStop, FaultRecord, InjectTime, InjectionSpec, RawRunResult, RunLimits, RunStatus,
 };
-pub use report::{AvfComparison, AvfRow};
-pub use sink::{JournalSink, MemorySink, ProgressSink, RunSink};
+pub use report::{AvfComparison, AvfRow, LatencyReport};
+pub use sink::{
+    JournalSink, MemorySink, MemoryTraceSink, MetricsSink, ProgressSink, RunSink, TraceSink,
+};

@@ -1,9 +1,15 @@
 //! Report aggregation: from classified runs to the per-benchmark /
-//! per-structure breakdowns behind the paper's Figs. 2–6.
+//! per-structure breakdowns behind the paper's Figs. 2–6, plus the
+//! observability layer's fault-effect-latency breakdown
+//! ([`LatencyReport`]).
 
 use crate::classify::{Classifier, Outcome};
 use crate::logs::CampaignLog;
+use difi_obs::metrics::CycleHistogram;
+use difi_obs::trace::FaultTrace;
+use difi_util::json::Json;
 use difi_util::stats::Proportion;
+use std::collections::BTreeMap;
 
 /// Counts per fault-effect class for one campaign cell.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -174,6 +180,120 @@ impl Figure {
         }
         render_cells("AVERAGE", &self.averages(), &mut s);
         s
+    }
+}
+
+/// One latency cell: a structure × outcome class with the latency
+/// distributions of every trace that landed in it.
+#[derive(Debug, Clone)]
+pub struct LatencyRow {
+    /// Target structure name (e.g. `"l2_data"`).
+    pub structure: String,
+    /// Outcome class name (`"masked"`, `"sdc"`, …, or `"unclassified"`).
+    pub outcome: String,
+    /// Traces aggregated into this cell.
+    pub traces: u64,
+    /// Injection → first-consumption latency distribution (cycles); only
+    /// traces whose fault was actually read contribute.
+    pub consume: CycleHistogram,
+    /// Injection → first-architectural-divergence latency distribution
+    /// (cycles); only traces that diverged from golden contribute.
+    pub diverge: CycleHistogram,
+}
+
+/// Fault-effect latencies per structure × outcome class: how long an
+/// injected fault lives before the machine consumes it, and how much longer
+/// before the architectural state visibly diverges. The temporal companion
+/// to the class-fraction figures — two campaigns with identical class
+/// fractions can have very different latency profiles.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyReport {
+    /// Cells in (structure, outcome) order.
+    pub rows: Vec<LatencyRow>,
+}
+
+impl LatencyReport {
+    /// Aggregates an iterator of traces into per-cell distributions.
+    /// Traces without a `Classified` event land in an `"unclassified"`
+    /// cell rather than being dropped.
+    pub fn from_traces<'a, I>(traces: I) -> LatencyReport
+    where
+        I: IntoIterator<Item = &'a FaultTrace>,
+    {
+        let mut cells: BTreeMap<(String, String), LatencyRow> = BTreeMap::new();
+        for t in traces {
+            let outcome = t.outcome().unwrap_or("unclassified").to_string();
+            let row = cells
+                .entry((t.structure.clone(), outcome.clone()))
+                .or_insert_with(|| LatencyRow {
+                    structure: t.structure.clone(),
+                    outcome,
+                    traces: 0,
+                    consume: CycleHistogram::new(),
+                    diverge: CycleHistogram::new(),
+                });
+            row.traces += 1;
+            if let Some(lat) = t.consume_latency() {
+                row.consume.record(lat);
+            }
+            if let Some(lat) = t.divergence_latency() {
+                row.diverge.record(lat);
+            }
+        }
+        LatencyReport {
+            rows: cells.into_values().collect(),
+        }
+    }
+
+    /// Renders the report as an aligned text table (mean latencies in
+    /// cycles; `-` for cells where no trace reached that lifecycle stage).
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str("Fault-effect latency (cycles from injection)\n");
+        s.push_str(&format!(
+            "{:<10} {:<12} {:>7} {:>9} {:>12} {:>9} {:>12}\n",
+            "structure", "outcome", "traces", "consumed", "mean_cons", "diverged", "mean_div"
+        ));
+        let mean = |h: &CycleHistogram| match h.mean() {
+            Some(m) => format!("{m:.1}"),
+            None => "-".to_string(),
+        };
+        for r in &self.rows {
+            s.push_str(&format!(
+                "{:<10} {:<12} {:>7} {:>9} {:>12} {:>9} {:>12}\n",
+                r.structure,
+                r.outcome,
+                r.traces,
+                r.consume.count(),
+                mean(&r.consume),
+                r.diverge.count(),
+                mean(&r.diverge),
+            ));
+        }
+        s
+    }
+
+    /// JSON form: `{"rows":[{"structure":…,"outcome":…,"traces":…,
+    /// "consume":{hist},"diverge":{hist}},…]}` — the campaign bin's
+    /// `--metrics-out` companion section.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![(
+            "rows",
+            Json::Arr(
+                self.rows
+                    .iter()
+                    .map(|r| {
+                        Json::obj(vec![
+                            ("structure", Json::Str(r.structure.clone())),
+                            ("outcome", Json::Str(r.outcome.clone())),
+                            ("traces", Json::U64(r.traces)),
+                            ("consume", r.consume.to_json()),
+                            ("diverge", r.diverge.to_json()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        )])
     }
 }
 
@@ -350,6 +470,65 @@ mod tests {
         assert!((a.vulnerability() - 0.5).abs() < 1e-12);
         let ci = a.vulnerability_interval(0.99);
         assert!(ci.lo < 0.5 && ci.hi > 0.5);
+    }
+
+    #[test]
+    fn latency_report_groups_by_structure_and_outcome() {
+        use difi_obs::trace::{TraceEvent, TraceEventKind};
+        let mk = |structure: &str, outcome: Option<&str>, consumed: Option<u64>| {
+            let mut events = vec![TraceEvent {
+                cycle: 100,
+                kind: TraceEventKind::Injected,
+                detail: String::new(),
+            }];
+            if let Some(c) = consumed {
+                events.push(TraceEvent {
+                    cycle: 100 + c,
+                    kind: TraceEventKind::FirstConsumed,
+                    detail: String::new(),
+                });
+            }
+            if let Some(o) = outcome {
+                events.push(TraceEvent {
+                    cycle: 500,
+                    kind: TraceEventKind::Classified,
+                    detail: o.into(),
+                });
+            }
+            FaultTrace {
+                id: 0,
+                structure: structure.into(),
+                events,
+            }
+        };
+        let traces = vec![
+            mk("iq", Some("sdc"), Some(8)),
+            mk("iq", Some("sdc"), Some(16)),
+            mk("iq", Some("masked"), None),
+            mk("l2_data", None, Some(4)),
+        ];
+        let rep = LatencyReport::from_traces(&traces);
+        assert_eq!(rep.rows.len(), 3);
+        let sdc = rep
+            .rows
+            .iter()
+            .find(|r| r.structure == "iq" && r.outcome == "sdc")
+            .unwrap();
+        assert_eq!(sdc.traces, 2);
+        assert_eq!(sdc.consume.count(), 2);
+        assert_eq!(sdc.consume.sum(), 24);
+        let uncls = rep
+            .rows
+            .iter()
+            .find(|r| r.outcome == "unclassified")
+            .unwrap();
+        assert_eq!(uncls.structure, "l2_data");
+        assert_eq!(uncls.consume.count(), 1);
+        let text = rep.render();
+        assert!(text.contains("structure") && text.contains("sdc"));
+        let j = rep.to_json();
+        let back = difi_util::json::parse(&j.to_string()).expect("reparses");
+        assert_eq!(back, j);
     }
 
     #[test]

@@ -14,10 +14,13 @@
 
 use crate::journal::{run_line, CampaignHeader};
 use crate::logs::RunLog;
+use difi_obs::metrics::MetricsRegistry;
+use difi_obs::trace::FaultTrace;
+use difi_util::json::Json;
 use difi_util::{jsonl, Error, Result};
 use std::io::{BufWriter, Seek, SeekFrom, Write};
 use std::path::Path;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// A consumer of completed injection runs.
@@ -36,6 +39,14 @@ pub trait RunSink: Sync {
     /// Called once per completed run, in completion (not mask) order.
     /// `index` is the run's position in the masks repository.
     fn on_run(&self, index: usize, log: &RunLog);
+
+    /// Called once per completed run *when fault tracing is enabled* and
+    /// the dispatcher produced an event stream, immediately after
+    /// [`RunSink::on_run`] for the same index. The default ignores traces —
+    /// existing sinks keep working untouched.
+    fn on_trace(&self, index: usize, trace: &FaultTrace) {
+        let _ = (index, trace);
+    }
 
     /// Called once after the last run of the campaign.
     fn on_end(&self) {}
@@ -204,6 +215,151 @@ impl RunSink for JournalSink {
     }
 }
 
+/// The fault-trace journal: one flushed JSONL line per traced run,
+/// `{"index":…,"trace":{…}}`. Same error discipline as [`JournalSink`] —
+/// callbacks latch the first I/O error and [`TraceSink::finish`] surfaces
+/// it; nothing is silently dropped.
+pub struct TraceSink {
+    out: Mutex<JournalOut>,
+}
+
+impl TraceSink {
+    /// Creates (truncating) a fresh trace file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] when the file cannot be created.
+    pub fn create(path: &Path) -> Result<TraceSink> {
+        let file = std::fs::File::create(path)?;
+        Ok(TraceSink {
+            out: Mutex::new(JournalOut {
+                w: BufWriter::new(file),
+                fresh: true,
+                error: None,
+            }),
+        })
+    }
+
+    /// Flushes and surfaces the first I/O error encountered by any
+    /// callback.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`Error::Io`] hit while writing traces.
+    pub fn finish(&self) -> Result<()> {
+        let mut out = self.out.lock().expect("trace lock");
+        if let Err(e) = out.w.flush() {
+            return Err(Error::from(e));
+        }
+        match out.error.take() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+impl RunSink for TraceSink {
+    fn on_run(&self, _index: usize, _log: &RunLog) {}
+
+    fn on_trace(&self, index: usize, trace: &FaultTrace) {
+        let mut out = self.out.lock().expect("trace lock");
+        let line = Json::obj(vec![
+            ("index", Json::U64(index as u64)),
+            ("trace", trace.to_json()),
+        ]);
+        let r =
+            jsonl::write_line(&mut out.w, &line).and_then(|()| out.w.flush().map_err(Error::from));
+        if let Err(e) = r {
+            out.error.get_or_insert(e);
+        }
+    }
+
+    fn on_end(&self) {
+        let mut out = self.out.lock().expect("trace lock");
+        if let Err(e) = out.w.flush() {
+            out.error.get_or_insert(Error::from(e));
+        }
+    }
+}
+
+/// The in-memory trace collector: gathers every [`FaultTrace`] for
+/// post-campaign analysis (latency reports, determinism oracles).
+#[derive(Debug, Default)]
+pub struct MemoryTraceSink {
+    traces: Mutex<Vec<(usize, FaultTrace)>>,
+}
+
+impl MemoryTraceSink {
+    /// An empty collector.
+    pub fn new() -> MemoryTraceSink {
+        MemoryTraceSink::default()
+    }
+
+    /// Consumes the collector, returning `(index, trace)` pairs sorted by
+    /// mask index. Unlike [`MemorySink`] there is no completeness guarantee:
+    /// fault-free masks and preloaded (resumed) runs carry no trace.
+    pub fn into_traces(self) -> Vec<(usize, FaultTrace)> {
+        let mut traces = self.traces.into_inner().expect("traces lock");
+        traces.sort_by_key(|(i, _)| *i);
+        traces
+    }
+}
+
+impl RunSink for MemoryTraceSink {
+    fn on_run(&self, _index: usize, _log: &RunLog) {}
+
+    fn on_trace(&self, index: usize, trace: &FaultTrace) {
+        let mut traces = self.traces.lock().expect("traces lock");
+        traces.push((index, trace.clone()));
+    }
+}
+
+/// The metrics bridge: folds every completed run and trace into a
+/// [`MetricsRegistry`] — run/status/cycle counters plus the per-structure ×
+/// outcome fault-effect-latency histograms. The campaign runner attaches
+/// one internally (before user sinks) whenever a registry is configured, so
+/// sinks later in the chain (e.g. [`ProgressSink`]) read fresh values.
+pub struct MetricsSink {
+    registry: Arc<MetricsRegistry>,
+}
+
+impl MetricsSink {
+    /// A sink feeding `registry`.
+    pub fn new(registry: Arc<MetricsRegistry>) -> MetricsSink {
+        MetricsSink { registry }
+    }
+}
+
+impl RunSink for MetricsSink {
+    fn on_run(&self, _index: usize, log: &RunLog) {
+        let r = &self.registry;
+        r.counter("campaign.runs").inc();
+        r.counter(&format!(
+            "campaign.status.{}",
+            STATUS_TAGS[status_tag_index(log)]
+        ))
+        .inc();
+        r.counter("campaign.sim_cycles")
+            .add(log.result.cycles.unwrap_or(0));
+        r.counter("campaign.sim_instructions")
+            .add(log.result.instructions.unwrap_or(0));
+    }
+
+    fn on_trace(&self, _index: usize, trace: &FaultTrace) {
+        let r = &self.registry;
+        r.counter("campaign.traces").inc();
+        let outcome = trace.outcome().unwrap_or("unclassified");
+        if let Some(lat) = trace.consume_latency() {
+            r.histogram(&format!("latency.consume.{}.{outcome}", trace.structure))
+                .record(lat);
+        }
+        if let Some(lat) = trace.divergence_latency() {
+            r.histogram(&format!("latency.diverge.{}.{outcome}", trace.structure))
+                .record(lat);
+        }
+    }
+}
+
 struct ProgressState {
     total: usize,
     done: usize,
@@ -214,8 +370,15 @@ struct ProgressState {
 
 /// Live campaign telemetry on stderr: runs completed, mean per-run wall
 /// time, coarse outcome tallies so far, and the ETA for the remainder.
+///
+/// With [`ProgressSink::with_metrics`] the sink additionally reads
+/// campaign throughput (runs/s, simulated Mcycles/s) and per-phase wall
+/// times straight from the shared [`MetricsRegistry`] — the same numbers
+/// every other consumer sees — instead of deriving them from its own
+/// ad-hoc arithmetic.
 pub struct ProgressSink {
     every: usize,
+    metrics: Option<Arc<MetricsRegistry>>,
     state: Mutex<ProgressState>,
 }
 
@@ -253,6 +416,7 @@ impl ProgressSink {
     pub fn every(n: usize) -> ProgressSink {
         ProgressSink {
             every: n.max(1),
+            metrics: None,
             state: Mutex::new(ProgressState {
                 total: 0,
                 done: 0,
@@ -260,6 +424,17 @@ impl ProgressSink {
                 tallies: [0; 7],
             }),
         }
+    }
+
+    /// Reads throughput and phase timings from `registry` instead of
+    /// locally derived arithmetic. The campaign runner feeds the same
+    /// registry via its internal [`MetricsSink`] *before* delivering to
+    /// user sinks, so the values read here are already up to date for the
+    /// run being reported.
+    #[must_use]
+    pub fn with_metrics(mut self, registry: Arc<MetricsRegistry>) -> ProgressSink {
+        self.metrics = Some(registry);
+        self
     }
 }
 
@@ -274,13 +449,22 @@ impl RunSink for ProgressSink {
         let mut s = self.state.lock().expect("progress lock");
         s.total = header.masks as usize;
         s.started = Instant::now();
+        // The runner stamps the golden phase gauge before on_start, so the
+        // preamble can report how long the reference run took.
+        let golden_phase = self
+            .metrics
+            .as_ref()
+            .and_then(|m| m.value("phase.golden_ns"))
+            .map(|ns| format!(", golden phase {:.2}s", ns as f64 / 1e9))
+            .unwrap_or_default();
         eprintln!(
-            "[campaign] {} / {} / {}: {} masks, golden {} cycles",
+            "[campaign] {} / {} / {}: {} masks, golden {} cycles{}",
             header.injector,
             header.benchmark,
             header.structure,
             header.masks,
-            header.golden.cycles_measured()
+            header.golden.cycles_measured(),
+            golden_phase
         );
     }
 
@@ -300,23 +484,55 @@ impl RunSink for ProgressSink {
             .filter(|(_, &n)| n > 0)
             .map(|(tag, n)| format!("{tag}:{n}"))
             .collect();
+        // With a registry attached, throughput comes from the shared
+        // counters (fed by the runner's MetricsSink ahead of this sink).
+        let throughput = self
+            .metrics
+            .as_ref()
+            .map(|m| {
+                let runs = m.value("campaign.runs").unwrap_or(0);
+                let cycles = m.value("campaign.sim_cycles").unwrap_or(0);
+                format!(
+                    " | {:.1} runs/s, {:.1} Mcyc/s",
+                    runs as f64 / elapsed.max(1e-9),
+                    cycles as f64 / 1e6 / elapsed.max(1e-9)
+                )
+            })
+            .unwrap_or_default();
         eprintln!(
-            "[campaign] {}/{} ({:.1}%) | {:.1} ms/run | eta {:.1}s | {}",
+            "[campaign] {}/{} ({:.1}%) | {:.1} ms/run | eta {:.1}s{} | {}",
             s.done,
             s.total,
             100.0 * s.done as f64 / s.total.max(1) as f64,
             1e3 * per_run,
             per_run * remaining as f64,
+            throughput,
             tallies.join(" ")
         );
     }
 
     fn on_end(&self) {
         let s = self.state.lock().expect("progress lock");
+        // Phase timings are the runner's gauges, not local arithmetic; the
+        // classify gauge is stamped after on_end, so it reads as pending.
+        let phases = self
+            .metrics
+            .as_ref()
+            .map(|m| {
+                let read = |name: &str| m.value(name).unwrap_or(0) as f64 / 1e9;
+                format!(
+                    " (golden {:.2}s, snapshots {:.2}s, injection {:.2}s)",
+                    read("phase.golden_ns"),
+                    read("phase.snapshots_ns"),
+                    read("phase.injection_ns")
+                )
+            })
+            .unwrap_or_default();
         eprintln!(
-            "[campaign] done: {} runs in {:.2}s",
+            "[campaign] done: {} runs in {:.2}s{}",
             s.done,
-            s.started.elapsed().as_secs_f64()
+            s.started.elapsed().as_secs_f64(),
+            phases
         );
     }
 }
@@ -395,6 +611,113 @@ mod tests {
         let s = sink.state.lock().unwrap();
         assert_eq!(s.done, 3);
         assert_eq!(s.tallies[0], 3, "all runs completed");
+    }
+
+    fn trace(id: u64, outcome: &str) -> FaultTrace {
+        use difi_obs::trace::{TraceEvent, TraceEventKind};
+        FaultTrace {
+            id,
+            structure: "int_prf".into(),
+            events: vec![
+                TraceEvent {
+                    cycle: 10,
+                    kind: TraceEventKind::Injected,
+                    detail: "int_prf entry 0 bit 0".into(),
+                },
+                TraceEvent {
+                    cycle: 10 + id,
+                    kind: TraceEventKind::FirstConsumed,
+                    detail: "int_prf entry 0 bit 0".into(),
+                },
+                TraceEvent {
+                    cycle: 100,
+                    kind: TraceEventKind::Classified,
+                    detail: outcome.into(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn trace_sink_writes_parseable_jsonl() {
+        let dir = std::env::temp_dir().join("difi_sink_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("traces.jsonl");
+
+        let sink = TraceSink::create(&path).unwrap();
+        sink.on_start(&header(2));
+        sink.on_run(0, &run(0));
+        sink.on_trace(0, &trace(0, "sdc"));
+        sink.on_trace(1, &trace(1, "masked"));
+        sink.on_end();
+        sink.finish().unwrap();
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "one line per trace, none for plain runs");
+        let j = difi_util::json::parse(lines[1]).expect("line parses");
+        assert_eq!(j.get("index").and_then(Json::as_u64), Some(1));
+        let back = FaultTrace::from_json(j.req("trace").unwrap()).unwrap();
+        assert_eq!(back, trace(1, "masked"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trace_sink_surfaces_write_errors() {
+        // A directory path cannot be created as a file: creation fails
+        // loudly rather than silently producing a sink that drops traces.
+        let dir = std::env::temp_dir().join("difi_sink_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(TraceSink::create(&dir).is_err());
+    }
+
+    #[test]
+    fn memory_trace_sink_sorts_by_index() {
+        let sink = MemoryTraceSink::new();
+        sink.on_trace(2, &trace(2, "sdc"));
+        sink.on_trace(0, &trace(0, "masked"));
+        let traces = sink.into_traces();
+        assert_eq!(traces.len(), 2);
+        assert_eq!(traces[0].0, 0);
+        assert_eq!(traces[1].0, 2);
+    }
+
+    #[test]
+    fn metrics_sink_feeds_registry() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let sink = MetricsSink::new(Arc::clone(&reg));
+        sink.on_start(&header(3));
+        for i in 0..3 {
+            sink.on_run(i, &run(i as u64));
+        }
+        sink.on_trace(0, &trace(0, "sdc"));
+        sink.on_trace(1, &trace(4, "sdc"));
+        sink.on_end();
+
+        assert_eq!(reg.value("campaign.runs"), Some(3));
+        assert_eq!(reg.value("campaign.status.completed"), Some(3));
+        assert_eq!(reg.value("campaign.sim_cycles"), Some(10 + 11 + 12));
+        assert_eq!(reg.value("campaign.sim_instructions"), Some(15));
+        assert_eq!(reg.value("campaign.traces"), Some(2));
+        let h = reg.histogram("latency.consume.int_prf.sdc");
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 4, "latencies 0 and 4");
+    }
+
+    #[test]
+    fn progress_sink_reads_registry_when_attached() {
+        let reg = Arc::new(MetricsRegistry::new());
+        reg.gauge("phase.golden_ns").set(1_500_000_000);
+        let metrics = MetricsSink::new(Arc::clone(&reg));
+        let sink = ProgressSink::every(2).with_metrics(Arc::clone(&reg));
+        sink.on_start(&header(3));
+        for i in 0..3 {
+            metrics.on_run(i, &run(i as u64));
+            sink.on_run(i, &run(i as u64));
+        }
+        sink.on_end();
+        let s = sink.state.lock().unwrap();
+        assert_eq!(s.done, 3);
     }
 
     #[test]

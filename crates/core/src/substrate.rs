@@ -17,10 +17,12 @@ use crate::model::{
     EarlyStop, FaultDuration, InjectTime, InjectionSpec, RawRunResult, RunLimits, RunStatus,
 };
 use difi_isa::program::Program;
+use difi_obs::trace::{FaultTrace, TraceEvent, TraceEventKind};
 use difi_uarch::fault::StructureId;
 use difi_uarch::pipeline::engine::{EarlyWhy, EngineFault, EngineLimits};
 use difi_uarch::pipeline::{CoreConfig, OoOCore, SimExit, SimRun};
 use difi_uarch::residency::ResidencyLog;
+use std::sync::Arc;
 
 /// Translates campaign fault records into engine coordinates.
 pub fn to_engine_faults(spec: &InjectionSpec) -> Vec<EngineFault> {
@@ -135,6 +137,111 @@ pub fn capture_snapshots(
         });
     }
     snaps
+}
+
+/// The shared golden-recording shape: one fault-free run with commit
+/// signature recording enabled, returning both the golden result (identical
+/// to [`cold_run`] of the same empty mask) and the signature vector the
+/// tracer compares injection runs against.
+pub fn recording_run(
+    cfg: CoreConfig,
+    program: &Program,
+    spec: &InjectionSpec,
+    limits: &RunLimits,
+) -> (RawRunResult, Option<Arc<Vec<u64>>>) {
+    let mut core = OoOCore::new(cfg, program);
+    core.enable_signature_recording();
+    let faults = to_engine_faults(spec);
+    let run = core.run(&faults, &to_engine_limits(limits));
+    let result = to_raw_result(&core, run);
+    (result, Some(Arc::new(core.take_signature())))
+}
+
+/// The shared traced cold-run shape: [`cold_run`] with fault-lifecycle
+/// tracing enabled, assembling the observed events into a [`FaultTrace`].
+pub fn traced_cold_run(
+    cfg: CoreConfig,
+    program: &Program,
+    spec: &InjectionSpec,
+    limits: &RunLimits,
+    golden_sig: Option<&Arc<Vec<u64>>>,
+) -> (RawRunResult, Option<FaultTrace>) {
+    let mut core = OoOCore::new(cfg, program);
+    core.enable_fault_tracing(golden_sig.cloned());
+    let faults = to_engine_faults(spec);
+    let run = core.run(&faults, &to_engine_limits(limits));
+    let result = to_raw_result(&core, run);
+    let trace = assemble_trace(&core, spec);
+    (result, trace)
+}
+
+/// The shared traced warm-resume shape: [`warm_run`] with tracing enabled.
+/// Returns `None` for a foreign snapshot, exactly like [`warm_run`].
+pub fn traced_warm_run(
+    snap: &GoldenSnapshot,
+    spec: &InjectionSpec,
+    limits: &RunLimits,
+    golden_sig: Option<&Arc<Vec<u64>>>,
+) -> Option<(RawRunResult, Option<FaultTrace>)> {
+    let paused = snap.state.downcast_ref::<OoOCore>()?;
+    let mut core = paused.clone();
+    core.enable_fault_tracing(golden_sig.cloned());
+    let faults = to_engine_faults(spec);
+    let run = core.run(&faults, &to_engine_limits(limits));
+    let result = to_raw_result(&core, run);
+    let trace = assemble_trace(&core, spec);
+    Some((result, trace))
+}
+
+/// Assembles the event stream of one traced run from the core's raw
+/// observations. Events are ordered by cycle; construction order (injected,
+/// then watch lifecycles in arm order, then divergence) breaks ties
+/// deterministically via the stable sort.
+fn assemble_trace(core: &OoOCore, spec: &InjectionSpec) -> Option<FaultTrace> {
+    let report = core.trace_report()?;
+    let mut events = Vec::new();
+    for ev in &report.injected {
+        events.push(TraceEvent {
+            cycle: ev.cycle,
+            kind: TraceEventKind::Injected,
+            detail: format!("{} entry {} bit {}", ev.structure.name(), ev.entry, ev.bit),
+        });
+    }
+    for (s, w) in &report.watches {
+        // The hook keeps the two stamps mutually exclusive: a read blocks
+        // the overwritten transition and vice versa.
+        if let Some(cycle) = w.first_read_at {
+            events.push(TraceEvent {
+                cycle,
+                kind: TraceEventKind::FirstConsumed,
+                detail: format!("{} entry {} bit {}", s.name(), w.entry, w.bit),
+            });
+        } else if let Some(cycle) = w.overwritten_at {
+            events.push(TraceEvent {
+                cycle,
+                kind: TraceEventKind::OverwrittenDead,
+                detail: format!("{} entry {} bit {}", s.name(), w.entry, w.bit),
+            });
+        }
+    }
+    if let Some(d) = report.divergence {
+        events.push(TraceEvent {
+            cycle: d.cycle,
+            kind: TraceEventKind::ArchDivergence,
+            detail: format!("commit #{}", d.commit_index),
+        });
+    }
+    events.sort_by_key(|e| e.cycle);
+    Some(FaultTrace {
+        id: spec.id,
+        structure: spec
+            .faults
+            .first()
+            .map(|f| f.structure.name())
+            .unwrap_or("none")
+            .to_string(),
+        events,
+    })
 }
 
 /// The shared golden-residency shape: one fault-free run with residency

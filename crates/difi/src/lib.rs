@@ -35,6 +35,7 @@ pub use difi_core as core;
 pub use difi_gem as gem;
 pub use difi_isa as isa;
 pub use difi_mars as mars;
+pub use difi_obs as obs;
 pub use difi_uarch as uarch;
 pub use difi_util as util;
 pub use difi_workloads as workloads;
@@ -86,12 +87,17 @@ pub mod prelude {
     };
     pub use difi_core::report::{
         classify_log, classify_log_with, AvfComparison, AvfRow, ClassCounts, Figure, FigureRow,
+        LatencyReport, LatencyRow,
     };
-    pub use difi_core::sink::{JournalSink, MemorySink, ProgressSink, RunSink};
+    pub use difi_core::sink::{
+        JournalSink, MemorySink, MemoryTraceSink, MetricsSink, ProgressSink, RunSink, TraceSink,
+    };
     pub use difi_core::InjectorDispatcher;
     pub use difi_gem::{gem_config, GeFin};
     pub use difi_isa::program::{Isa, Program};
     pub use difi_mars::{mars_config, MaFin};
+    pub use difi_obs::metrics::{Counter, CycleHistogram, Gauge, MetricsRegistry};
+    pub use difi_obs::trace::{FaultTrace, TraceEvent, TraceEventKind};
     pub use difi_uarch::fault::{StructureDesc, StructureId};
     pub use difi_uarch::residency::{Instrument, ResidencyLog};
     pub use difi_workloads::{build, reference_output, Bench};

@@ -42,9 +42,12 @@
 //! ```
 
 use difi_core::model::{InjectionSpec, RawRunResult, RunLimits};
-use difi_core::substrate::{cold_run, residency_run, warm_run};
+use difi_core::substrate::{
+    cold_run, recording_run, residency_run, traced_cold_run, traced_warm_run, warm_run,
+};
 use difi_core::{GoldenSnapshot, InjectorDispatcher};
 use difi_isa::program::{Isa, Program};
+use difi_obs::trace::FaultTrace;
 use difi_uarch::cache::CacheConfig;
 use difi_uarch::fault::{StructureDesc, StructureId};
 use difi_uarch::pipeline::{BtbOrg, CoreConfig, CorePolicy, LsqOrg, OoOCore};
@@ -185,6 +188,40 @@ impl InjectorDispatcher for MaFin {
     ) -> Vec<ResidencyLog> {
         assert_eq!(program.isa, Isa::X86e, "MaFIN simulates x86e programs");
         residency_run(self.cfg, program, structures, max_cycles)
+    }
+
+    fn golden_run_recording(
+        &self,
+        program: &Program,
+        spec: &InjectionSpec,
+        limits: &RunLimits,
+    ) -> (RawRunResult, Option<std::sync::Arc<Vec<u64>>>) {
+        assert_eq!(program.isa, Isa::X86e, "MaFIN simulates x86e programs");
+        recording_run(self.cfg, program, spec, limits)
+    }
+
+    fn run_traced(
+        &self,
+        program: &Program,
+        spec: &InjectionSpec,
+        limits: &RunLimits,
+        golden_sig: Option<&std::sync::Arc<Vec<u64>>>,
+    ) -> (RawRunResult, Option<FaultTrace>) {
+        assert_eq!(program.isa, Isa::X86e, "MaFIN simulates x86e programs");
+        traced_cold_run(self.cfg, program, spec, limits, golden_sig)
+    }
+
+    fn run_from_traced(
+        &self,
+        snap: &GoldenSnapshot,
+        program: &Program,
+        spec: &InjectionSpec,
+        limits: &RunLimits,
+        golden_sig: Option<&std::sync::Arc<Vec<u64>>>,
+    ) -> (RawRunResult, Option<FaultTrace>) {
+        // A foreign snapshot falls back to the always-correct cold path.
+        traced_warm_run(snap, spec, limits, golden_sig)
+            .unwrap_or_else(|| self.run_traced(program, spec, limits, golden_sig))
     }
 }
 

@@ -1,0 +1,30 @@
+//! Observability layer for the injection campaigns: a metrics registry and
+//! a cycle-stamped fault-lifecycle tracer.
+//!
+//! The paper's Remarks 1–11 explain outcome differences across structures
+//! and setups, but a campaign that only records the final
+//! Masked/SDC/DUE/Timeout/Crash label cannot show *why* a class dominates:
+//! the fault's journey — injection, first consumption, death by overwrite,
+//! first architectural divergence from the golden run — is invisible. This
+//! crate provides the two telemetry primitives the rest of the workspace
+//! instruments itself with:
+//!
+//! - [`metrics::MetricsRegistry`] — named counters, gauges and log₂ cycle
+//!   histograms behind lock-free atomic handles. A campaign that does not
+//!   attach a registry pays nothing; one that does pays one relaxed atomic
+//!   op per update.
+//! - [`trace::FaultTrace`] — the ordered, cycle-stamped event stream of one
+//!   injection run, serializable through `difi_util::json` for JSONL trace
+//!   files and post-hoc latency analysis.
+//!
+//! The crate depends only on `difi-util` (and the standard library), so the
+//! simulators, dispatchers and campaign engine can all emit into it without
+//! dependency cycles: `difi-uarch` exposes raw observation points,
+//! `difi-core` assembles them into [`trace::FaultTrace`] values and updates
+//! the registry.
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{Counter, CycleHistogram, Gauge, MetricsRegistry};
+pub use trace::{FaultTrace, TraceEvent, TraceEventKind};

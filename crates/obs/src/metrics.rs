@@ -1,0 +1,351 @@
+//! A named-metric registry: counters, gauges and log₂ cycle histograms.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`CycleHistogram`]) are cheap clones of
+//! an `Arc` around atomics, so instrumented code updates them lock-free
+//! from any worker thread; the registry's lock is taken only to *register*
+//! a name or to take a [snapshot](MetricsRegistry::snapshot). When no
+//! registry is attached nothing is allocated and no atomic is touched —
+//! the disabled path is an untaken `Option` branch at each call site.
+
+use difi_util::json::Json;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter handle.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge handle.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Stores `v`, replacing the previous value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of log₂ buckets: bucket 0 holds the value 0, bucket *i* ≥ 1 holds
+/// values in `[2^(i-1), 2^i)`, so 65 buckets cover the full `u64` range.
+const BUCKETS: usize = 65;
+
+#[derive(Debug)]
+struct HistogramCore {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A log₂-bucketed histogram of cycle (or any `u64`) samples.
+///
+/// Exact counts and sums are kept; the distribution itself is quantized to
+/// powers of two, which is the right resolution for fault-effect latencies
+/// spanning one cycle to hundreds of millions.
+#[derive(Debug, Clone)]
+pub struct CycleHistogram(Arc<HistogramCore>);
+
+fn bucket_of(v: u64) -> usize {
+    match v {
+        0 => 0,
+        _ => 64 - v.leading_zeros() as usize,
+    }
+}
+
+/// Inclusive lower bound of bucket `i` (0, then powers of two).
+fn bucket_floor(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        _ => 1u64 << (i - 1),
+    }
+}
+
+impl Default for CycleHistogram {
+    fn default() -> Self {
+        CycleHistogram::new()
+    }
+}
+
+impl CycleHistogram {
+    /// An empty, free-standing histogram (not registered anywhere).
+    pub fn new() -> CycleHistogram {
+        CycleHistogram(Arc::new(HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }))
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.0.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean sample, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        match self.count() {
+            0 => None,
+            n => Some(self.sum() as f64 / n as f64),
+        }
+    }
+
+    /// Non-empty buckets as `(inclusive_floor, count)` pairs in ascending
+    /// floor order.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        (0..BUCKETS)
+            .filter_map(|i| {
+                let n = self.0.buckets[i].load(Ordering::Relaxed);
+                (n > 0).then_some((bucket_floor(i), n))
+            })
+            .collect()
+    }
+
+    /// JSON form: `{"count":…,"sum":…,"buckets":[[floor,count],…]}`.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("count", Json::U64(self.count())),
+            ("sum", Json::U64(self.sum())),
+            (
+                "buckets",
+                Json::Arr(
+                    self.nonzero_buckets()
+                        .into_iter()
+                        .map(|(lo, n)| Json::Arr(vec![Json::U64(lo), Json::U64(n)]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(CycleHistogram),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// The registry: a sorted name → metric map. Registration is idempotent —
+/// asking for the same name again returns a handle to the same underlying
+/// atomic, so independent subsystems can share a metric by name.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    fn register(&self, name: &str, make: impl FnOnce() -> Metric) -> Metric {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        inner.entry(name.to_string()).or_insert_with(make).clone()
+    }
+
+    /// Registers (or retrieves) a counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind —
+    /// that is a naming bug at the instrumentation site, not a runtime
+    /// condition.
+    pub fn counter(&self, name: &str) -> Counter {
+        match self.register(name, || {
+            Metric::Counter(Counter(Arc::new(AtomicU64::new(0))))
+        }) {
+            Metric::Counter(c) => c,
+            m => panic!("metric '{name}' already registered as a {}", m.kind()),
+        }
+    }
+
+    /// Registers (or retrieves) a gauge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match self.register(name, || Metric::Gauge(Gauge(Arc::new(AtomicU64::new(0))))) {
+            Metric::Gauge(g) => g,
+            m => panic!("metric '{name}' already registered as a {}", m.kind()),
+        }
+    }
+
+    /// Registers (or retrieves) a cycle histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> CycleHistogram {
+        match self.register(name, || Metric::Histogram(CycleHistogram::new())) {
+            Metric::Histogram(h) => h,
+            m => panic!("metric '{name}' already registered as a {}", m.kind()),
+        }
+    }
+
+    /// Reads a counter or gauge value by name without registering it.
+    pub fn value(&self, name: &str) -> Option<u64> {
+        let inner = self.inner.lock().expect("metrics lock");
+        match inner.get(name)? {
+            Metric::Counter(c) => Some(c.get()),
+            Metric::Gauge(g) => Some(g.get()),
+            Metric::Histogram(_) => None,
+        }
+    }
+
+    /// A deterministic JSON snapshot: three name-sorted sections,
+    /// `{"counters":{…},"gauges":{…},"histograms":{…}}`. Sorting comes for
+    /// free from the `BTreeMap`, so identical campaigns serialize
+    /// byte-identically.
+    pub fn snapshot(&self) -> Json {
+        let inner = self.inner.lock().expect("metrics lock");
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut histograms = Vec::new();
+        for (name, metric) in inner.iter() {
+            match metric {
+                Metric::Counter(c) => counters.push((name.clone(), Json::U64(c.get()))),
+                Metric::Gauge(g) => gauges.push((name.clone(), Json::U64(g.get()))),
+                Metric::Histogram(h) => histograms.push((name.clone(), h.to_json())),
+            }
+        }
+        Json::Obj(vec![
+            ("counters".to_string(), Json::Obj(counters)),
+            ("gauges".to_string(), Json::Obj(gauges)),
+            ("histograms".to_string(), Json::Obj(histograms)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_roundtrip() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("campaign.runs");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Re-registration shares the atomic.
+        assert_eq!(reg.counter("campaign.runs").get(), 5);
+        assert_eq!(reg.value("campaign.runs"), Some(5));
+
+        let g = reg.gauge("phase.golden_ns");
+        g.set(42);
+        g.set(7);
+        assert_eq!(reg.value("phase.golden_ns"), Some(7));
+        assert_eq!(reg.value("missing"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x");
+        reg.gauge("x");
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat");
+        for v in [0, 1, 1, 2, 3, 4, 1_000_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.sum(), 1_000_011);
+        assert_eq!(
+            h.nonzero_buckets(),
+            vec![(0, 1), (1, 2), (2, 2), (4, 1), (524_288, 1)]
+        );
+        let mean = h.mean().expect("non-empty");
+        assert!((mean - 1_000_011.0 / 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bucket_edges_are_exact_powers_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_floor(64), 1u64 << 63);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_parseable() {
+        let reg = MetricsRegistry::new();
+        reg.counter("b.second").add(2);
+        reg.counter("a.first").inc();
+        reg.gauge("phase.x").set(9);
+        reg.histogram("h").record(5);
+        let snap = reg.snapshot();
+        let text = snap.to_string();
+        let back = difi_util::json::parse(&text).expect("snapshot reparses");
+        assert_eq!(back, snap);
+        let counters = snap.get("counters").expect("counters section");
+        match counters {
+            Json::Obj(pairs) => {
+                let names: Vec<&str> = pairs.iter().map(|(k, _)| k.as_str()).collect();
+                assert_eq!(names, vec!["a.first", "b.second"]);
+            }
+            other => panic!("counters not an object: {other:?}"),
+        }
+        assert_eq!(
+            snap.get("histograms")
+                .and_then(|h| h.get("h"))
+                .and_then(|h| h.get("count"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+    }
+}

@@ -1,0 +1,265 @@
+//! The fault-lifecycle event model: one cycle-stamped event stream per
+//! injection run.
+//!
+//! A fault's observable life has five moments, and each maps to one
+//! [`TraceEventKind`]:
+//!
+//! 1. **Injected** — the mask was applied to the structure.
+//! 2. **FirstConsumed** — a faulted bit was first read by the machine.
+//! 3. **OverwrittenDead** — a faulted bit was overwritten before any read
+//!    (a transient fault dying silently).
+//! 4. **ArchDivergence** — the committed architectural state (PC and
+//!    destination values of retiring instructions) first differed from the
+//!    golden run.
+//! 5. **Classified** — the campaign's final verdict for the run.
+//!
+//! Event streams are deterministic: identical masks on identical programs
+//! produce identical streams regardless of execution strategy (cold,
+//! checkpointed warm-start, or resume), which the trace-determinism
+//! integration test enforces.
+
+use difi_util::json::Json;
+use difi_util::{Error, Result};
+
+/// The lifecycle moment an event records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TraceEventKind {
+    /// The fault mask was applied to the target structure.
+    Injected,
+    /// A faulted bit was read for the first time.
+    FirstConsumed,
+    /// A faulted bit was overwritten before ever being read.
+    OverwrittenDead,
+    /// Committed architectural state first diverged from the golden run.
+    ArchDivergence,
+    /// The run's final outcome class was assigned.
+    Classified,
+}
+
+impl TraceEventKind {
+    /// All kinds, in lifecycle order.
+    pub const ALL: [TraceEventKind; 5] = [
+        TraceEventKind::Injected,
+        TraceEventKind::FirstConsumed,
+        TraceEventKind::OverwrittenDead,
+        TraceEventKind::ArchDivergence,
+        TraceEventKind::Classified,
+    ];
+
+    /// Stable serialization name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceEventKind::Injected => "injected",
+            TraceEventKind::FirstConsumed => "first_consumed",
+            TraceEventKind::OverwrittenDead => "overwritten_dead",
+            TraceEventKind::ArchDivergence => "arch_divergence",
+            TraceEventKind::Classified => "classified",
+        }
+    }
+
+    /// Parses a serialization name.
+    pub fn from_name(name: &str) -> Option<TraceEventKind> {
+        TraceEventKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+/// One cycle-stamped lifecycle event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated cycle at which the moment occurred.
+    pub cycle: u64,
+    /// Which lifecycle moment this is.
+    pub kind: TraceEventKind,
+    /// Free-form context (faulted entry/bit, commit index, outcome class).
+    pub detail: String,
+}
+
+impl TraceEvent {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("cycle", Json::U64(self.cycle)),
+            ("kind", Json::Str(self.kind.name().to_string())),
+            ("detail", Json::Str(self.detail.clone())),
+        ])
+    }
+
+    fn from_json(j: &Json) -> Result<TraceEvent> {
+        let kind_name = j.req("kind")?.as_str().unwrap_or_default().to_string();
+        let kind = TraceEventKind::from_name(&kind_name)
+            .ok_or_else(|| Error::Parse(format!("unknown trace event kind '{kind_name}'")))?;
+        Ok(TraceEvent {
+            cycle: j
+                .req("cycle")?
+                .as_u64()
+                .ok_or_else(|| Error::Parse("trace event cycle not a u64".into()))?,
+            kind,
+            detail: j.req("detail")?.as_str().unwrap_or_default().to_string(),
+        })
+    }
+}
+
+/// The full event stream of one injection run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultTrace {
+    /// Mask identifier (matches `InjectionSpec::id`).
+    pub id: u64,
+    /// Target structure name (e.g. `"l2_data"`).
+    pub structure: String,
+    /// Events in cycle order (construction order breaks ties).
+    pub events: Vec<TraceEvent>,
+}
+
+impl FaultTrace {
+    /// The first event of `kind`, if any.
+    pub fn first(&self, kind: TraceEventKind) -> Option<&TraceEvent> {
+        self.events.iter().find(|e| e.kind == kind)
+    }
+
+    /// Cycles from injection to first consumption, when both occurred.
+    pub fn consume_latency(&self) -> Option<u64> {
+        let injected = self.first(TraceEventKind::Injected)?.cycle;
+        let consumed = self.first(TraceEventKind::FirstConsumed)?.cycle;
+        Some(consumed.saturating_sub(injected))
+    }
+
+    /// Cycles from injection to first architectural divergence, when both
+    /// occurred.
+    pub fn divergence_latency(&self) -> Option<u64> {
+        let injected = self.first(TraceEventKind::Injected)?.cycle;
+        let diverged = self.first(TraceEventKind::ArchDivergence)?.cycle;
+        Some(diverged.saturating_sub(injected))
+    }
+
+    /// The outcome class name from the `Classified` event, if present.
+    pub fn outcome(&self) -> Option<&str> {
+        self.first(TraceEventKind::Classified)
+            .map(|e| e.detail.as_str())
+    }
+
+    /// JSON form:
+    /// `{"id":…,"structure":…,"events":[{"cycle":…,"kind":…,"detail":…},…]}`.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("id", Json::U64(self.id)),
+            ("structure", Json::Str(self.structure.clone())),
+            (
+                "events",
+                Json::Arr(self.events.iter().map(TraceEvent::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Parses the JSON form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Parse`] when required fields are missing or
+    /// malformed.
+    pub fn from_json(j: &Json) -> Result<FaultTrace> {
+        let events = j
+            .req("events")?
+            .as_arr()
+            .ok_or_else(|| Error::Parse("trace events not an array".into()))?
+            .iter()
+            .map(TraceEvent::from_json)
+            .collect::<Result<Vec<_>>>()?;
+        Ok(FaultTrace {
+            id: j
+                .req("id")?
+                .as_u64()
+                .ok_or_else(|| Error::Parse("trace id not a u64".into()))?,
+            structure: j.req("structure")?.as_str().unwrap_or_default().to_string(),
+            events,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FaultTrace {
+        FaultTrace {
+            id: 17,
+            structure: "l2_data".into(),
+            events: vec![
+                TraceEvent {
+                    cycle: 100,
+                    kind: TraceEventKind::Injected,
+                    detail: "entry 3 bit 5".into(),
+                },
+                TraceEvent {
+                    cycle: 140,
+                    kind: TraceEventKind::FirstConsumed,
+                    detail: "entry 3 bit 5".into(),
+                },
+                TraceEvent {
+                    cycle: 900,
+                    kind: TraceEventKind::ArchDivergence,
+                    detail: "commit #12".into(),
+                },
+                TraceEvent {
+                    cycle: 5000,
+                    kind: TraceEventKind::Classified,
+                    detail: "sdc".into(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn kind_names_roundtrip() {
+        for k in TraceEventKind::ALL {
+            assert_eq!(TraceEventKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(TraceEventKind::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless() {
+        let t = sample();
+        let text = t.to_json().to_string();
+        let back = FaultTrace::from_json(&difi_util::json::parse(&text).expect("parses"))
+            .expect("valid trace");
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn latency_helpers() {
+        let t = sample();
+        assert_eq!(t.consume_latency(), Some(40));
+        assert_eq!(t.divergence_latency(), Some(800));
+        assert_eq!(t.outcome(), Some("sdc"));
+
+        let dead = FaultTrace {
+            id: 0,
+            structure: "iq".into(),
+            events: vec![
+                TraceEvent {
+                    cycle: 10,
+                    kind: TraceEventKind::Injected,
+                    detail: String::new(),
+                },
+                TraceEvent {
+                    cycle: 12,
+                    kind: TraceEventKind::OverwrittenDead,
+                    detail: String::new(),
+                },
+            ],
+        };
+        assert_eq!(dead.consume_latency(), None);
+        assert_eq!(dead.divergence_latency(), None);
+        assert_eq!(dead.outcome(), None);
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        let missing = difi_util::json::parse("{\"id\":1,\"structure\":\"x\"}").expect("parses");
+        assert!(FaultTrace::from_json(&missing).is_err());
+        let bad_kind = difi_util::json::parse(
+            "{\"id\":1,\"structure\":\"x\",\"events\":[{\"cycle\":1,\"kind\":\"nope\",\"detail\":\"\"}]}",
+        )
+        .expect("parses");
+        assert!(FaultTrace::from_json(&bad_kind).is_err());
+    }
+}

@@ -184,6 +184,24 @@ struct Watch {
     overwritten: bool,
     /// Stuck faults stay live while active; flips die on overwrite.
     sticky: bool,
+    /// Cycle stamp (from [`FaultHook::set_now`]) of the first read, when the
+    /// core is tracing. Meaningless (always `Some(0)`) when it is not.
+    first_read_at: Option<u64>,
+    /// Cycle stamp of the killing overwrite, under the same caveat.
+    overwritten_at: Option<u64>,
+}
+
+/// The observable lifecycle of one watched fault, for trace assembly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchReport {
+    /// Entry index the fault was injected into.
+    pub entry: u64,
+    /// Bit position within the entry.
+    pub bit: u32,
+    /// Cycle of the first read of the faulted bit, if it was ever read.
+    pub first_read_at: Option<u64>,
+    /// Cycle of the overwrite that killed the fault before any read.
+    pub overwritten_at: Option<u64>,
 }
 
 /// Per-structure fault state: active stuck-at bits plus liveness watches for
@@ -197,12 +215,40 @@ struct Watch {
 pub struct FaultHook {
     stuck: Vec<StuckBit>,
     watches: Vec<Watch>,
+    /// Current simulated cycle, ticked by the core only while tracing is
+    /// enabled; stamps read/overwrite transitions for the event tracer.
+    now: u64,
 }
 
 impl FaultHook {
     /// Creates an empty hook.
     pub fn new() -> FaultHook {
         FaultHook::default()
+    }
+
+    /// Advances the hook's cycle stamp. Called once per cycle by the core,
+    /// and only on hooks of structures with injected faults while tracing —
+    /// the untraced path never touches it.
+    #[inline]
+    pub fn set_now(&mut self, cycle: u64) {
+        self.now = cycle;
+    }
+
+    /// Lifecycle reports for every watched fault, in arm order.
+    pub fn watch_reports(&self) -> Vec<WatchReport> {
+        self.watches
+            .iter()
+            .map(|w| WatchReport {
+                entry: w.entry,
+                bit: w.bit,
+                first_read_at: if w.read_after { w.first_read_at } else { None },
+                overwritten_at: if w.overwritten {
+                    w.overwritten_at
+                } else {
+                    None
+                },
+            })
+            .collect()
     }
 
     /// True if no faults were ever registered (fast path).
@@ -220,6 +266,8 @@ impl FaultHook {
             read_after: false,
             overwritten: false,
             sticky: false,
+            first_read_at: None,
+            overwritten_at: None,
         });
     }
 
@@ -234,6 +282,8 @@ impl FaultHook {
             read_after: false,
             overwritten: false,
             sticky: true,
+            first_read_at: None,
+            overwritten_at: None,
         });
     }
 
@@ -256,6 +306,9 @@ impl FaultHook {
         }
         for w in &mut self.watches {
             if w.entry == entry && !w.overwritten && w.bit >= bit_lo && w.bit < bit_lo + len {
+                if !w.read_after {
+                    w.first_read_at = Some(self.now);
+                }
                 w.read_after = true;
             }
         }
@@ -278,6 +331,7 @@ impl FaultHook {
                 && w.bit < bit_lo + len
             {
                 w.overwritten = true;
+                w.overwritten_at = Some(self.now);
             }
         }
         self.stuck

@@ -32,6 +32,9 @@
 //! * [`queues`] — the issue queue with its packed payload codec, the unified
 //!   LSQ (MARSS) and split load/store queues (gem5), and the reorder buffer.
 //! * [`stats`] — runtime statistics used for the paper's Remark analyses.
+//! * [`trace`] — raw fault-propagation observation points (commit-stream
+//!   signatures, injection/liveness cycle stamps) behind the `difi-obs`
+//!   event tracer.
 
 pub mod cache;
 pub mod fault;
@@ -43,8 +46,10 @@ pub mod regfile;
 pub mod residency;
 pub mod stats;
 pub mod tlb;
+pub mod trace;
 
 pub use fault::{FaultHook, FaultKind, StructureDesc, StructureId};
 pub use pipeline::engine::{EarlyWhy, EngineFault, EngineLimits};
 pub use pipeline::{CoreConfig, CorePolicy, OoOCore, SimExit, SimRun};
 pub use residency::{Instrument, ResidencyEvent, ResidencyLog, ResidencyTracker};
+pub use trace::{CoreTrace, Divergence, InjectedEvent, TraceReport};

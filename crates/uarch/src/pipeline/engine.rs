@@ -106,6 +106,7 @@ impl OoOCore {
                     i += 1;
                 }
             }
+            self.fault_trace_tick();
             if applied_any
                 && pending.is_empty()
                 && limits.early_stop
@@ -132,6 +133,7 @@ impl OoOCore {
                         i += 1;
                     }
                 }
+                self.fault_trace_tick();
             }
             if self.exit.is_some() {
                 break;
@@ -183,6 +185,14 @@ impl OoOCore {
     pub fn apply_engine_fault(&mut self, f: &EngineFault) -> bool {
         if !self.injected.contains(&f.structure) {
             self.injected.push(f.structure);
+        }
+        if let Some(t) = &mut self.trace {
+            t.note_injected(crate::trace::InjectedEvent {
+                cycle: self.cycle,
+                structure: f.structure,
+                entry: f.entry,
+                bit: f.bit,
+            });
         }
         let unused = f.structure.dead_entry_stop_safe() && self.entry_unused(f.structure, f.entry);
         match f.kind {
@@ -511,6 +521,24 @@ impl OoOCore {
             self.rob[head] = None;
             self.rob_head = self.rob_next(head);
             self.rob_count -= 1;
+            if self.trace.is_some() {
+                // Committed-state signature: PC + destination value, read
+                // without fault-hook side effects so tracing never perturbs
+                // liveness or the run's result.
+                let val = match slot.uop.pd {
+                    Some((p, true)) => self.fprf.peek(p),
+                    Some((p, false)) => self.iprf.peek(p),
+                    None => 0,
+                };
+                let cycle = self.cycle;
+                if let Some(t) = &mut self.trace {
+                    t.fold(slot.pc);
+                    t.fold(val);
+                    if slot.inst_end {
+                        t.commit_boundary(cycle);
+                    }
+                }
+            }
             self.stats.committed_uops += 1;
             if slot.inst_end {
                 self.stats.committed_instructions += 1;

@@ -27,6 +27,7 @@ use crate::regfile::{FreeList, PhysRegFile, RenameMap};
 use crate::residency::{Instrument, ResidencyLog};
 use crate::stats::SimStats;
 use crate::tlb::{Tlb, TlbConfig};
+use crate::trace::{CoreTrace, TraceReport};
 use difi_isa::program::{Isa, MemoryMap, Program};
 use difi_isa::uop::{Fault, Reg, Width};
 
@@ -459,6 +460,9 @@ pub struct OoOCore {
     pub stats: SimStats,
     pub(crate) injected: Vec<StructureId>,
     pub(crate) residency_enabled: Vec<StructureId>,
+    /// Fault-propagation tracing state; `None` (the common case) costs one
+    /// pointer test per cycle and per committed µop.
+    pub(crate) trace: Option<Box<CoreTrace>>,
 }
 
 impl OoOCore {
@@ -529,6 +533,7 @@ impl OoOCore {
             stats: SimStats::default(),
             injected: Vec::new(),
             residency_enabled: Vec::new(),
+            trace: None,
             cfg,
         }
     }
@@ -713,5 +718,129 @@ impl OoOCore {
             logs.push(t.into_log(*desc, cycles));
         }
         logs
+    }
+
+    // ---------------------------------------------------------------- tracing
+
+    /// Enables golden-mode tracing: the core records one FNV-1a signature
+    /// per committed architectural instruction (PC + destination values).
+    /// Pure observation — destination values are read with
+    /// [`PhysRegFile::peek`], so machine state and fault liveness are
+    /// untouched and the run's result is unchanged.
+    pub fn enable_signature_recording(&mut self) {
+        self.trace = Some(Box::new(CoreTrace::recording()));
+    }
+
+    /// Detaches the trace and returns the recorded golden signature vector
+    /// (empty when recording was never enabled).
+    pub fn take_signature(&mut self) -> Vec<u64> {
+        match self.trace.take() {
+            Some(t) => t.into_signature(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Enables injection-mode tracing: fault applications and liveness
+    /// transitions are cycle-stamped, and each committed instruction is
+    /// compared against `golden` (when given) to find the first
+    /// architectural divergence. Comparison starts at this core's current
+    /// committed-instruction count, so a warm-started clone — whose
+    /// fault-free prefix already retired inside the snapshot — lines up
+    /// with the golden vector exactly as a cold run does.
+    pub fn enable_fault_tracing(&mut self, golden: Option<std::sync::Arc<Vec<u64>>>) {
+        let at = self.stats.committed_instructions as usize;
+        self.trace = Some(Box::new(CoreTrace::comparing(golden, at)));
+    }
+
+    /// The raw observations of a traced run: fault applications, per-watch
+    /// lifecycles and the first divergence. `None` when tracing was never
+    /// enabled.
+    pub fn trace_report(&self) -> Option<TraceReport> {
+        let t = self.trace.as_ref()?;
+        let mut watches = Vec::new();
+        for &s in &self.injected {
+            for r in self.hook_watch_reports(s) {
+                watches.push((s, r));
+            }
+        }
+        Some(TraceReport {
+            injected: t.injected_events().to_vec(),
+            watches,
+            divergence: t.divergence(),
+        })
+    }
+
+    /// Watch lifecycles of every hook `s` arms into, in arm order. The
+    /// routing mirrors the engine's fault routing.
+    fn hook_watch_reports(&self, s: StructureId) -> Vec<crate::fault::WatchReport> {
+        match s {
+            StructureId::IntRegFile => self.iprf.hook.watch_reports(),
+            StructureId::FpRegFile => self.fprf.hook.watch_reports(),
+            StructureId::IssueQueue => self.iq.hook.watch_reports(),
+            StructureId::LsqData => self.lsq_data.hook.watch_reports(),
+            StructureId::L1dData => self.sys.l1d.data_hook.watch_reports(),
+            StructureId::L1dTag => self.sys.l1d.tag_hook.watch_reports(),
+            StructureId::L1dValid => self.sys.l1d.valid_hook.watch_reports(),
+            StructureId::L1iData => self.sys.l1i.data_hook.watch_reports(),
+            StructureId::L1iTag => self.sys.l1i.tag_hook.watch_reports(),
+            StructureId::L1iValid => self.sys.l1i.valid_hook.watch_reports(),
+            StructureId::L2Data => self.sys.l2.data_hook.watch_reports(),
+            StructureId::L2Tag => self.sys.l2.tag_hook.watch_reports(),
+            StructureId::L2Valid => self.sys.l2.valid_hook.watch_reports(),
+            StructureId::DtlbEntry => self.dtlb.entry_hook.watch_reports(),
+            StructureId::DtlbValid => self.dtlb.valid_hook.watch_reports(),
+            StructureId::ItlbEntry => self.itlb.entry_hook.watch_reports(),
+            StructureId::ItlbValid => self.itlb.valid_hook.watch_reports(),
+            StructureId::Btb => {
+                let mut v = self.btb.direct.hook.watch_reports();
+                if let Some(i) = &self.btb.indirect {
+                    v.extend(i.hook.watch_reports());
+                }
+                v
+            }
+            StructureId::Ras => self.ras.hook.watch_reports(),
+        }
+    }
+
+    /// Advances the cycle stamp of every hook holding injected faults.
+    /// Called from the run loop only while tracing; an untraced run never
+    /// reaches the routing below.
+    pub(crate) fn fault_trace_tick(&mut self) {
+        if self.trace.is_none() || self.injected.is_empty() {
+            return;
+        }
+        let cycle = self.cycle;
+        for i in 0..self.injected.len() {
+            self.set_hook_now(self.injected[i], cycle);
+        }
+    }
+
+    fn set_hook_now(&mut self, s: StructureId, cycle: u64) {
+        match s {
+            StructureId::IntRegFile => self.iprf.hook.set_now(cycle),
+            StructureId::FpRegFile => self.fprf.hook.set_now(cycle),
+            StructureId::IssueQueue => self.iq.hook.set_now(cycle),
+            StructureId::LsqData => self.lsq_data.hook.set_now(cycle),
+            StructureId::L1dData => self.sys.l1d.data_hook.set_now(cycle),
+            StructureId::L1dTag => self.sys.l1d.tag_hook.set_now(cycle),
+            StructureId::L1dValid => self.sys.l1d.valid_hook.set_now(cycle),
+            StructureId::L1iData => self.sys.l1i.data_hook.set_now(cycle),
+            StructureId::L1iTag => self.sys.l1i.tag_hook.set_now(cycle),
+            StructureId::L1iValid => self.sys.l1i.valid_hook.set_now(cycle),
+            StructureId::L2Data => self.sys.l2.data_hook.set_now(cycle),
+            StructureId::L2Tag => self.sys.l2.tag_hook.set_now(cycle),
+            StructureId::L2Valid => self.sys.l2.valid_hook.set_now(cycle),
+            StructureId::DtlbEntry => self.dtlb.entry_hook.set_now(cycle),
+            StructureId::DtlbValid => self.dtlb.valid_hook.set_now(cycle),
+            StructureId::ItlbEntry => self.itlb.entry_hook.set_now(cycle),
+            StructureId::ItlbValid => self.itlb.valid_hook.set_now(cycle),
+            StructureId::Btb => {
+                self.btb.direct.hook.set_now(cycle);
+                if let Some(i) = &mut self.btb.indirect {
+                    i.hook.set_now(cycle);
+                }
+            }
+            StructureId::Ras => self.ras.hook.set_now(cycle),
+        }
     }
 }

@@ -34,6 +34,12 @@ echo "==> crash-resume equivalence (release)"
 # resumed log to be byte-identical to the uninterrupted one.
 cargo test --release -q --test resume_equivalence
 
+echo "==> trace determinism across strategies (release)"
+# The differential oracle for the observability layer: identical masks must
+# produce identical fault-lifecycle event streams under cold, checkpointed
+# and crash-resumed campaigns — and tracing must not perturb the log.
+cargo test --release -q --test trace_determinism
+
 echo "==> campaign binary journal/resume smoke"
 # End-to-end over the CLI: journal a tiny campaign with live progress, then
 # resume the (already complete) journal and require the same classification.
@@ -53,5 +59,28 @@ if ! diff <(grep -A99 '^classification' "$smoke_dir/journaled.out" | sed 's/([^)
     echo "error: resumed campaign classification differs from journaled run" >&2
     exit 1
 fi
+
+echo "==> campaign binary trace/metrics smoke"
+# End-to-end observability: a traced campaign must emit parseable JSONL
+# event streams and a metrics JSON whose counters match the run count.
+run_campaign_bin --trace "$smoke_dir/traces.jsonl" \
+    --metrics-out "$smoke_dir/metrics.json" >/dev/null
+python3 - "$smoke_dir/traces.jsonl" "$smoke_dir/metrics.json" <<'PY'
+import json, sys
+traces = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+assert traces, "trace file is empty"
+for t in traces:
+    events = t["trace"]["events"]
+    kinds = [e["kind"] for e in events]
+    assert "injected" in kinds, f"trace {t['index']} missing injection event"
+    assert "classified" in kinds, f"trace {t['index']} never classified"
+metrics = json.load(open(sys.argv[2]))["metrics"]
+counters = metrics["counters"]
+assert counters["campaign.runs"] == 10, counters
+assert counters["campaign.traces"] == len(traces), counters
+assert sum(v for k, v in counters.items() if k.startswith("campaign.status.")) == 10
+assert metrics["gauges"]["phase.golden_ns"] > 0
+print(f"trace/metrics smoke OK: {len(traces)} traces, counters consistent")
+PY
 
 echo "All checks passed."
