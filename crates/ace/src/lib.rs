@@ -15,13 +15,19 @@
 //!   ([`difi_uarch::residency`]): per-site provably-masked queries used to
 //!   prune injection campaigns before dispatch, and occupancy-weighted
 //!   static AVF estimates per structure.
+//! * [`equivalence`] — the refinement of the binary masked/unmasked verdict
+//!   into a three-way site classification (dead / latched / unproven) whose
+//!   latch classes let a campaign run one representative fault per
+//!   write-to-first-read interval and replicate its result to the rest.
 //!
 //! Everything is conservative in the safe direction: a site this crate
 //! calls masked is masked along every execution the analysis models, so
 //! pruning never changes a campaign's verdict — only its cost.
 
+pub mod equivalence;
 pub mod liveness;
 pub mod residency;
 
+pub use equivalence::SiteClass;
 pub use liveness::{ArchRegAvf, DefUseChain, InstInfo, Liveness, RegSet, NUM_REGS};
 pub use residency::{AceProfile, StaticAvf};

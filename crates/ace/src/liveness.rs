@@ -562,6 +562,63 @@ mod tests {
     }
 
     #[test]
+    fn write_after_write_without_read_kills_only_the_first_def() {
+        // r1 defined twice with no read in between: the first def is a dead
+        // write (zero-length live interval), the second is live up to its
+        // use. The def-use chains must agree — empty uses for the first def.
+        let p = program(|a| {
+            a.li(1, 1);
+            a.li(1, 2);
+            a.op(IntOp::Add, 2, 1, 1);
+        });
+        let lv = Liveness::analyze(&p);
+        let first_pc = lv.instructions()[0].pc;
+        let second_pc = lv.instructions()[1].pc;
+        assert!(lv.is_dead_write(first_pc, Reg::gpr(1)));
+        assert!(!lv.is_dead_write(second_pc, Reg::gpr(1)));
+        let chains = lv.def_use_chains();
+        let chain_at = |pc: u64| {
+            chains
+                .iter()
+                .find(|c| c.reg == Reg::gpr(1) && c.def_pc == pc)
+                .expect("chain for r1 def")
+        };
+        assert!(
+            chain_at(first_pc).use_pcs.is_empty(),
+            "dead write reaches no use"
+        );
+        assert!(!chain_at(second_pc).use_pcs.is_empty());
+    }
+
+    #[test]
+    fn write_truncated_at_end_of_run_is_dead() {
+        // A def whose live interval is cut off by program exit: nothing
+        // after it reads r5 (the exit syscall only reads r0..r2), so the
+        // interval truncated at end-of-run is provably dead — the liveness
+        // mirror of a residency trace ending right after a write.
+        let p = program(|a| {
+            a.li(1, 5);
+            a.op(IntOp::Add, 2, 1, 1);
+            a.li(5, 99);
+        });
+        let lv = Liveness::analyze(&p);
+        let last_def = lv
+            .instructions()
+            .iter()
+            .rfind(|i| i.defs.contains(Reg::gpr(5)))
+            .expect("def of r5");
+        assert!(lv.is_dead_write(last_def.pc, Reg::gpr(5)));
+        // But a register the exit ABI does read stays live to the end.
+        let exit_args = lv
+            .instructions()
+            .iter()
+            .rfind(|i| i.defs.contains(Reg::gpr(0)));
+        if let Some(d) = exit_args {
+            assert!(!lv.is_dead_write(d.pc, Reg::gpr(0)));
+        }
+    }
+
+    #[test]
     fn syscall_args_are_live() {
         // exit(0) reads r0..r2 (kernel ABI), so they are live at entry to it.
         let p = program(|_| {});

@@ -19,7 +19,7 @@
 //!    any injection.
 //!
 //! Both answers are only sound for pure data planes
-//! ([`residency_prune_safe`](difi_uarch::residency::residency_prune_safe));
+//! ([`residency_prune_safe`]);
 //! [`AceProfile::new`] refuses control-plane traces.
 
 use difi_uarch::fault::StructureId;

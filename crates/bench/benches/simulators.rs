@@ -13,6 +13,9 @@
 //! * `observability/*` — fault-lifecycle tracing plus a metrics registry vs.
 //!   the plain campaign on the 40-mask L2 benchmark (acceptance target <5%
 //!   overhead on, ~0% with the layer disabled).
+//! * `collapse/*` — equivalence-collapsed campaign vs. cold campaign on the
+//!   40-mask L2 benchmark and on a dense per-cycle sweep, with the static
+//!   partition statistics (masks → classes, dispatches) per shape.
 //! * `data_arrays/*` — EXP-OVH: MarsSim with the cache data-array extension
 //!   vs. original-MARSS performance mode (paper: ≈40% overhead).
 //!
@@ -192,6 +195,115 @@ fn observability() {
     }
 }
 
+/// One mask per cycle inside real inter-event gaps of the residency trace —
+/// the densest per-cycle sampling shape, where equivalence collapsing pays
+/// the most (every cycle of a gap shares one class).
+fn dense_sweep(profile: &AceProfile, desc: &StructureDesc) -> Vec<InjectionSpec> {
+    let mut masks = Vec::new();
+    let mut id = 0u64;
+    let mut sites = 0u32;
+    'entries: for entry in 0..desc.entries {
+        for w in profile.log().events_for(entry).windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            let bit = b.bit_lo;
+            if b.cycle > a.cycle + 2 && b.covers(bit) {
+                let lo = a.cycle + 1;
+                for cycle in lo..=b.cycle.min(lo + 19) {
+                    masks.push(InjectionSpec::single_transient(
+                        id, desc.id, entry, bit, cycle,
+                    ));
+                    id += 1;
+                }
+                sites += 1;
+                if sites >= 6 {
+                    break 'entries;
+                }
+                break;
+            }
+        }
+    }
+    masks
+}
+
+fn collapse() {
+    // ISSUE 6: equivalence-collapsed campaign vs. cold campaign on the
+    // 40-mask L2 benchmark, plus a dense per-cycle sweep where collapsing
+    // shows its full leverage. The printed ratio lines record the static
+    // partition statistics behind each speedup.
+    let mafin = MaFin::new();
+    let program = build(Bench::Fft, Isa::X86e).expect("fft builds for x86e");
+    let golden = golden_run(&mafin, &program, 100_000_000);
+    let desc = difi::core::dispatch::structure_desc(&mafin, StructureId::L2Data)
+        .expect("MaFIN models the L2 data array");
+    let masks = MaskGenerator::new(11).transient(&desc, golden.cycles_measured(), 40);
+    let cfg = CampaignConfig {
+        threads: 1,
+        early_stop: true,
+        golden_max_cycles: 100_000_000,
+    };
+    let mut logs = mafin.golden_residency(
+        &program,
+        &[StructureId::L2Data, StructureId::IntRegFile],
+        100_000_000,
+    );
+    let prf_profile =
+        AceProfile::new(logs.pop().expect("int_prf traced")).expect("int_prf data plane");
+    let profile = AceProfile::new(logs.pop().expect("L2 traced")).expect("L2 data plane");
+    assert_eq!(prf_profile.structure(), StructureId::IntRegFile);
+    assert_eq!(profile.structure(), StructureId::L2Data);
+
+    let report = |name: &str, ms: &[InjectionSpec], p: &AceProfile| {
+        let part = partition_equivalence(ms, p);
+        println!(
+            "collapse/{name:<24} {:>9.2}x  ({} masks -> {} classes, {} dispatched)",
+            part.collapse_ratio(),
+            part.mask_count(),
+            part.class_count(),
+            part.dispatch_count()
+        );
+    };
+    bench("collapse", "cold_40", || {
+        run_campaign(&mafin, &program, StructureId::L2Data, 11, &masks, &cfg);
+    });
+    bench("collapse", "collapsed_40", || {
+        run_campaign_collapsed(
+            &mafin,
+            &program,
+            StructureId::L2Data,
+            11,
+            &masks,
+            &cfg,
+            &profile,
+        );
+    });
+    report("ratio_40", &masks, &profile);
+
+    // The dense per-cycle sweep targets the register file, whose golden
+    // trace has real inter-event gaps to sweep (FFT barely exercises L2).
+    let prf_desc = difi::core::dispatch::structure_desc(&mafin, StructureId::IntRegFile)
+        .expect("MaFIN models the register file");
+    let dense = dense_sweep(&prf_profile, &prf_desc);
+    if dense.is_empty() {
+        println!("collapse/dense_sweep: no inter-event gaps found, skipped");
+        return;
+    }
+    bench("collapse", "cold_dense", || {
+        run_campaign(&mafin, &program, StructureId::IntRegFile, 11, &dense, &cfg);
+    });
+    bench("collapse", "collapsed_dense", || {
+        run_campaign_collapsed(
+            &mafin,
+            &program,
+            StructureId::IntRegFile,
+            11,
+            &dense,
+            &cfg,
+            &prf_profile,
+        );
+    });
+    report("ratio_dense", &dense, &prf_profile);
+}
+
 fn data_arrays() {
     let program = build(Bench::Fft, Isa::X86e).expect("fft builds for x86e");
     bench("data_arrays", "with_extension", || {
@@ -205,12 +317,13 @@ fn data_arrays() {
 fn main() {
     let filter: Vec<String> = std::env::args().skip(1).collect();
     let want = |group: &str| filter.is_empty() || filter.iter().any(|f| f == group);
-    let groups: [(&str, fn()); 6] = [
+    let groups: [(&str, fn()); 7] = [
         ("sim_throughput", sim_throughput),
         ("early_stop", early_stop),
         ("warm_start", warm_start),
         ("journaling", journaling),
         ("observability", observability),
+        ("collapse", collapse),
         ("data_arrays", data_arrays),
     ];
     for (name, run) in groups {

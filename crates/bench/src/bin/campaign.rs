@@ -6,8 +6,9 @@
 //!          [--injections 200] [--seed 2015] [--out logs/run.jsonl] \
 //!          [--model transient|intermittent|permanent] [--window 2000] \
 //!          [--journal logs/run.journal | --resume logs/run.journal] \
-//!          [--progress] [--checkpoints 8] [--no-early-stop] [--fine] \
-//!          [--trace logs/traces.jsonl] [--metrics-out logs/metrics.json]
+//!          [--progress] [--checkpoints 8] [--collapse] [--no-early-stop] \
+//!          [--fine] [--trace logs/traces.jsonl] \
+//!          [--metrics-out logs/metrics.json] [--help]
 //! ```
 //!
 //! Prints the six-class classification (and the fine breakdown with
@@ -21,6 +22,15 @@
 //! completion/ETA telemetry on stderr. `--checkpoints` enables the
 //! warm-start engine with that many golden-run checkpoints.
 //!
+//! `--collapse` statically partitions the mask space into provably
+//! equivalent classes against the golden run's residency trace and runs
+//! one representative per class; every run's journal/log line carries its
+//! class provenance (`"collapse"` key), so `--journal`/`--resume` and
+//! later audits work unchanged. Composes with `--checkpoints` (warm-starts
+//! the representatives). Falls back to the normal strategy with a warning
+//! when the structure's residency trace is unavailable (control-plane
+//! structures).
+//!
 //! `--trace` enables fault-lifecycle tracing: each run's event stream
 //! (injected, first-consumed, overwritten-dead, divergence, classified)
 //! streams to the given JSONL file and the fault-effect-latency table
@@ -31,6 +41,36 @@
 use difi::prelude::*;
 use std::sync::Arc;
 
+const USAGE: &str = "\
+campaign — command-line fault-injection campaign driver
+
+USAGE:
+  campaign [OPTIONS]
+
+OPTIONS:
+  --injector NAME       MaFIN-x86 | GeFIN-x86 | GeFIN-ARM   [MaFIN-x86]
+  --bench NAME          benchmark to run                     [sha]
+  --structure NAME      target structure (l1d_data, …)       [l1d_data]
+  --injections N        number of fault masks                [200]
+  --seed N              campaign seed                        [2015]
+  --model KIND          transient | intermittent | permanent [transient]
+  --window N            intermittent window, cycles          [2000]
+  --out PATH            save the raw logs repository (JSONL)
+  --journal PATH        stream runs to an append-only journal
+  --resume PATH         finish an interrupted journal (same parameters)
+  --progress            live completion/ETA telemetry on stderr
+  --checkpoints N       warm-start engine with N golden checkpoints
+  --collapse            collapse the mask space into equivalence classes;
+                        runs one representative per class and stamps every
+                        journal/log line with its class provenance.
+                        Composes with --checkpoints, --journal, --resume.
+  --no-early-stop       disable the dead-entry early stop
+  --fine                also print the fine-grained classification
+  --trace PATH          stream fault-lifecycle traces (JSONL)
+  --metrics-out PATH    write the metrics registry snapshot (JSON)
+  -h, --help            print this help and exit
+";
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let get = |flag: &str| -> Option<String> {
@@ -39,6 +79,10 @@ fn main() {
             .and_then(|i| args.get(i + 1).cloned())
     };
     let has = |flag: &str| args.iter().any(|a| a == flag);
+    if has("--help") || has("-h") {
+        print!("{USAGE}");
+        return;
+    }
 
     let injector = get("--injector").unwrap_or_else(|| "MaFIN-x86".into());
     let bench = Bench::from_name(&get("--bench").unwrap_or_else(|| "sha".into()))
@@ -90,10 +134,37 @@ fn main() {
         early_stop: !has("--no-early-stop"),
         golden_max_cycles: 200_000_000,
     };
+    let checkpoints: usize = get("--checkpoints").map_or(0, |k| k.parse().expect("number"));
+    // The collapse profile must outlive the runner that borrows it.
+    let collapse_profile: Option<AceProfile> = has("--collapse")
+        .then(|| {
+            let mut logs =
+                dispatcher.golden_residency(&program, &[structure], cfg.golden_max_cycles);
+            match logs.pop().and_then(AceProfile::new) {
+                Some(p) => Some(p),
+                None => {
+                    eprintln!(
+                        "warning: no residency profile for {} (control-plane or untraced \
+                         structure) — running without --collapse",
+                        structure.name()
+                    );
+                    None
+                }
+            }
+        })
+        .flatten();
     let mut runner = CampaignRunner::new(dispatcher.as_ref(), &program, structure, seed, &cfg);
-    if let Some(k) = get("--checkpoints") {
-        let checkpoints: usize = k.parse().expect("number");
-        runner = runner.with_strategy(Strategy::Checkpointed { checkpoints });
+    match &collapse_profile {
+        Some(profile) => {
+            runner = runner.with_strategy(Strategy::Collapsed {
+                profile,
+                checkpoints,
+            });
+        }
+        None if checkpoints > 0 => {
+            runner = runner.with_strategy(Strategy::Checkpointed { checkpoints });
+        }
+        None => {}
     }
 
     let trace_path = get("--trace").map(std::path::PathBuf::from);
@@ -190,6 +261,21 @@ fn main() {
         100.0 * ci.lo,
         100.0 * ci.hi
     );
+
+    if let Some(profile) = &collapse_profile {
+        // Re-derive the (deterministic) partition for the summary table.
+        let part = partition_equivalence(&masks, profile);
+        let mut rep = CollapseReport::new();
+        rep.push(structure.name(), &part);
+        println!("\n{}", rep.render());
+        println!(
+            "collapse: {} masks -> {} classes ({:.2}x), {} simulator dispatches",
+            part.mask_count(),
+            part.class_count(),
+            part.collapse_ratio(),
+            part.dispatch_count()
+        );
+    }
 
     if has("--fine") {
         let classifier = Classifier::from_golden(&log.golden);

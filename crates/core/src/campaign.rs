@@ -16,7 +16,10 @@
 //!   warm-start engine (golden-run snapshots shared across workers,
 //!   byte-identical to cold by the PR-2 equivalence oracle);
 //!   [`Strategy::Pruned`] logs statically-proven-masked runs without
-//!   dispatch.
+//!   dispatch; [`Strategy::Collapsed`] partitions the mask space into
+//!   provably-equivalent classes (`difi_ace::equivalence`), simulates one
+//!   representative per class, and replicates its result to the members —
+//!   every run stamped with auditable [`ClassProvenance`].
 //! * **[`RunSink`]s** — *where* completed runs stream: workers push each
 //!   [`RunLog`] to every sink the moment it finishes, so campaigns persist
 //!   incrementally ([`crate::sink::JournalSink`]), report progress live
@@ -40,8 +43,11 @@ use crate::classify::Classifier;
 use crate::dispatch::{GoldenSnapshot, InjectorDispatcher};
 use crate::journal::{load_journal, truncate_to_valid, CampaignHeader};
 use crate::logs::{CampaignLog, RunLog};
-use crate::masks::partition_provably_masked;
-use crate::model::{EarlyStop, InjectTime, InjectionSpec, RawRunResult, RunLimits, RunStatus};
+use crate::masks::{partition_equivalence, partition_provably_masked, MaskPartition};
+use crate::model::{
+    ClassProvenance, EarlyStop, InjectTime, InjectionSpec, ProofKind, RawRunResult, RunLimits,
+    RunStatus,
+};
 use crate::sink::{JournalSink, MemorySink, MetricsSink, RunSink};
 use difi_ace::AceProfile;
 use difi_isa::program::Program;
@@ -94,6 +100,23 @@ pub enum Strategy<'a> {
     Pruned {
         /// Golden-run residency profile to prune against.
         profile: &'a AceProfile,
+    },
+    /// Fault-equivalence collapsing
+    /// ([`partition_equivalence`]):
+    /// dead classes resolve without dispatch (like [`Strategy::Pruned`]);
+    /// each latch class dispatches only its representative, whose
+    /// classification-relevant result fields replicate to the members;
+    /// singletons run normally. Every run — representative, member, or dead
+    /// — carries its [`ClassProvenance`] in the log and journal, so resume
+    /// and audit work unchanged. Per-mask classifications are identical to
+    /// a full campaign (the `tests/collapse_equivalence.rs` oracle).
+    Collapsed {
+        /// Golden-run residency profile to partition against.
+        profile: &'a AceProfile,
+        /// Golden-run checkpoints for warm-starting the dispatched
+        /// representatives (0 = cold representatives), composing the
+        /// collapse with the PR 2 warm-start engine.
+        checkpoints: usize,
     },
 }
 
@@ -168,6 +191,25 @@ fn run_caught(
                 None,
             )
         }
+    }
+}
+
+/// The result a collapsed-class member inherits from its representative.
+///
+/// Classification inputs — status, output bytes, exception count, fault
+/// consumption — are copied verbatim: the equivalence proof says the
+/// member's own run would produce exactly these. Per-run measurements
+/// (cycles, instructions) stay `None`: the member never executed, and
+/// fabricated timings would poison cycle aggregates (the same rule
+/// [`RawRunResult::unexecuted`] applies to pruned runs).
+fn replicate_result(rep: &RawRunResult) -> RawRunResult {
+    RawRunResult {
+        status: rep.status.clone(),
+        output: rep.output.clone(),
+        exceptions: rep.exceptions,
+        cycles: None,
+        instructions: None,
+        fault_consumed: rep.fault_consumed,
     }
 }
 
@@ -465,8 +507,15 @@ impl<'a> CampaignRunner<'a> {
             s.on_start(&header);
         }
 
+        let collapsed = matches!(self.strategy, Strategy::Collapsed { .. });
         let mut done = vec![false; masks.len()];
+        let mut prior: Vec<Option<RawRunResult>> = vec![None; masks.len()];
         for (i, log) in preloaded {
+            if collapsed {
+                // Collapsed resume may need a preloaded representative's
+                // result to replicate to its not-yet-journaled members.
+                prior[i] = Some(log.result.clone());
+            }
             collector.on_run(i, &log);
             done[i] = true;
         }
@@ -484,6 +533,7 @@ impl<'a> CampaignRunner<'a> {
                     result: RawRunResult::unexecuted(RunStatus::EarlyStopMasked(
                         EarlyStop::StaticallyPruned,
                     )),
+                    provenance: None,
                 };
                 collector.on_run(i, &log);
                 for s in sinks {
@@ -493,38 +543,151 @@ impl<'a> CampaignRunner<'a> {
             }
         }
 
+        // Strategy preprocessing: fault-equivalence collapsing. Dead
+        // classes resolve statically like pruning; every run carries its
+        // class provenance. A latch/singleton class with a journaled member
+        // replicates from it without dispatch; the rest become
+        // (representative, members-to-replicate) jobs, so the journal
+        // always records a class's evidence before its dependents — a torn
+        // tail can orphan at most the line being written.
+        let partition: Option<MaskPartition> = match self.strategy {
+            Strategy::Collapsed { profile, .. } => Some(partition_equivalence(masks, profile)),
+            _ => None,
+        };
+        let provenance: Vec<Option<ClassProvenance>> = match &partition {
+            Some(part) => part.provenance(masks).into_iter().map(Some).collect(),
+            None => vec![None; masks.len()],
+        };
+        let mut jobs: Vec<(usize, Vec<usize>)> = Vec::new();
+        if let Some(part) = &partition {
+            let mut dead_masks = 0u64;
+            let mut replicated = 0u64;
+            for class in &part.classes {
+                match class.proof {
+                    ProofKind::DeadInterval => {
+                        for &i in &class.members {
+                            if done[i] {
+                                continue;
+                            }
+                            let log = RunLog {
+                                spec: masks[i].clone(),
+                                result: RawRunResult::unexecuted(RunStatus::EarlyStopMasked(
+                                    EarlyStop::StaticallyPruned,
+                                )),
+                                provenance: provenance[i],
+                            };
+                            collector.on_run(i, &log);
+                            for s in sinks {
+                                s.on_run(i, &log);
+                            }
+                            done[i] = true;
+                            dead_masks += 1;
+                        }
+                    }
+                    ProofKind::LatchInterval | ProofKind::Singleton => {
+                        let todo_members: Vec<usize> = class
+                            .members
+                            .iter()
+                            .copied()
+                            .filter(|&i| !done[i])
+                            .collect();
+                        if todo_members.is_empty() {
+                            continue;
+                        }
+                        if let Some(&src) = class.members.iter().find(|&&i| done[i]) {
+                            // The journal already holds this class's result
+                            // (the representative, or a member replicated
+                            // from it — either carries the same
+                            // classification fields).
+                            let src_result = prior[src].clone().expect("preloaded result recorded");
+                            for &i in &todo_members {
+                                let log = RunLog {
+                                    spec: masks[i].clone(),
+                                    result: replicate_result(&src_result),
+                                    provenance: provenance[i],
+                                };
+                                collector.on_run(i, &log);
+                                for s in sinks {
+                                    s.on_run(i, &log);
+                                }
+                                done[i] = true;
+                                replicated += 1;
+                            }
+                        } else {
+                            jobs.push((todo_members[0], todo_members[1..].to_vec()));
+                        }
+                    }
+                }
+            }
+            if let Some(m) = &self.metrics {
+                m.counter("campaign.collapse.masks").add(masks.len() as u64);
+                m.counter("campaign.collapse.classes")
+                    .add(part.class_count() as u64);
+                m.counter("campaign.collapse.classes.dead")
+                    .add(part.classes_with(ProofKind::DeadInterval) as u64);
+                m.counter("campaign.collapse.classes.latch")
+                    .add(part.classes_with(ProofKind::LatchInterval) as u64);
+                m.counter("campaign.collapse.classes.singleton")
+                    .add(part.classes_with(ProofKind::Singleton) as u64);
+                m.counter("campaign.collapse.dead_masks").add(dead_masks);
+                m.counter("campaign.collapse.replicated")
+                    .add(replicated + jobs.iter().map(|(_, ms)| ms.len() as u64).sum::<u64>());
+                m.counter("campaign.collapse.dispatched")
+                    .add(jobs.len() as u64);
+                m.gauge("campaign.collapse.ratio_permille")
+                    .set_ratio_permille(part.mask_count() as u64, part.class_count() as u64);
+            }
+        }
+
         // Strategy preprocessing: the warm-start engine captures K evenly
         // spaced checkpoints over the golden run's interior and serves runs
         // in injection-cycle order so neighbouring runs restore the same
         // checkpoint.
         let phase = Instant::now();
-        let snaps: Vec<GoldenSnapshot> =
-            if let Strategy::Checkpointed { checkpoints } = self.strategy {
-                let golden_cycles = golden.cycles_measured();
-                let mut at_cycles: Vec<u64> = (1..=checkpoints as u64)
-                    .map(|k| golden_cycles * k / (checkpoints as u64 + 1))
-                    .filter(|&c| c > 0)
-                    .collect();
-                at_cycles.dedup();
-                if at_cycles.is_empty() {
-                    Vec::new()
-                } else {
-                    self.dispatcher
-                        .golden_snapshots(self.program, &at_cycles, &limits)
-                        .unwrap_or_default()
-                }
-            } else {
+        let snap_checkpoints = match self.strategy {
+            Strategy::Checkpointed { checkpoints } => checkpoints,
+            Strategy::Collapsed { checkpoints, .. } => checkpoints,
+            _ => 0,
+        };
+        let snaps: Vec<GoldenSnapshot> = if snap_checkpoints > 0 {
+            let golden_cycles = golden.cycles_measured();
+            let mut at_cycles: Vec<u64> = (1..=snap_checkpoints as u64)
+                .map(|k| golden_cycles * k / (snap_checkpoints as u64 + 1))
+                .filter(|&c| c > 0)
+                .collect();
+            at_cycles.dedup();
+            if at_cycles.is_empty() {
                 Vec::new()
-            };
+            } else {
+                self.dispatcher
+                    .golden_snapshots(self.program, &at_cycles, &limits)
+                    .unwrap_or_default()
+            }
+        } else {
+            Vec::new()
+        };
         if let Some(m) = &self.metrics {
             m.gauge("phase.snapshots_ns")
                 .set(phase.elapsed().as_nanos() as u64);
         }
 
-        let mut todo: Vec<usize> = (0..masks.len()).filter(|&i| !done[i]).collect();
-        if matches!(self.strategy, Strategy::Checkpointed { .. }) {
-            todo.sort_by_key(|&i| warm_start_cycle(&masks[i]).unwrap_or(u64::MAX));
+        // Dispatch units: (mask index, class members to replicate to).
+        // Non-collapsed strategies dispatch every remaining mask on its own.
+        if partition.is_none() {
+            jobs = (0..masks.len())
+                .filter(|&i| !done[i])
+                .map(|i| (i, Vec::new()))
+                .collect();
         }
+        let sort_for_warm_start = match self.strategy {
+            Strategy::Checkpointed { .. } => true,
+            Strategy::Collapsed { checkpoints, .. } => checkpoints > 0,
+            _ => false,
+        };
+        if sort_for_warm_start {
+            jobs.sort_by_key(|&(i, _)| warm_start_cycle(&masks[i]).unwrap_or(u64::MAX));
+        }
+        let jobs = jobs;
 
         // One runner closure serves every strategy: with no snapshots
         // captured (cold / pruned / unsupported dispatcher) every mask
@@ -580,15 +743,35 @@ impl<'a> CampaignRunner<'a> {
             }
         };
 
-        let phase = Instant::now();
-        if threads <= 1 || todo.len() < 2 {
-            for &i in &todo {
-                let (result, trace) = run_caught(&runner, &masks[i]);
-                let log = RunLog {
-                    spec: masks[i].clone(),
-                    result,
+        // One job = one simulator dispatch plus (for collapsed latch
+        // classes) the replication of its result to the class members.
+        // Replication happens in the same worker, after the
+        // representative's own delivery, so the journal records the class
+        // evidence before any line that depends on it.
+        let run_job = |job: &(usize, Vec<usize>)| {
+            let (rep, members) = job;
+            let i = *rep;
+            let (result, trace) = run_caught(&runner, &masks[i]);
+            let log = RunLog {
+                spec: masks[i].clone(),
+                result,
+                provenance: provenance[i],
+            };
+            deliver(i, &log, trace);
+            for &j in members {
+                let member_log = RunLog {
+                    spec: masks[j].clone(),
+                    result: replicate_result(&log.result),
+                    provenance: provenance[j],
                 };
-                deliver(i, &log, trace);
+                deliver(j, &member_log, None);
+            }
+        };
+
+        let phase = Instant::now();
+        if threads <= 1 || jobs.len() < 2 {
+            for job in &jobs {
+                run_job(job);
             }
         } else {
             // Work-stealing by atomic index: each worker claims the next
@@ -598,16 +781,10 @@ impl<'a> CampaignRunner<'a> {
                 for _ in 0..threads {
                     scope.spawn(|| loop {
                         let k = next.fetch_add(1, Ordering::Relaxed);
-                        if k >= todo.len() {
+                        if k >= jobs.len() {
                             return;
                         }
-                        let i = todo[k];
-                        let (result, trace) = run_caught(&runner, &masks[i]);
-                        let log = RunLog {
-                            spec: masks[i].clone(),
-                            result,
-                        };
-                        deliver(i, &log, trace);
+                        run_job(&jobs[k]);
                     });
                 }
             });
@@ -737,6 +914,58 @@ pub fn run_campaign_pruned(
         log,
         pruned_ids: pruned.iter().map(|&i| masks[i].id).collect(),
         dispatched: dispatch.len(),
+    }
+}
+
+/// A campaign run through fault-equivalence collapsing.
+#[derive(Debug)]
+pub struct CollapsedCampaign {
+    /// The complete log: every mask appears exactly once, each stamped with
+    /// its [`ClassProvenance`]; dead-class members as
+    /// [`EarlyStop::StaticallyPruned`] runs, latch-class members with their
+    /// representative's replicated result.
+    pub log: CampaignLog,
+    /// The equivalence partition the campaign collapsed through.
+    pub partition: MaskPartition,
+    /// Masks actually dispatched to the simulator (one representative per
+    /// non-dead class; excluding the golden run).
+    pub dispatched: usize,
+}
+
+/// Runs a campaign with **fault-equivalence collapsing** — a thin wrapper
+/// over [`CampaignRunner`] with [`Strategy::Collapsed`] (cold
+/// representatives; compose `Strategy::Collapsed { checkpoints, .. }`
+/// directly to warm-start them). The masks repository is statically
+/// partitioned against `profile`; only one representative per
+/// non-dead class boots a simulator. Per-mask classifications are
+/// identical to [`run_campaign`] — the `tests/collapse_equivalence.rs`
+/// differential oracle — while dispatch count drops by the collapse ratio.
+///
+/// # Panics
+///
+/// Panics if the golden run does not complete (same contract as
+/// [`run_campaign`]).
+pub fn run_campaign_collapsed(
+    dispatcher: &dyn InjectorDispatcher,
+    program: &Program,
+    structure: StructureId,
+    seed: u64,
+    masks: &[InjectionSpec],
+    cfg: &CampaignConfig,
+    profile: &AceProfile,
+) -> CollapsedCampaign {
+    let partition = partition_equivalence(masks, profile);
+    let log = CampaignRunner::new(dispatcher, program, structure, seed, cfg)
+        .with_strategy(Strategy::Collapsed {
+            profile,
+            checkpoints: 0,
+        })
+        .run(masks);
+    let dispatched = partition.dispatch_count();
+    CollapsedCampaign {
+        log,
+        partition,
+        dispatched,
     }
 }
 
@@ -1233,6 +1462,181 @@ mod tests {
         let back = load_journal(&path).expect("journal loads");
         assert_eq!(back.runs.len(), 6, "every run journaled");
         std::fs::remove_file(&path).ok();
+    }
+
+    /// A profile over FakeDispatcher's register file with one
+    /// write@2 → read@5 interval on (entry 0, bit 0): `masks(9)` (cycles
+    /// 0..9 at that site) partitions into Dead[0,1,2], Latch[3,4,5],
+    /// Dead[6,7,8].
+    fn collapse_profile() -> AceProfile {
+        use difi_uarch::residency::ResidencyTracker;
+        let mut t = ResidencyTracker::new();
+        t.set_cycle(2);
+        t.on_write(0, 0, 64);
+        t.set_cycle(5);
+        t.on_read(0, 0, 64);
+        let desc = StructureDesc {
+            id: StructureId::IntRegFile,
+            entries: 8,
+            bits: 64,
+        };
+        AceProfile::new(t.into_log(desc, 100)).expect("int_prf is a data plane")
+    }
+
+    #[test]
+    fn collapsed_strategy_dispatches_one_representative_per_latch_class() {
+        let d = FakeDispatcher::new();
+        let profile = collapse_profile();
+        let collapsed = run_campaign_collapsed(
+            &d,
+            &program(),
+            StructureId::IntRegFile,
+            4,
+            &masks(9),
+            &CampaignConfig {
+                threads: 2,
+                ..Default::default()
+            },
+            &profile,
+        );
+        assert_eq!(
+            d.calls.load(Ordering::SeqCst),
+            2,
+            "golden + 1 representative"
+        );
+        assert_eq!(collapsed.dispatched, 1);
+        assert_eq!(collapsed.partition.class_count(), 3);
+        assert!((collapsed.partition.collapse_ratio() - 3.0).abs() < 1e-12);
+        let log = &collapsed.log;
+        assert_eq!(log.runs.len(), 9, "every mask logged exactly once");
+        for (i, run) in log.runs.iter().enumerate() {
+            assert_eq!(run.spec.id, i as u64);
+            let prov = run.provenance.expect("collapsed runs carry provenance");
+            if (3..6).contains(&i) {
+                assert_eq!(prov.proof, ProofKind::LatchInterval);
+                assert_eq!(prov.representative, 3);
+                assert_eq!(prov.members, 3);
+            } else {
+                assert_eq!(prov.proof, ProofKind::DeadInterval);
+                assert_eq!(
+                    run.result.status,
+                    RunStatus::EarlyStopMasked(EarlyStop::StaticallyPruned)
+                );
+                assert!(!run.result.is_measured());
+            }
+        }
+        // The representative executed for real; members inherited its
+        // classification fields but no fabricated measurements.
+        let rep = &log.runs[3].result;
+        assert!(matches!(rep.status, RunStatus::SimulatorAssert(_)));
+        assert_eq!(rep.cycles, Some(100));
+        for i in [4usize, 5] {
+            let member = &log.runs[i].result;
+            assert_eq!(member.status, rep.status);
+            assert_eq!(member.output, rep.output);
+            assert_eq!(member.exceptions, rep.exceptions);
+            assert_eq!(member.fault_consumed, rep.fault_consumed);
+            assert_eq!(member.cycles, None, "member {i} never executed");
+            assert_eq!(member.instructions, None);
+        }
+    }
+
+    #[test]
+    fn collapsed_journal_resumes_without_redispatching_classes() {
+        let cfg = CampaignConfig {
+            threads: 1,
+            ..Default::default()
+        };
+        let p = program();
+        let m = masks(9);
+        let profile = collapse_profile();
+
+        let path = temp_journal("collapsed.jsonl");
+        let d = FakeDispatcher::new();
+        let runner = CampaignRunner::new(&d, &p, StructureId::IntRegFile, 4, &cfg).with_strategy(
+            Strategy::Collapsed {
+                profile: &profile,
+                checkpoints: 0,
+            },
+        );
+        let full = runner.run_journaled(&m, &path, &[]).expect("journaled run");
+        assert_eq!(d.calls.load(Ordering::SeqCst), 2, "golden + representative");
+        let back = load_journal(&path).expect("journal loads");
+        assert_eq!(back.runs.len(), 9, "members journaled too");
+        for (_, log) in &back.runs {
+            assert!(log.provenance.is_some(), "provenance survives the journal");
+        }
+
+        // Crash after the dead classes and the representative line: resume
+        // replicates the remaining members from the journaled
+        // representative without booting a simulator for them.
+        let text = std::fs::read_to_string(&path).expect("read journal");
+        let kept: String = text.lines().take(8).map(|l| format!("{l}\n")).collect();
+        assert!(kept.lines().count() < text.lines().count());
+        std::fs::write(&path, kept).expect("truncate journal");
+        let d2 = FakeDispatcher::new();
+        let runner2 = CampaignRunner::new(&d2, &p, StructureId::IntRegFile, 4, &cfg).with_strategy(
+            Strategy::Collapsed {
+                profile: &profile,
+                checkpoints: 0,
+            },
+        );
+        let resumed = runner2.resume(&m, &path, &[]).expect("resume");
+        assert_eq!(d2.calls.load(Ordering::SeqCst), 1, "golden only");
+        assert_eq!(full, resumed);
+
+        // Crash before the representative ran: resume re-dispatches it once
+        // and replicates, still converging on the identical log.
+        let text = std::fs::read_to_string(&path).expect("read journal");
+        let kept: String = text.lines().take(5).map(|l| format!("{l}\n")).collect();
+        std::fs::write(&path, kept).expect("truncate journal");
+        let d3 = FakeDispatcher::new();
+        let runner3 = CampaignRunner::new(&d3, &p, StructureId::IntRegFile, 4, &cfg).with_strategy(
+            Strategy::Collapsed {
+                profile: &profile,
+                checkpoints: 0,
+            },
+        );
+        let again = runner3.resume(&m, &path, &[]).expect("resume");
+        assert_eq!(
+            d3.calls.load(Ordering::SeqCst),
+            2,
+            "golden + re-dispatched representative"
+        );
+        assert_eq!(full, again);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn collapsed_metrics_report_partition_and_savings() {
+        let d = FakeDispatcher::new();
+        let profile = collapse_profile();
+        let reg = Arc::new(MetricsRegistry::new());
+        let cfg = CampaignConfig {
+            threads: 2,
+            ..Default::default()
+        };
+        let log = CampaignRunner::new(&d, &program(), StructureId::IntRegFile, 4, &cfg)
+            .with_strategy(Strategy::Collapsed {
+                profile: &profile,
+                checkpoints: 0,
+            })
+            .with_metrics(Arc::clone(&reg))
+            .run(&masks(9));
+        assert_eq!(log.runs.len(), 9);
+        assert_eq!(reg.value("campaign.collapse.masks"), Some(9));
+        assert_eq!(reg.value("campaign.collapse.classes"), Some(3));
+        assert_eq!(reg.value("campaign.collapse.classes.dead"), Some(2));
+        assert_eq!(reg.value("campaign.collapse.classes.latch"), Some(1));
+        assert_eq!(reg.value("campaign.collapse.classes.singleton"), Some(0));
+        assert_eq!(reg.value("campaign.collapse.dead_masks"), Some(6));
+        assert_eq!(reg.value("campaign.collapse.replicated"), Some(2));
+        assert_eq!(reg.value("campaign.collapse.dispatched"), Some(1));
+        assert_eq!(
+            reg.value("campaign.collapse.ratio_permille"),
+            Some(3000),
+            "9 masks / 3 classes = 3.000×"
+        );
     }
 
     #[test]

@@ -76,13 +76,19 @@ impl CampaignHeader {
 }
 
 /// Builds the journal line for one completed run: the [`RunLog`] fields
-/// plus the run's index in the masks repository.
+/// plus the run's index in the masks repository. Collapsed-campaign runs
+/// carry their equivalence-class provenance as a `"collapse"` object, so a
+/// journal is auditable (and resumable) without recomputing the partition.
 pub fn run_line(index: usize, log: &RunLog) -> Json {
-    Json::obj(vec![
+    let mut fields = vec![
         ("index", Json::U64(index as u64)),
         ("spec", log.spec.to_json()),
         ("result", log.result.to_json()),
-    ])
+    ];
+    if let Some(p) = &log.provenance {
+        fields.push(("collapse", p.to_json()));
+    }
+    Json::obj(fields)
 }
 
 /// Parses one journal run line back into `(index, RunLog)`.
@@ -168,7 +174,7 @@ pub fn truncate_to_valid(path: &Path, valid_len: u64) -> Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::model::{EarlyStop, InjectionSpec, RunStatus};
+    use crate::model::{ClassProvenance, EarlyStop, InjectionSpec, ProofKind, RunStatus};
     use crate::sink::{JournalSink, RunSink};
     use difi_uarch::fault::StructureId;
     use difi_util::rng::Xoshiro256;
@@ -220,6 +226,21 @@ mod tests {
             4 => RunStatus::Timeout,
             _ => RunStatus::EarlyStopMasked(EarlyStop::DeadEntry),
         };
+        // Mix in equivalence-class provenance the way a collapsed campaign
+        // would (and leave it off sometimes, like any other strategy).
+        let provenance = match rng.gen_range(0, 4) {
+            0 => None,
+            r => Some(ClassProvenance {
+                class_id: rng.gen_range(0, 1 << 20),
+                representative: rng.gen_range(0, 1 << 20),
+                proof: match r {
+                    1 => ProofKind::DeadInterval,
+                    2 => ProofKind::LatchInterval,
+                    _ => ProofKind::Singleton,
+                },
+                members: rng.gen_range(1, 5_000),
+            }),
+        };
         RunLog {
             spec: InjectionSpec::single_transient(i, StructureId::L2Data, i, 3, 100 + i),
             result: RawRunResult {
@@ -230,6 +251,7 @@ mod tests {
                 instructions: Some(rng.gen_range(1, 500_000)),
                 fault_consumed: true,
             },
+            provenance,
         }
     }
 

@@ -6,7 +6,7 @@
 //! results (not classifications) is what makes the parser reconfigurable
 //! without re-running campaigns.
 
-use crate::model::{InjectionSpec, RawRunResult};
+use crate::model::{ClassProvenance, InjectionSpec, RawRunResult};
 use difi_util::json::{self, Json};
 use difi_util::{Error, Result};
 use std::io::{BufRead, Write};
@@ -19,15 +19,24 @@ pub struct RunLog {
     pub spec: InjectionSpec,
     /// The raw result.
     pub result: RawRunResult,
+    /// Equivalence-class provenance, present on every run of a collapsed
+    /// campaign (`None` under all other strategies). Serialized as an
+    /// optional `"collapse"` key, so pre-collapse logs parse unchanged and
+    /// non-collapsed logs stay byte-identical to earlier releases.
+    pub provenance: Option<ClassProvenance>,
 }
 
 impl RunLog {
     /// Serializes the run to its JSON object form (one journal/log line).
     pub fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut fields = vec![
             ("spec", self.spec.to_json()),
             ("result", self.result.to_json()),
-        ])
+        ];
+        if let Some(p) = &self.provenance {
+            fields.push(("collapse", p.to_json()));
+        }
+        Json::obj(fields)
     }
 
     /// Parses a run from its JSON object form.
@@ -36,9 +45,14 @@ impl RunLog {
     ///
     /// Returns [`Error::Parse`] when a field is missing or malformed.
     pub fn from_json(j: &Json) -> Result<RunLog> {
+        let provenance = match j.get("collapse") {
+            None => None,
+            Some(p) => Some(ClassProvenance::from_json(p)?),
+        };
         Ok(RunLog {
             spec: InjectionSpec::from_json(j.req("spec")?)?,
             result: RawRunResult::from_json(j.req("result")?)?,
+            provenance,
         })
     }
 }
@@ -164,6 +178,7 @@ mod tests {
                     instructions: Some(2000),
                     fault_consumed: i % 2 == 1,
                 },
+                provenance: None,
             })
             .collect();
         CampaignLog {
@@ -193,8 +208,10 @@ mod tests {
         // SDC classification is a byte-exact compare against
         // `RawRunResult.output`, so the logs repository must round-trip
         // *arbitrary* byte strings (not just tidy ASCII) and arbitrary
-        // status messages without loss.
-        use crate::model::EarlyStop;
+        // status messages without loss — and, since collapsed campaigns
+        // attach equivalence-class provenance, arbitrary provenance records
+        // too (absent on some rounds, like a mixed-strategy repository).
+        use crate::model::{ClassProvenance, EarlyStop, ProofKind};
         use difi_util::rng::Xoshiro256;
 
         let mut rng = Xoshiro256::seed_from(0xB17E);
@@ -235,6 +252,19 @@ mod tests {
                 fault_consumed: true,
             };
             log.golden.output = output.clone();
+            log.runs[1].provenance = match round % 4 {
+                0 => None,
+                r => Some(ClassProvenance {
+                    class_id: rng.gen_range(0, 1 << 32),
+                    representative: rng.gen_range(0, 1 << 32),
+                    proof: match r {
+                        1 => ProofKind::DeadInterval,
+                        2 => ProofKind::LatchInterval,
+                        _ => ProofKind::Singleton,
+                    },
+                    members: rng.gen_range(1, 10_000),
+                }),
+            };
 
             log.save(&path).unwrap();
             let back = CampaignLog::load(&path).unwrap();
@@ -242,6 +272,10 @@ mod tests {
             assert_eq!(
                 back.runs[0].result.output, output,
                 "round {round}: output bytes changed — would flip Masked↔SDC"
+            );
+            assert_eq!(
+                back.runs[1].provenance, log.runs[1].provenance,
+                "round {round}: provenance changed — collapse audit would lie"
             );
         }
         std::fs::remove_file(&path).ok();

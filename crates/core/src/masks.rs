@@ -11,11 +11,14 @@
 //! deterministic generator, so a campaign is reproducible from
 //! `(seed, parameters)` alone.
 
-use crate::model::{FaultDuration, FaultKindSer, FaultRecord, InjectTime, InjectionSpec};
-use difi_ace::AceProfile;
+use crate::model::{
+    ClassProvenance, FaultDuration, FaultKindSer, FaultRecord, InjectTime, InjectionSpec, ProofKind,
+};
+use difi_ace::{AceProfile, SiteClass};
 use difi_uarch::fault::StructureDesc;
 use difi_util::rng::Xoshiro256;
 use difi_util::stats::sample_size;
+use std::collections::BTreeMap;
 
 /// The fault mask generator.
 #[derive(Debug)]
@@ -252,6 +255,187 @@ pub fn partition_provably_masked(
     (pruned, dispatch)
 }
 
+/// One fault-equivalence class over a masks repository.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaskClass {
+    /// Dense class index, assigned in order of each class's first mask.
+    pub id: u64,
+    /// The static argument that makes the members equivalent.
+    pub proof: ProofKind,
+    /// Mask indices into the repository, ascending. `members[0]` is the
+    /// canonical representative.
+    pub members: Vec<usize>,
+}
+
+impl MaskClass {
+    /// Index of the mask that stands in for the class.
+    pub fn representative(&self) -> usize {
+        self.members[0]
+    }
+}
+
+/// The full partition of a masks repository into equivalence classes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaskPartition {
+    /// The classes, ordered by their first member's repository index.
+    pub classes: Vec<MaskClass>,
+}
+
+impl MaskPartition {
+    /// Total masks across all classes.
+    pub fn mask_count(&self) -> usize {
+        self.classes.iter().map(|c| c.members.len()).sum()
+    }
+
+    /// Number of classes.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Classes backed by `proof`.
+    pub fn classes_with(&self, proof: ProofKind) -> usize {
+        self.classes.iter().filter(|c| c.proof == proof).count()
+    }
+
+    /// Simulator dispatches a collapsed campaign needs: one representative
+    /// per non-dead class (dead classes resolve statically, like pruning).
+    pub fn dispatch_count(&self) -> usize {
+        self.classes
+            .iter()
+            .filter(|c| c.proof != ProofKind::DeadInterval)
+            .count()
+    }
+
+    /// Masks per class — the collapse factor (1.0 for an empty repository).
+    pub fn collapse_ratio(&self) -> f64 {
+        if self.classes.is_empty() {
+            1.0
+        } else {
+            self.mask_count() as f64 / self.class_count() as f64
+        }
+    }
+
+    /// Per-mask provenance records, indexed by repository position.
+    /// `masks` must be the repository the partition was built from.
+    pub fn provenance(&self, masks: &[InjectionSpec]) -> Vec<ClassProvenance> {
+        let mut out = vec![
+            ClassProvenance {
+                class_id: 0,
+                representative: 0,
+                proof: ProofKind::Singleton,
+                members: 0,
+            };
+            masks.len()
+        ];
+        for class in &self.classes {
+            let prov = ClassProvenance {
+                class_id: class.id,
+                representative: masks[class.representative()].id,
+                proof: class.proof,
+                members: class.members.len() as u64,
+            };
+            for &i in &class.members {
+                out[i] = prov;
+            }
+        }
+        out
+    }
+}
+
+/// Partitions a masks repository into provably-equivalent classes against
+/// one structure's golden-run ACE profile.
+///
+/// Only the exact shape the profile reasons about is eligible for
+/// non-trivial classes — a *single* cycle-timed transient flip into the
+/// profile's own (data-plane) structure, mirroring
+/// [`spec_provably_masked`]'s gate. For eligible masks,
+/// [`SiteClass`] decides the class:
+///
+/// * `Dead` sites of one (entry, bit) sharing the same erasing event merge
+///   into one [`ProofKind::DeadInterval`] class, resolved without dispatch;
+/// * `Latched` sites of one (entry, bit) sharing the same first-read event
+///   merge into one [`ProofKind::LatchInterval`] class — one member is
+///   simulated, the rest inherit its result;
+/// * `Unproven` sites become [`ProofKind::Singleton`] classes.
+///
+/// Ineligible masks become singletons too, with one exception: a
+/// *multi-fault* spec that [`spec_provably_masked`] proves dead keeps its
+/// PR 1 pruning as a one-member `DeadInterval` class, so collapsing never
+/// dispatches more than pruning would.
+///
+/// Classes never span distinct (entry, bit) pairs or different specs'
+/// fault shapes; every mask lands in exactly one class.
+pub fn partition_equivalence(masks: &[InjectionSpec], profile: &AceProfile) -> MaskPartition {
+    // Group key: (entry, bit, kind-tag, event-index). Tags: 0 = dead via a
+    // covering write event, 1 = dead via "never accessed" (complete trace),
+    // 2 = latched on a first read.
+    let mut groups: BTreeMap<(u64, u32, u8, u64), Vec<usize>> = BTreeMap::new();
+    // (first-member index, proof, members) for classes built outside the
+    // grouping map (singletons and multi-fault dead specs).
+    let mut solo: Vec<(usize, ProofKind)> = Vec::new();
+
+    for (i, m) in masks.iter().enumerate() {
+        let site = match m.faults.as_slice() {
+            [f] if f.kind == FaultKindSer::Flip
+                && f.duration == FaultDuration::Transient
+                && f.structure == profile.structure() =>
+            {
+                match f.at {
+                    InjectTime::Cycle(c) => Some((f.entry, f.bit, c)),
+                    InjectTime::Instruction(_) => None,
+                }
+            }
+            _ => None,
+        };
+        match site {
+            Some((entry, bit, cycle)) => match profile.site_class(entry, bit, cycle) {
+                SiteClass::Dead {
+                    first_event: Some(k),
+                } => groups.entry((entry, bit, 0, k as u64)).or_default().push(i),
+                SiteClass::Dead { first_event: None } => {
+                    groups.entry((entry, bit, 1, 0)).or_default().push(i);
+                }
+                SiteClass::Latched { first_event } => groups
+                    .entry((entry, bit, 2, first_event as u64))
+                    .or_default()
+                    .push(i),
+                SiteClass::Unproven => solo.push((i, ProofKind::Singleton)),
+            },
+            None if spec_provably_masked(m, profile) => {
+                solo.push((i, ProofKind::DeadInterval));
+            }
+            None => solo.push((i, ProofKind::Singleton)),
+        }
+    }
+
+    let mut classes: Vec<MaskClass> = Vec::new();
+    for ((_, _, tag, _), members) in groups {
+        let proof = match tag {
+            0 | 1 => ProofKind::DeadInterval,
+            _ => ProofKind::LatchInterval,
+        };
+        classes.push(MaskClass {
+            id: 0,
+            proof,
+            members,
+        });
+    }
+    for (i, proof) in solo {
+        classes.push(MaskClass {
+            id: 0,
+            proof,
+            members: vec![i],
+        });
+    }
+    // Deterministic class ids: order classes by their first member's
+    // repository position, then number densely.
+    classes.sort_by_key(|c| c.members[0]);
+    for (id, class) in classes.iter_mut().enumerate() {
+        class.id = id as u64;
+    }
+    MaskPartition { classes }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -340,6 +524,137 @@ mod tests {
         let (pruned, dispatch) = partition_provably_masked(&masks, &profile);
         assert_eq!(pruned, vec![0]);
         assert_eq!(dispatch, vec![1]);
+    }
+
+    fn traced_profile() -> AceProfile {
+        use difi_uarch::residency::ResidencyTracker;
+        // Entry 3, bits 0..64: write@100, read@200, write@300, read@400.
+        let mut t = ResidencyTracker::new();
+        t.set_cycle(100);
+        t.on_write(3, 0, 64);
+        t.set_cycle(200);
+        t.on_read(3, 0, 64);
+        t.set_cycle(300);
+        t.on_write(3, 0, 64);
+        t.set_cycle(400);
+        t.on_read(3, 0, 64);
+        AceProfile::new(t.into_log(desc(), 1_000)).expect("data plane")
+    }
+
+    #[test]
+    fn partition_merges_latch_intervals_and_dead_intervals() {
+        let p = traced_profile();
+        let mk =
+            |id, cycle| InjectionSpec::single_transient(id, StructureId::IntRegFile, 3, 7, cycle);
+        let masks = vec![
+            mk(0, 150), // latches until read@200 (event 1)
+            mk(1, 180), // same latch class
+            mk(2, 50),  // dead: erased by write@100 (event 0)
+            mk(3, 90),  // same dead class
+            mk(4, 350), // latches until read@400 (event 3)
+            mk(5, 500), // dead: never accessed again, complete trace
+            mk(6, 250), // dead: erased by write@300 (event 2)
+        ];
+        let part = partition_equivalence(&masks, &p);
+        assert_eq!(part.mask_count(), 7);
+        assert_eq!(part.class_count(), 5);
+        assert_eq!(part.classes_with(ProofKind::LatchInterval), 2);
+        assert_eq!(part.classes_with(ProofKind::DeadInterval), 3);
+        assert_eq!(part.dispatch_count(), 2);
+        assert!(part.collapse_ratio() > 1.0);
+        // Class ids follow first-member order; members ascend. The two dead
+        // proofs with distinct erasing events (write@300 vs. never-accessed)
+        // deliberately do NOT merge — each class keeps one checkable
+        // argument.
+        let by_members: Vec<(ProofKind, Vec<usize>)> = part
+            .classes
+            .iter()
+            .map(|c| (c.proof, c.members.clone()))
+            .collect();
+        assert_eq!(
+            by_members,
+            vec![
+                (ProofKind::LatchInterval, vec![0, 1]),
+                (ProofKind::DeadInterval, vec![2, 3]),
+                (ProofKind::LatchInterval, vec![4]),
+                (ProofKind::DeadInterval, vec![5]),
+                (ProofKind::DeadInterval, vec![6]),
+            ]
+        );
+        assert_eq!(
+            part.classes.iter().map(|c| c.id).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn partition_never_merges_across_bits_entries_or_shapes() {
+        let p = traced_profile();
+        let masks = vec![
+            // Same interval, different bits: distinct latch classes.
+            InjectionSpec::single_transient(0, StructureId::IntRegFile, 3, 7, 150),
+            InjectionSpec::single_transient(1, StructureId::IntRegFile, 3, 8, 150),
+            // Different entry (never touched, complete trace): dead class of
+            // its own (entry, bit).
+            InjectionSpec::single_transient(2, StructureId::IntRegFile, 0, 7, 150),
+            // Ineligible shapes: singletons even at identical sites.
+            {
+                let mut m = InjectionSpec::single_transient(3, StructureId::IntRegFile, 3, 7, 150);
+                m.faults[0].at = InjectTime::Instruction(5);
+                m
+            },
+            InjectionSpec::single_transient(4, StructureId::L2Data, 3, 7, 150),
+        ];
+        let part = partition_equivalence(&masks, &p);
+        assert_eq!(part.class_count(), 5, "nothing merges: {:?}", part.classes);
+        assert_eq!(part.classes_with(ProofKind::Singleton), 2);
+    }
+
+    #[test]
+    fn partition_dead_classes_agree_with_binary_pruner() {
+        // Over a seeded random repository, the union of DeadInterval class
+        // members must equal the PR 1 pruned set exactly.
+        let p = traced_profile();
+        let mut g = MaskGenerator::new(99);
+        let masks = g.transient(&desc(), 1_000, 300);
+        let part = partition_equivalence(&masks, &p);
+        assert_eq!(part.mask_count(), masks.len());
+        let mut dead: Vec<usize> = part
+            .classes
+            .iter()
+            .filter(|c| c.proof == ProofKind::DeadInterval)
+            .flat_map(|c| c.members.iter().copied())
+            .collect();
+        dead.sort_unstable();
+        let (pruned, _) = partition_provably_masked(&masks, &p);
+        assert_eq!(dead, pruned);
+        // Every mask lands in exactly one class.
+        let mut all: Vec<usize> = part
+            .classes
+            .iter()
+            .flat_map(|c| c.members.iter().copied())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..masks.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn provenance_maps_every_mask_to_its_class() {
+        let p = traced_profile();
+        let mk =
+            |id, cycle| InjectionSpec::single_transient(id, StructureId::IntRegFile, 3, 7, cycle);
+        let masks = vec![mk(10, 150), mk(11, 180), mk(12, 50)];
+        let part = partition_equivalence(&masks, &p);
+        let prov = part.provenance(&masks);
+        assert_eq!(prov.len(), 3);
+        assert_eq!(prov[0].class_id, prov[1].class_id);
+        assert_eq!(prov[0].representative, 10, "representative is a mask id");
+        assert_eq!(prov[1].representative, 10);
+        assert_eq!(prov[0].proof, ProofKind::LatchInterval);
+        assert_eq!(prov[0].members, 2);
+        assert_eq!(prov[2].proof, ProofKind::DeadInterval);
+        assert_eq!(prov[2].members, 1);
+        assert_eq!(prov[2].representative, 12);
     }
 
     #[test]

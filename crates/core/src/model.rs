@@ -425,6 +425,101 @@ impl EarlyStop {
     }
 }
 
+/// The static argument backing one fault-equivalence class produced by
+/// mask-space collapsing (`difi_ace::equivalence`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProofKind {
+    /// All members fall in a dead interval: the corruption is erased by a
+    /// write before any read, or never accessed on a complete trace. The
+    /// class is resolved statically, without dispatching any member.
+    DeadInterval,
+    /// All members latch until the same first read of the same bit; the
+    /// class representative is simulated and its result replicated.
+    LatchInterval,
+    /// No static proof applies; the class holds exactly one mask, which is
+    /// simulated normally.
+    Singleton,
+}
+
+impl ProofKind {
+    /// Stable name used in persisted journals and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProofKind::DeadInterval => "DeadInterval",
+            ProofKind::LatchInterval => "LatchInterval",
+            ProofKind::Singleton => "Singleton",
+        }
+    }
+
+    /// Inverse of [`ProofKind::name`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Parse`] for an unknown name.
+    pub fn from_name(s: &str) -> Result<ProofKind> {
+        match s {
+            "DeadInterval" => Ok(ProofKind::DeadInterval),
+            "LatchInterval" => Ok(ProofKind::LatchInterval),
+            "Singleton" => Ok(ProofKind::Singleton),
+            _ => Err(Error::Parse(format!("unknown proof kind {s}"))),
+        }
+    }
+}
+
+/// Equivalence-class provenance attached to every run of a collapsed
+/// campaign: which class the mask belongs to, which mask stood in for it,
+/// and under what proof — enough to audit (and re-check) the collapse from
+/// the journal alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassProvenance {
+    /// Class index within the campaign's partition (dense, 0-based, in
+    /// order of each class's first mask).
+    pub class_id: u64,
+    /// Mask id ([`InjectionSpec::id`]) of the class representative whose
+    /// simulated result the members inherit. A mask is its own
+    /// representative when it *is* the representative (or a singleton).
+    pub representative: u64,
+    /// The proof justifying the collapse.
+    pub proof: ProofKind,
+    /// Total masks in the class (including the representative).
+    pub members: u64,
+}
+
+impl ClassProvenance {
+    /// JSON form used by the logs repository and the campaign journal.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("class_id", Json::U64(self.class_id)),
+            ("representative", Json::U64(self.representative)),
+            ("proof", Json::Str(self.proof.name().into())),
+            ("members", Json::U64(self.members)),
+        ])
+    }
+
+    /// Parses the repository JSON form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Parse`] when a field is missing or malformed.
+    pub fn from_json(j: &Json) -> Result<ClassProvenance> {
+        let field_u64 = |key: &str| -> Result<u64> {
+            j.req(key)?
+                .as_u64()
+                .ok_or_else(|| Error::Parse(format!("field '{key}' is not an integer")))
+        };
+        let proof_name = j
+            .req("proof")?
+            .as_str()
+            .ok_or_else(|| Error::Parse("field 'proof' is not a string".into()))?;
+        Ok(ClassProvenance {
+            class_id: field_u64("class_id")?,
+            representative: field_u64("representative")?,
+            proof: ProofKind::from_name(proof_name)?,
+            members: field_u64("members")?,
+        })
+    }
+}
+
 /// Everything one injection run reports back to the campaign controller.
 ///
 /// The three measurement fields are `None` exactly when the run never
@@ -612,6 +707,31 @@ mod tests {
         let j = r.to_json().to_string();
         let back = RunStatus::from_json(&difi_util::json::parse(&j).unwrap()).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn proof_kind_names_roundtrip() {
+        for p in [
+            ProofKind::DeadInterval,
+            ProofKind::LatchInterval,
+            ProofKind::Singleton,
+        ] {
+            assert_eq!(ProofKind::from_name(p.name()).unwrap(), p);
+        }
+        assert!(ProofKind::from_name("Bogus").is_err());
+    }
+
+    #[test]
+    fn class_provenance_json_roundtrip() {
+        let p = ClassProvenance {
+            class_id: 12,
+            representative: 340,
+            proof: ProofKind::LatchInterval,
+            members: 17,
+        };
+        let j = p.to_json().to_string();
+        let back = ClassProvenance::from_json(&difi_util::json::parse(&j).unwrap()).unwrap();
+        assert_eq!(back, p);
     }
 
     #[test]

@@ -572,6 +572,7 @@ mod tests {
                 instructions: Some(5),
                 fault_consumed: true,
             },
+            provenance: None,
         }
     }
 

@@ -71,23 +71,27 @@ pub mod setups {
 /// One-stop imports for examples and tools.
 pub mod prelude {
     pub use crate::setups;
-    pub use difi_ace::{AceProfile, ArchRegAvf, Liveness, RegSet, StaticAvf};
+    pub use difi_ace::{AceProfile, ArchRegAvf, Liveness, RegSet, SiteClass, StaticAvf};
     pub use difi_core::campaign::{
-        golden_run, run_campaign, run_campaign_checkpointed, run_campaign_pruned, CampaignConfig,
-        CampaignRunner, PrunedCampaign, Strategy,
+        golden_run, run_campaign, run_campaign_checkpointed, run_campaign_collapsed,
+        run_campaign_pruned, CampaignConfig, CampaignRunner, CollapsedCampaign, PrunedCampaign,
+        Strategy,
     };
     pub use difi_core::classify::{Classifier, FineOutcome, Outcome};
     pub use difi_core::dispatch::GoldenSnapshot;
     pub use difi_core::journal::{load_journal, CampaignHeader, JournalContents};
     pub use difi_core::logs::{CampaignLog, RunLog};
-    pub use difi_core::masks::{partition_provably_masked, spec_provably_masked, MaskGenerator};
+    pub use difi_core::masks::{
+        partition_equivalence, partition_provably_masked, spec_provably_masked, MaskClass,
+        MaskGenerator, MaskPartition,
+    };
     pub use difi_core::model::{
-        EarlyStop, FaultDuration, FaultKindSer, FaultRecord, InjectTime, InjectionSpec,
-        RawRunResult, RunLimits, RunStatus,
+        ClassProvenance, EarlyStop, FaultDuration, FaultKindSer, FaultRecord, InjectTime,
+        InjectionSpec, ProofKind, RawRunResult, RunLimits, RunStatus,
     };
     pub use difi_core::report::{
-        classify_log, classify_log_with, AvfComparison, AvfRow, ClassCounts, Figure, FigureRow,
-        LatencyReport, LatencyRow,
+        classify_log, classify_log_with, AvfComparison, AvfRow, ClassCounts, CollapseReport,
+        CollapseRow, Figure, FigureRow, LatencyReport, LatencyRow,
     };
     pub use difi_core::sink::{
         JournalSink, MemorySink, MemoryTraceSink, MetricsSink, ProgressSink, RunSink, TraceSink,

@@ -22,7 +22,7 @@
 //! The crate also provides:
 //!
 //! * [`uop`] — the shared micro-op IR both simulators execute.
-//! * [`asm`] — a three-address [`asm::CodeGen`] builder with a backend per
+//! * [`asm`] — a three-address [`asm::Asm`] builder with a backend per
 //!   ISA, used by `difi-workloads` to compile each benchmark once for both
 //!   architectures.
 //! * [`program`] — program images, the memory map, and the loader.

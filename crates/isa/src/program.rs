@@ -133,7 +133,7 @@ impl Program {
 
     /// Builds the initial flat memory for a run: zeroed memory with code and
     /// data sections copied in. (Kernel state is initialized separately by
-    /// [`crate::kernel::KernelState::install`].)
+    /// [`crate::kernel::install`].)
     pub fn initial_memory(&self) -> Vec<u8> {
         let mut mem = vec![0u8; self.map.size as usize];
         let cb = self.map.code_base as usize;

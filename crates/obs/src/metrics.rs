@@ -43,6 +43,18 @@ impl Gauge {
         self.0.store(v, Ordering::Relaxed);
     }
 
+    /// Stores the ratio `num / den` scaled to permille (rounded to the
+    /// nearest integer), or 0 when `den` is zero. Ratios like a campaign's
+    /// collapse factor are fractional, and the registry is integer-only —
+    /// permille keeps three digits of precision without floats.
+    pub fn set_ratio_permille(&self, num: u64, den: u64) {
+        let v = match den {
+            0 => 0,
+            _ => num.saturating_mul(1000).saturating_add(den / 2) / den,
+        };
+        self.set(v);
+    }
+
     /// Current value.
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
@@ -283,6 +295,22 @@ mod tests {
         g.set(7);
         assert_eq!(reg.value("phase.golden_ns"), Some(7));
         assert_eq!(reg.value("missing"), None);
+    }
+
+    #[test]
+    fn ratio_permille_rounds_and_handles_zero_denominator() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("campaign.collapse.ratio_permille");
+        g.set_ratio_permille(9, 3);
+        assert_eq!(g.get(), 3000);
+        g.set_ratio_permille(1, 3);
+        assert_eq!(g.get(), 333);
+        g.set_ratio_permille(2, 3);
+        assert_eq!(g.get(), 667, "rounds to nearest, not truncates");
+        g.set_ratio_permille(5, 0);
+        assert_eq!(g.get(), 0, "empty partition reads as 0, not a panic");
+        g.set_ratio_permille(u64::MAX, 1000);
+        assert_eq!(g.get(), u64::MAX / 1000, "saturates instead of overflowing");
     }
 
     #[test]

@@ -415,8 +415,8 @@ pub(crate) struct PendingInst {
 }
 
 /// The out-of-order core. Construct one per run via [`OoOCore::new`], apply
-/// faults with [`OoOCore::inject`] (or mid-run via the engine's schedule),
-/// and drive it with [`OoOCore::run`].
+/// faults with [`OoOCore::apply_engine_fault`] (or mid-run via the engine's
+/// schedule), and drive it with [`OoOCore::run`].
 #[derive(Debug, Clone)]
 pub struct OoOCore {
     pub(crate) cfg: CoreConfig,

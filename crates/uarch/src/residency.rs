@@ -242,6 +242,69 @@ mod tests {
     }
 
     #[test]
+    fn zero_length_interval_keeps_same_cycle_event_order() {
+        // A write and a read of the same bits in the same cycle: a
+        // zero-length residency interval. Both events must be recorded,
+        // stamped identically, and kept in program order — consumers decide
+        // same-cycle behavior by list position, so reordering here would
+        // flip a latch interval into a dead one.
+        let mut t = ResidencyTracker::new();
+        t.set_cycle(7);
+        t.on_write(2, 0, 64);
+        t.on_read(2, 0, 64);
+        let log = t.into_log(desc(), 10);
+        let ev = log.events_for(2);
+        assert_eq!(ev.len(), 2);
+        assert_eq!((ev[0].cycle, ev[0].write), (7, true));
+        assert_eq!((ev[1].cycle, ev[1].write), (7, false));
+    }
+
+    #[test]
+    fn write_after_write_records_both_events() {
+        // Two writes with no intervening read are NOT coalesced: each write
+        // is its own erasing event, and equivalence classes are keyed per
+        // event index, so dropping the second write would silently merge
+        // two distinct dead intervals.
+        let mut t = ResidencyTracker::new();
+        t.set_cycle(10);
+        t.on_write(1, 0, 32);
+        t.set_cycle(20);
+        t.on_write(1, 0, 32);
+        let log = t.into_log(desc(), 100);
+        let ev = log.events_for(1);
+        assert_eq!(ev.len(), 2);
+        assert!(ev.iter().all(|e| e.write));
+        assert_eq!((ev[0].cycle, ev[1].cycle), (10, 20));
+        assert_eq!(log.event_count(), 2);
+    }
+
+    #[test]
+    fn interval_open_at_end_of_run_relies_on_completeness() {
+        // A write with no read before the run ends: the interval is
+        // truncated by end-of-run, and "never accessed again" is only
+        // provable when the trace says it is complete.
+        let mut t = ResidencyTracker::new();
+        t.set_cycle(90);
+        t.on_write(5, 0, 64);
+        let log = t.into_log(desc(), 100);
+        assert!(log.complete);
+        let ev = log.events_for(5);
+        assert_eq!(ev.len(), 1);
+        assert!(ev[0].write);
+
+        // The same trailing write on a capped tracker loses the license:
+        // complete flips false even though the retained prefix is identical.
+        let mut t = ResidencyTracker::with_capacity(1);
+        t.set_cycle(90);
+        t.on_write(5, 0, 64);
+        t.set_cycle(95);
+        t.on_read(5, 0, 64); // dropped at the cap
+        let log = t.into_log(desc(), 100);
+        assert!(!log.complete);
+        assert_eq!(log.events_for(5).len(), 1);
+    }
+
+    #[test]
     fn covers_is_half_open() {
         let e = ResidencyEvent {
             cycle: 0,

@@ -10,6 +10,61 @@ cargo fmt --all --check
 echo "==> cargo clippy (-D warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc (-D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+echo "==> dependency freeze (std-only workspace)"
+# The workspace is std-only by design; fail if any Cargo.toml gains an
+# external dependency. Intra-workspace `path` and `workspace = true` deps
+# are the only accepted forms.
+python3 - <<'PY'
+import glob, re, sys
+
+def dep_section(header):
+    # [dependencies], [dev-dependencies], [workspace.dependencies],
+    # [build-dependencies], [target.'cfg'.dependencies] — and the table
+    # form [dependencies.<name>], whose body is one dependency spec.
+    parts = header.split(".")
+    for i, p in enumerate(parts):
+        if p.endswith("dependencies"):
+            return "table" if i + 1 < len(parts) else "list"
+    return None
+
+OK_SPEC = re.compile(r'\bpath\b|workspace\s*=\s*true')
+violations = []
+for toml in ["Cargo.toml"] + sorted(glob.glob("crates/*/Cargo.toml")):
+    mode = None        # None | "list" | "table"
+    table = None       # (location, header, body_ok) for table mode
+    def flush():
+        if table is not None and not table[2]:
+            violations.append(f"{table[0]}: [{table[1]}] has no path/workspace source")
+    for n, line in enumerate(open(toml), 1):
+        stripped = line.strip()
+        if stripped.startswith("["):
+            flush()
+            header = stripped.strip("[]")
+            mode = dep_section(header)
+            table = [f"{toml}:{n}", header, False] if mode == "table" else None
+            continue
+        if mode is None or not stripped or stripped.startswith("#"):
+            continue
+        if mode == "table":
+            if OK_SPEC.search(stripped):
+                table[2] = True
+            continue
+        m = re.match(r'([A-Za-z0-9_-]+)\s*=\s*(.*)', stripped)
+        if m and not OK_SPEC.search(m.group(2)):
+            violations.append(f"{toml}:{n}: {stripped}")
+    flush()
+
+if violations:
+    print("error: external dependency introduced (workspace is std-only):", file=sys.stderr)
+    for v in violations:
+        print("  " + v, file=sys.stderr)
+    sys.exit(1)
+print("dependency freeze OK: all deps are path/workspace-internal")
+PY
+
 echo "==> no ignored tier-1 tests"
 # An #[ignore] on a tier-1 test silently shrinks the gate; fail loudly instead.
 if grep -rn '#\[ignore' tests/ crates/ --include='*.rs'; then
@@ -40,6 +95,14 @@ echo "==> trace determinism across strategies (release)"
 # and crash-resumed campaigns — and tracing must not perturb the log.
 cargo test --release -q --test trace_determinism
 
+echo "==> collapse equivalence (release)"
+# The differential oracle for mask-space equivalence collapsing: on two
+# workloads across the paper's three setups, a collapsed campaign must
+# classify every individual mask exactly as the full campaign does, save
+# dispatches with sound per-class provenance, and resume from an
+# interrupted collapsed journal identically.
+cargo test --release -q --test collapse_equivalence
+
 echo "==> campaign binary journal/resume smoke"
 # End-to-end over the CLI: journal a tiny campaign with live progress, then
 # resume the (already complete) journal and require the same classification.
@@ -59,6 +122,20 @@ if ! diff <(grep -A99 '^classification' "$smoke_dir/journaled.out" | sed 's/([^)
     echo "error: resumed campaign classification differs from journaled run" >&2
     exit 1
 fi
+
+echo "==> campaign binary collapse smoke"
+# End-to-end over the CLI: a collapsed campaign on a data-plane structure
+# must print the equivalence-collapse summary and classify the same number
+# of runs as requested.
+run_campaign_bin --collapse | tee "$smoke_dir/collapsed.out" >/dev/null
+grep -q '^collapse: 10 masks -> ' "$smoke_dir/collapsed.out" || {
+    echo "error: --collapse summary missing from campaign output" >&2
+    exit 1
+}
+grep -q 'classification (10 runs' "$smoke_dir/collapsed.out" || {
+    echo "error: collapsed campaign did not log all 10 masks" >&2
+    exit 1
+}
 
 echo "==> campaign binary trace/metrics smoke"
 # End-to-end observability: a traced campaign must emit parseable JSONL
